@@ -1,0 +1,92 @@
+//! Simple summary statistics for multi-seed robustness experiments.
+
+/// Mean, standard deviation, and a normal-approximation 95% confidence
+/// half-width over a sample of measurements.
+///
+/// # Example
+///
+/// ```
+/// use mlpsim_analysis::stats::Summary;
+/// let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+/// assert_eq!(s.mean, 5.0);
+/// assert!((s.sd - 2.138).abs() < 0.001); // sample standard deviation
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub sd: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Computes the summary of a sample (all-zero for an empty slice).
+    pub fn of(xs: &[f64]) -> Self {
+        let n = xs.len();
+        if n == 0 {
+            return Summary::default();
+        }
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let sd = if n < 2 {
+            0.0
+        } else {
+            let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+            var.sqrt()
+        };
+        Summary { mean, sd, n }
+    }
+
+    /// Half-width of the normal-approximation 95% confidence interval
+    /// (`1.96 · sd / √n`; 0 for n < 2).
+    pub fn ci95(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            1.96 * self.sd / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Renders as `mean ± ci95`.
+    pub fn render(&self) -> String {
+        format!("{:+.1} ± {:.1}", self.mean, self.ci95())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.n, 8);
+        assert!((s.sd - 2.138_089_935_299_395).abs() < 1e-12);
+        assert!(s.ci95() > 0.0);
+    }
+
+    #[test]
+    fn degenerate_samples() {
+        assert_eq!(Summary::of(&[]), Summary::default());
+        let one = Summary::of(&[3.5]);
+        assert_eq!(one.mean, 3.5);
+        assert_eq!(one.sd, 0.0);
+        assert_eq!(one.ci95(), 0.0);
+    }
+
+    #[test]
+    fn constant_sample_has_zero_spread() {
+        let s = Summary::of(&[1.0; 10]);
+        assert_eq!(s.mean, 1.0);
+        assert_eq!(s.sd, 0.0);
+    }
+
+    #[test]
+    fn render_shows_mean_and_interval() {
+        let s = Summary::of(&[10.0, 12.0, 14.0]);
+        assert!(s.render().starts_with("+12.0"));
+        assert!(s.render().contains('±'));
+    }
+}

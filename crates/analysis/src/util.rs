@@ -1,0 +1,69 @@
+//! Small numeric helpers shared by the experiment harness.
+
+/// Percentage improvement of `new` over `base`: `(new/base − 1) × 100`.
+///
+/// Positive means `new` is larger. This is the metric of the paper's
+/// Figures 4, 9 and 10 ("(%) IPC improvement over baseline (LRU)") when
+/// applied to IPC, and of the Fig. 5 insets when applied to miss counts.
+///
+/// # Panics
+///
+/// Panics if `base` is not strictly positive.
+pub fn percent_improvement(new: f64, base: f64) -> f64 {
+    assert!(base > 0.0, "baseline must be positive");
+    (new / base - 1.0) * 100.0
+}
+
+/// Arithmetic mean of a slice (0 for an empty slice).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Geometric mean of a slice of positive values (0 for an empty slice).
+///
+/// # Panics
+///
+/// Panics if any value is not strictly positive.
+pub fn geometric_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "geometric mean requires positive values");
+            x.ln()
+        })
+        .sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_signs() {
+        assert_eq!(percent_improvement(1.1, 1.0), 10.000000000000009);
+        assert!((percent_improvement(0.9, 1.0) + 10.0).abs() < 1e-9);
+        assert_eq!(percent_improvement(2.0, 2.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_baseline_panics() {
+        let _ = percent_improvement(1.0, 0.0);
+    }
+
+    #[test]
+    fn means() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the analysis utilities.
+
+use mlpsim_analysis::delta::DeltaTracker;
+use mlpsim_analysis::hist::CostHistogram;
+use mlpsim_analysis::sampling::{choose, p_best};
+use mlpsim_analysis::table::Table;
+use proptest::prelude::*;
+
+proptest! {
+    /// Histogram percentages always sum to 100 (when non-empty) and the
+    /// mean lies within the observed range.
+    #[test]
+    fn histogram_identities(costs in prop::collection::vec(0.0f64..2000.0, 1..500)) {
+        let mut h = CostHistogram::new();
+        for &c in &costs {
+            h.record(c);
+        }
+        let sum: f64 = h.percents().iter().sum();
+        prop_assert!((sum - 100.0).abs() < 1e-9);
+        let lo = costs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = costs.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(h.mean() >= lo - 1e-9 && h.mean() <= hi + 1e-9);
+        prop_assert_eq!(h.count(), costs.len() as u64);
+    }
+
+    /// Merging histograms equals recording the concatenation.
+    #[test]
+    fn histogram_merge_is_concat(
+        a in prop::collection::vec(0.0f64..800.0, 0..200),
+        b in prop::collection::vec(0.0f64..800.0, 0..200),
+    ) {
+        let mut ha = CostHistogram::new();
+        let mut hb = CostHistogram::new();
+        let mut hall = CostHistogram::new();
+        for &c in &a { ha.record(c); hall.record(c); }
+        for &c in &b { hb.record(c); hall.record(c); }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hall.count());
+        for bin in 0..8 {
+            prop_assert_eq!(ha.bin(bin), hall.bin(bin));
+        }
+        // Sums differ only by floating-point association order.
+        prop_assert!((ha.mean() - hall.mean()).abs() < 1e-9);
+    }
+
+    /// Delta bookkeeping: n misses to one line yield exactly n-1 deltas,
+    /// and the three Table-1 buckets partition them.
+    #[test]
+    fn delta_partition(costs in prop::collection::vec(0.0f64..600.0, 1..100)) {
+        let mut t = DeltaTracker::new();
+        for &c in &costs {
+            t.observe(7, c);
+        }
+        let s = t.stats();
+        prop_assert_eq!(s.count(), costs.len() as u64 - 1);
+        if s.count() > 0 {
+            let total = s.pct_lt60() + s.pct_lt120() + s.pct_ge120();
+            prop_assert!((total - 100.0).abs() < 1e-9);
+        }
+    }
+
+    /// P(Best) is a probability, equals p at k = 1, and is monotone in p.
+    #[test]
+    fn p_best_properties(k in 1u32..64, p1 in 0.0f64..1.0, p2 in 0.0f64..1.0) {
+        let (lo, hi) = (p1.min(p2), p1.max(p2));
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&p_best(k, lo)));
+        prop_assert!(p_best(k, lo) <= p_best(k, hi) + 1e-12, "monotone in p");
+        prop_assert!((p_best(1, lo) - lo).abs() < 1e-12);
+    }
+
+    /// Pascal's identity holds for the binomial helper.
+    #[test]
+    fn pascal_identity(k in 2u32..50, i in 1u32..49) {
+        prop_assume!(i < k);
+        let lhs = choose(k, i);
+        let rhs = choose(k - 1, i - 1) + choose(k - 1, i);
+        prop_assert!((lhs - rhs).abs() / lhs < 1e-12);
+    }
+
+    /// Table rendering never loses rows and keeps lines aligned in width.
+    #[test]
+    fn table_renders_all_rows(cells in prop::collection::vec("[a-z0-9.]{1,12}", 1..40)) {
+        let mut t = Table::with_headers(&["col"]);
+        for c in &cells {
+            t.row(vec![c.clone()]);
+        }
+        let rendered = t.render();
+        prop_assert_eq!(rendered.lines().count(), cells.len() + 2);
+    }
+}

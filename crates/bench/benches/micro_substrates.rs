@@ -1,0 +1,132 @@
+//! Microbenchmarks of the simulator substrates: how fast are the building
+//! blocks the experiments are made of?
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mlpsim_bench::{bench_trace, simulate, BENCH_ACCESSES};
+use mlpsim_cache::addr::{Geometry, LineAddr};
+use mlpsim_cache::lru::LruEngine;
+use mlpsim_cache::model::CacheModel;
+use mlpsim_core::ccl::{AdderMode, Ccl};
+use mlpsim_cpu::policy::PolicyKind;
+use mlpsim_mem::{MemConfig, MemorySystem, Mshr};
+use mlpsim_trace::spec::SpecBench;
+use std::hint::black_box;
+
+fn cache_access_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_access");
+    let geom = Geometry::baseline_l2();
+    // A mixed stream with ~50% hits.
+    let lines: Vec<LineAddr> = (0..40_000u64).map(|i| LineAddr((i * 7) % 30_000)).collect();
+    g.throughput(Throughput::Elements(lines.len() as u64));
+    for policy in [PolicyKind::Lru, PolicyKind::lin4(), PolicyKind::sbar_default()] {
+        g.bench_function(policy.label(), |b| {
+            b.iter(|| {
+                let mut cache = CacheModel::new(geom, policy.build(geom));
+                for (i, &line) in lines.iter().enumerate() {
+                    let r = cache.access(line, false, i as u64);
+                    if !r.hit {
+                        cache.record_serviced_cost(line, (line.0 % 8) as u8);
+                    }
+                }
+                black_box(cache.stats().misses)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn mshr_ccl(c: &mut Criterion) {
+    c.bench_function("mshr_ccl_event_cycle", |b| {
+        b.iter(|| {
+            let mut mshr = Mshr::new(32);
+            let mut ccl = Ccl::new(AdderMode::PerEntry);
+            let mut now = 0u64;
+            let mut total = 0.0;
+            for i in 0..5_000u64 {
+                ccl.advance(&mut mshr, now);
+                if mshr.is_full() {
+                    let (id, done) = mshr.next_completion().unwrap();
+                    ccl.advance(&mut mshr, done.max(now));
+                    now = done.max(now);
+                    total += mshr.free(id).mlp_cost;
+                }
+                mshr.allocate(LineAddr(i), now, now + 444, true).unwrap();
+                now += 13;
+            }
+            black_box(total)
+        })
+    });
+}
+
+fn dram_bus(c: &mut Criterion) {
+    c.bench_function("memory_system_schedule", |b| {
+        b.iter(|| {
+            let mut mem = MemorySystem::new(MemConfig::baseline());
+            let mut last = 0;
+            for i in 0..10_000u64 {
+                last = mem.request_fill(LineAddr(i * 3), i * 11);
+            }
+            black_box(last)
+        })
+    });
+}
+
+fn trace_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_generation");
+    g.throughput(Throughput::Elements(BENCH_ACCESSES as u64));
+    for bench in [SpecBench::Art, SpecBench::Mcf, SpecBench::Mgrid] {
+        g.bench_function(bench.name(), |b| {
+            b.iter(|| black_box(bench.generate(BENCH_ACCESSES, 42).len()))
+        });
+    }
+    g.finish();
+}
+
+fn full_system(c: &mut Criterion) {
+    let mut g = c.benchmark_group("full_system_simulation");
+    g.sample_size(10);
+    for bench in [SpecBench::Mcf, SpecBench::Sixtrack] {
+        let trace = bench_trace(bench);
+        g.throughput(Throughput::Elements(trace.instructions()));
+        g.bench_function(bench.name(), |b| {
+            b.iter(|| black_box(simulate(&trace, PolicyKind::lin4()).cycles))
+        });
+    }
+    g.finish();
+}
+
+fn belady_oracle(c: &mut Criterion) {
+    c.bench_function("belady_oracle_construction", |b| {
+        let lines: Vec<LineAddr> = (0..20_000u64).map(|i| LineAddr((i * 13) % 4_096)).collect();
+        b.iter(|| {
+            let oracle = mlpsim_cache::belady::BeladyEngine::from_accesses(lines.iter().copied());
+            black_box(oracle.remaining_uses(LineAddr(0)))
+        })
+    });
+}
+
+fn atd_replay(c: &mut Criterion) {
+    c.bench_function("atd_shadow_replay", |b| {
+        let geom = Geometry::baseline_l2();
+        let lines: Vec<LineAddr> = (0..20_000u64).map(|i| LineAddr((i * 5) % 25_000)).collect();
+        b.iter(|| {
+            let mut atd = mlpsim_cache::atd::Atd::new(geom, Box::new(LruEngine::new()));
+            for (i, &line) in lines.iter().enumerate() {
+                atd.access(line, i as u64, 0);
+            }
+            black_box(atd.misses())
+        })
+    });
+}
+
+criterion_group!(
+    micro,
+    cache_access_throughput,
+    mshr_ccl,
+    dram_bus,
+    trace_generation,
+    full_system,
+    belady_oracle,
+    atd_replay
+);
+criterion_main!(micro);

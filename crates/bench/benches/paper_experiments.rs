@@ -1,0 +1,251 @@
+//! One Criterion target per paper table/figure: each benchmark measures
+//! the end-to-end cost of regenerating that experiment's data at bench
+//! scale (reduced trace length, representative benchmark subset).
+//!
+//! Run a single experiment's bench with e.g.
+//! `cargo bench -p mlpsim-bench --bench paper_experiments -- fig4`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlpsim_analysis::sampling::p_best_series;
+use mlpsim_bench::{bench_trace, simulate};
+use mlpsim_cache::addr::{Geometry, LineAddr};
+use mlpsim_cache::belady::BeladyEngine;
+use mlpsim_core::ccl::AdderMode;
+use mlpsim_core::leader::SelectionPolicy;
+use mlpsim_core::overhead::{cbs_overhead, lin_overhead, sbar_overhead, OverheadParams};
+use mlpsim_core::quant::quantize;
+use mlpsim_core::sbar::SbarConfig;
+use mlpsim_cpu::config::SystemConfig;
+use mlpsim_cpu::policy::PolicyKind;
+use mlpsim_cpu::system::System;
+use mlpsim_trace::figure1::{figure1_lines, figure1_trace};
+use mlpsim_trace::spec::SpecBench;
+use std::hint::black_box;
+
+/// The benchmark subset used by sweep-style experiments at bench scale.
+const SWEEP: [SpecBench; 4] = [SpecBench::Mcf, SpecBench::Vpr, SpecBench::Parser, SpecBench::Art];
+
+fn fig1(c: &mut Criterion) {
+    c.bench_function("fig1_opt_vs_lru_vs_lin", |b| {
+        b.iter(|| {
+            let iters = 50;
+            let trace = figure1_trace(iters);
+            let cache = Geometry::from_sets(1, 4, 64);
+            let cfg = |policy| {
+                let mut c = SystemConfig::baseline(policy);
+                c.l1 = None;
+                c.l2 = cache;
+                c
+            };
+            let opt = System::with_l2_engine(
+                cfg(PolicyKind::Lru),
+                Box::new(BeladyEngine::from_accesses(
+                    figure1_lines(iters).into_iter().map(LineAddr),
+                )),
+            )
+            .run(trace.iter());
+            let lru = System::new(cfg(PolicyKind::Lru)).run(trace.iter());
+            let lin = System::new(cfg(PolicyKind::lin4())).run(trace.iter());
+            black_box((opt.stall_episodes, lru.stall_episodes, lin.stall_episodes))
+        })
+    });
+}
+
+fn fig2_and_table1(c: &mut Criterion) {
+    // Fig. 2 (cost distribution) and Table 1 (deltas) come from the same
+    // baseline run; bench them together per representative benchmark.
+    let mut g = c.benchmark_group("fig2_table1_baseline_profile");
+    for bench in SWEEP {
+        let trace = bench_trace(bench);
+        g.bench_function(bench.name(), |b| {
+            b.iter(|| {
+                let r = simulate(&trace, PolicyKind::Lru);
+                black_box((r.cost_hist, r.deltas))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn table3(c: &mut Criterion) {
+    c.bench_function("table3_benchmark_summary", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for bench in SWEEP {
+                let trace = bench_trace(bench);
+                let r = simulate(&trace, PolicyKind::Lru);
+                total += r.l2_compulsory;
+            }
+            black_box(total)
+        })
+    });
+}
+
+fn fig3b(c: &mut Criterion) {
+    c.bench_function("fig3b_quantizer", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in 0..10_000u32 {
+                acc += u32::from(quantize(f64::from(i) * 0.05));
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_lin_lambda_sweep");
+    g.sample_size(10);
+    for bench in SWEEP {
+        let trace = bench_trace(bench);
+        g.bench_function(bench.name(), |b| {
+            b.iter(|| {
+                let mut ipcs = Vec::new();
+                for lambda in 1..=4 {
+                    ipcs.push(simulate(&trace, PolicyKind::Lin { lambda }).ipc());
+                }
+                black_box(ipcs)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_lru_vs_lin_distributions");
+    g.sample_size(10);
+    for bench in SWEEP {
+        let trace = bench_trace(bench);
+        g.bench_function(bench.name(), |b| {
+            b.iter(|| {
+                let lru = simulate(&trace, PolicyKind::Lru);
+                let lin = simulate(&trace, PolicyKind::lin4());
+                black_box((lru.cost_hist, lin.cost_hist, lru.l2.misses, lin.l2.misses))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig8(c: &mut Criterion) {
+    c.bench_function("fig8_sampling_model", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for p in [0.5, 0.6, 0.7, 0.8, 0.9] {
+                for (_, v) in p_best_series(64, p) {
+                    acc += v;
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn fig9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_lin_vs_sbar");
+    g.sample_size(10);
+    for bench in SWEEP {
+        let trace = bench_trace(bench);
+        g.bench_function(bench.name(), |b| {
+            b.iter(|| {
+                let lin = simulate(&trace, PolicyKind::lin4());
+                let sbar = simulate(&trace, PolicyKind::sbar_default());
+                black_box((lin.ipc(), sbar.ipc()))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig10(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_leader_set_sweep");
+    g.sample_size(10);
+    let trace = bench_trace(SpecBench::Mcf);
+    for k in [8u32, 16, 32] {
+        for (label, selection) in
+            [("ss", SelectionPolicy::SimpleStatic), ("rd", SelectionPolicy::RandDynamic)]
+        {
+            let cfg = SbarConfig { leader_sets: k, selection, ..SbarConfig::paper_default() };
+            g.bench_function(format!("{label}-{k}"), |b| {
+                b.iter(|| black_box(simulate(&trace, PolicyKind::Sbar(cfg)).ipc()))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn fig11(c: &mut Criterion) {
+    c.bench_function("fig11_ammp_time_series", |b| {
+        let trace = SpecBench::Ammp.generate(60_000, 42);
+        b.iter(|| {
+            let mut cfg = SystemConfig::baseline(PolicyKind::sbar_default());
+            cfg.sample_interval = Some(500_000);
+            let r = System::new(cfg).run(trace.iter());
+            black_box(r.samples)
+        })
+    });
+}
+
+fn cbs_compare(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cbs_compare");
+    g.sample_size(10);
+    let trace = bench_trace(SpecBench::Vpr);
+    for policy in [PolicyKind::sbar_default(), PolicyKind::CbsGlobal, PolicyKind::CbsLocal] {
+        g.bench_function(policy.label(), |b| {
+            b.iter(|| black_box(simulate(&trace, policy).ipc()))
+        });
+    }
+    g.finish();
+}
+
+fn overhead(c: &mut Criterion) {
+    c.bench_function("overhead_budget_model", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for k in [8u32, 16, 32, 64] {
+                let mut p = OverheadParams::paper_baseline();
+                p.leader_sets = k;
+                total += sbar_overhead(&p).total_bytes()
+                    + lin_overhead(&p).total_bytes()
+                    + cbs_overhead(&p, true).total_bytes();
+            }
+            black_box(total)
+        })
+    });
+}
+
+fn ablate_adders(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_adders");
+    g.sample_size(10);
+    let trace = bench_trace(SpecBench::Mcf);
+    for (label, adders) in
+        [("per-entry", AdderMode::PerEntry), ("4-shared", AdderMode::paper_shared())]
+    {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut cfg = SystemConfig::baseline(PolicyKind::lin4());
+                cfg.adders = adders;
+                black_box(System::new(cfg).run(trace.iter()).cost_hist)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    paper,
+    fig1,
+    fig2_and_table1,
+    table3,
+    fig3b,
+    fig4,
+    fig5,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    cbs_compare,
+    overhead,
+    ablate_adders
+);
+criterion_main!(paper);

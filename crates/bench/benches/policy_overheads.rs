@@ -1,0 +1,100 @@
+//! Per-decision latency of each replacement policy's victim selection —
+//! the software analogue of the paper's concern that CARE logic stay off
+//! the critical path.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mlpsim_cache::addr::{Geometry, LineAddr};
+use mlpsim_cache::meta::WayMeta;
+use mlpsim_cache::policy::{ReplacementEngine, VictimCtx};
+use mlpsim_cache::set::SetView;
+use mlpsim_core::psel::Psel;
+use mlpsim_core::quant::quantize;
+use mlpsim_cpu::policy::PolicyKind;
+use std::hint::black_box;
+
+/// A full 16-way set with varied recency and costs.
+fn full_set() -> Vec<WayMeta> {
+    (0..16u64)
+        .map(|i| WayMeta {
+            valid: true,
+            tag: i,
+            lru_stamp: (i * 7919) % 97,
+            fill_stamp: i,
+            cost_q: ((i * 3) % 8) as u8,
+            dirty: i % 2 == 0,
+        })
+        .collect()
+}
+
+fn victim_selection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("victim_selection");
+    g.throughput(Throughput::Elements(1));
+    let geom = Geometry::baseline_l2();
+    let ways = full_set();
+    for policy in [PolicyKind::Lru, PolicyKind::Fifo, PolicyKind::lin4()] {
+        let mut engine = policy.build(geom);
+        g.bench_function(policy.label(), |b| {
+            b.iter(|| {
+                let view = SetView::new(&ways, 0, geom);
+                let ctx = VictimCtx { set: view, incoming: LineAddr(999), seq: 1 };
+                black_box(engine.victim(&ctx))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn recency_ranking(c: &mut Criterion) {
+    c.bench_function("recency_ranks_16way", |b| {
+        let geom = Geometry::baseline_l2();
+        let ways = full_set();
+        b.iter(|| {
+            let view = SetView::new(&ways, 0, geom);
+            black_box(view.recency_ranks())
+        })
+    });
+}
+
+fn quantizer(c: &mut Criterion) {
+    c.bench_function("quantize_single", |b| {
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x += 1.7;
+            if x > 600.0 {
+                x = 0.0;
+            }
+            black_box(quantize(x))
+        })
+    });
+}
+
+fn psel_updates(c: &mut Criterion) {
+    c.bench_function("psel_update", |b| {
+        let mut p = Psel::paper_default();
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            if i.is_multiple_of(2) {
+                p.inc_by(i % 8);
+            } else {
+                p.dec_by(i % 8);
+            }
+            black_box(p.msb_set())
+        })
+    });
+}
+
+fn leader_lookup(c: &mut Criterion) {
+    use mlpsim_core::leader::{LeaderSets, SelectionPolicy};
+    c.bench_function("leader_set_lookup", |b| {
+        let l = LeaderSets::new(1024, 32, SelectionPolicy::SimpleStatic, 0);
+        let mut s = 0u32;
+        b.iter(|| {
+            s = (s + 33) % 1024;
+            black_box(l.is_leader(s))
+        })
+    });
+}
+
+criterion_group!(overheads, victim_selection, recency_ranking, quantizer, psel_updates, leader_lookup);
+criterion_main!(overheads);

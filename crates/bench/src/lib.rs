@@ -1,0 +1,44 @@
+//! Shared helpers for the Criterion benches.
+//!
+//! The actual benchmarks live in `benches/`:
+//!
+//! * `paper_experiments` — one target per paper table/figure, each
+//!   regenerating that experiment's data at a reduced scale,
+//! * `micro_substrates` — throughput of the simulator building blocks
+//!   (tag store, MSHR+CCL, DRAM/bus, trace generation, full system),
+//! * `policy_overheads` — per-decision latency of each replacement
+//!   policy's victim selection.
+
+use mlpsim_cpu::config::SystemConfig;
+use mlpsim_cpu::policy::PolicyKind;
+use mlpsim_cpu::stats::SimResult;
+use mlpsim_cpu::system::System;
+use mlpsim_trace::record::Trace;
+use mlpsim_trace::spec::SpecBench;
+
+/// Access count used by the bench-scale experiment runs: large enough for
+/// steady-state replacement behavior, small enough for Criterion's
+/// repeated sampling.
+pub const BENCH_ACCESSES: usize = 30_000;
+
+/// Generates the bench-scale trace for a benchmark (fixed seed).
+pub fn bench_trace(bench: SpecBench) -> Trace {
+    bench.generate(BENCH_ACCESSES, 42)
+}
+
+/// Runs a pre-generated trace under a policy on the baseline machine.
+pub fn simulate(trace: &Trace, policy: PolicyKind) -> SimResult {
+    System::new(SystemConfig::baseline(policy)).run(trace.iter())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_helpers_work() {
+        let t = bench_trace(SpecBench::Sixtrack);
+        let r = simulate(&t, PolicyKind::Lru);
+        assert!(r.l2.misses > 0);
+    }
+}

@@ -1,0 +1,126 @@
+//! The replacement-engine interface.
+//!
+//! A [`ReplacementEngine`] is the software analogue of the paper's
+//! Cost-Aware Replacement Engine (CARE, Fig. 3a): a block that, given the
+//! architectural state of a set, names the victim way. Engines also receive
+//! notification hooks so stateful policies (Belady's OPT, the hybrid
+//! SBAR/CBS schemes in `mlpsim-core`) can track the access stream.
+
+use crate::addr::LineAddr;
+use crate::meta::CostQ;
+use crate::set::SetView;
+
+/// Context handed to an engine when a victim must be chosen.
+#[derive(Clone, Copy, Debug)]
+pub struct VictimCtx<'a> {
+    /// The set the incoming block maps to.
+    pub set: SetView<'a>,
+    /// The line address being filled.
+    pub incoming: LineAddr,
+    /// Monotonic access sequence number (the how-many-th access this is).
+    pub seq: u64,
+}
+
+/// A victim-selection policy over a set-associative cache.
+///
+/// The [`CacheModel`](crate::model::CacheModel) guarantees that
+/// [`victim`](ReplacementEngine::victim) is only called when the set is
+/// completely full of valid ways; invalid ways are always filled first.
+///
+/// Implementations must be deterministic given their own state (policies
+/// with randomness own a seeded RNG) so simulations are reproducible.
+pub trait ReplacementEngine {
+    /// Chooses the way to evict from a full set.
+    ///
+    /// The returned way index must be `< ctx.set.assoc()`.
+    fn victim(&mut self, ctx: &VictimCtx<'_>) -> usize;
+
+    /// Notifies the engine of every access *after* the hit/miss outcome is
+    /// known but *before* the tag store is updated.
+    ///
+    /// `hit` is the outcome in the main tag directory and
+    /// `resident_cost_q` is the `cost_q` stored for `line` in the main tag
+    /// directory if it is resident there (used by the paper's hybrid
+    /// schemes, footnote 6). The default does nothing.
+    fn on_access(&mut self, line: LineAddr, seq: u64, hit: bool, resident_cost_q: Option<CostQ>) {
+        let _ = (line, seq, hit, resident_cost_q);
+    }
+
+    /// Notifies the engine that a previously missing `line` has been
+    /// serviced by the memory system with quantized MLP-based cost
+    /// `cost_q`. Hybrid engines use this to settle pending policy-selector
+    /// updates. The default does nothing.
+    fn on_serviced(&mut self, line: LineAddr, cost_q: CostQ) {
+        let _ = (line, cost_q);
+    }
+
+    /// Periodic epoch hook: the simulator calls this at a fixed retired-
+    /// instruction interval (the paper re-draws `rand-dynamic` leader sets
+    /// every 25 M instructions). The default does nothing.
+    fn on_epoch(&mut self) {}
+
+    /// One-line internal-state description for diagnostics (PSEL values,
+    /// adaptation counters); `None` for stateless policies.
+    fn debug_state(&self) -> Option<String> {
+        None
+    }
+
+    /// Human-readable policy name (used in experiment tables).
+    fn name(&self) -> &'static str;
+}
+
+impl ReplacementEngine for Box<dyn ReplacementEngine> {
+    fn victim(&mut self, ctx: &VictimCtx<'_>) -> usize {
+        (**self).victim(ctx)
+    }
+
+    fn on_access(&mut self, line: LineAddr, seq: u64, hit: bool, resident_cost_q: Option<CostQ>) {
+        (**self).on_access(line, seq, hit, resident_cost_q);
+    }
+
+    fn on_serviced(&mut self, line: LineAddr, cost_q: CostQ) {
+        (**self).on_serviced(line, cost_q);
+    }
+
+    fn on_epoch(&mut self) {
+        (**self).on_epoch();
+    }
+
+    fn debug_state(&self) -> Option<String> {
+        (**self).debug_state()
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Geometry;
+    use crate::meta::WayMeta;
+
+    struct AlwaysZero;
+    impl ReplacementEngine for AlwaysZero {
+        fn victim(&mut self, _ctx: &VictimCtx<'_>) -> usize {
+            0
+        }
+        fn name(&self) -> &'static str {
+            "zero"
+        }
+    }
+
+    #[test]
+    fn boxed_engine_delegates() {
+        let mut engine: Box<dyn ReplacementEngine> = Box::new(AlwaysZero);
+        let g = Geometry::from_sets(2, 2, 64);
+        let ways = [WayMeta { valid: true, ..WayMeta::invalid() }, WayMeta { valid: true, ..WayMeta::invalid() }];
+        let view = SetView::new(&ways, 0, g);
+        let ctx = VictimCtx { set: view, incoming: LineAddr(9), seq: 1 };
+        assert_eq!(engine.victim(&ctx), 0);
+        assert_eq!(engine.name(), "zero");
+        engine.on_access(LineAddr(9), 1, false, None);
+        engine.on_serviced(LineAddr(9), 3);
+    }
+}

@@ -1,0 +1,172 @@
+//! Read-only views of a cache set, handed to replacement engines.
+
+use crate::addr::{Geometry, LineAddr};
+use crate::meta::WayMeta;
+
+/// A read-only view of one cache set at victim-selection time.
+///
+/// Engines use this to inspect the candidate ways: their validity, recency
+/// stamps, `cost_q`, and the line addresses they hold. The view also knows
+/// the cache [`Geometry`] so tags can be turned back into [`LineAddr`]s
+/// (needed by Belady's OPT, which indexes its future-knowledge table by
+/// line address).
+#[derive(Clone, Copy, Debug)]
+pub struct SetView<'a> {
+    ways: &'a [WayMeta],
+    set_index: u32,
+    geometry: Geometry,
+}
+
+impl<'a> SetView<'a> {
+    /// Creates a view over the ways of set `set_index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways.len()` does not match the geometry's associativity.
+    pub fn new(ways: &'a [WayMeta], set_index: u32, geometry: Geometry) -> Self {
+        assert_eq!(
+            ways.len(),
+            usize::from(geometry.ways()),
+            "set view must cover exactly one set"
+        );
+        SetView { ways, set_index, geometry }
+    }
+
+    /// The ways of this set.
+    #[inline]
+    pub fn ways(&self) -> &'a [WayMeta] {
+        self.ways
+    }
+
+    /// Number of ways (associativity).
+    #[inline]
+    pub fn assoc(&self) -> usize {
+        self.ways.len()
+    }
+
+    /// Index of this set within the cache.
+    #[inline]
+    pub fn set_index(&self) -> u32 {
+        self.set_index
+    }
+
+    /// The cache geometry this set belongs to.
+    #[inline]
+    pub fn geometry(&self) -> Geometry {
+        self.geometry
+    }
+
+    /// The line address resident in `way`, or `None` if the way is invalid.
+    #[inline]
+    pub fn line_of(&self, way: usize) -> Option<LineAddr> {
+        let w = &self.ways[way];
+        w.valid.then(|| self.geometry.line_from_parts(w.tag, self.set_index))
+    }
+
+    /// Iterator over `(way_index, &WayMeta)` for valid ways only.
+    pub fn valid_ways(&self) -> impl Iterator<Item = (usize, &'a WayMeta)> + '_ {
+        self.ways.iter().enumerate().filter(|(_, w)| w.valid)
+    }
+
+    /// The first invalid way, if any.
+    pub fn first_invalid(&self) -> Option<usize> {
+        self.ways.iter().position(|w| !w.valid)
+    }
+
+    /// Number of valid ways.
+    pub fn valid_count(&self) -> usize {
+        self.ways.iter().filter(|w| w.valid).count()
+    }
+
+    /// LRU-stack positions of every way: `ranks[i]` is `R(i)` as defined in
+    /// the paper (§5.1) — 0 for the least-recently-used valid way up to
+    /// `valid_count() - 1` for the MRU way. Invalid ways get rank 0.
+    ///
+    /// Computed by ranking recency stamps; O(assoc²) but the associativities
+    /// in play are ≤ 16, and profiling showed this is not a bottleneck.
+    pub fn recency_ranks(&self) -> Vec<u8> {
+        let mut ranks = vec![0u8; self.ways.len()];
+        for (i, w) in self.ways.iter().enumerate() {
+            if !w.valid {
+                continue;
+            }
+            let mut rank = 0u8;
+            for other in self.ways.iter() {
+                if other.valid && other.lru_stamp < w.lru_stamp {
+                    rank += 1;
+                }
+            }
+            ranks[i] = rank;
+        }
+        ranks
+    }
+
+    /// The valid way with the smallest recency stamp (the LRU way), or
+    /// `None` if the set is empty.
+    pub fn lru_way(&self) -> Option<usize> {
+        self.valid_ways().min_by_key(|(_, w)| w.lru_stamp).map(|(i, _)| i)
+    }
+
+    /// The valid way with the smallest fill stamp (the FIFO victim), or
+    /// `None` if the set is empty.
+    pub fn oldest_fill_way(&self) -> Option<usize> {
+        self.valid_ways().min_by_key(|(_, w)| w.fill_stamp).map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Geometry;
+
+    fn meta(valid: bool, tag: u64, lru: u64, fill: u64) -> WayMeta {
+        WayMeta { valid, tag, lru_stamp: lru, fill_stamp: fill, cost_q: 0, dirty: false }
+    }
+
+    #[test]
+    fn ranks_follow_stamps() {
+        let g = Geometry::from_sets(4, 4, 64);
+        let ways = [
+            meta(true, 1, 50, 0),
+            meta(true, 2, 10, 1),
+            meta(true, 3, 99, 2),
+            meta(true, 4, 30, 3),
+        ];
+        let v = SetView::new(&ways, 0, g);
+        assert_eq!(v.recency_ranks(), vec![2, 0, 3, 1]);
+        assert_eq!(v.lru_way(), Some(1));
+    }
+
+    #[test]
+    fn invalid_ways_are_skipped() {
+        let g = Geometry::from_sets(4, 4, 64);
+        let ways = [
+            meta(true, 1, 50, 7),
+            meta(false, 0, 0, 0),
+            meta(true, 3, 99, 5),
+            meta(false, 0, 0, 0),
+        ];
+        let v = SetView::new(&ways, 2, g);
+        assert_eq!(v.valid_count(), 2);
+        assert_eq!(v.first_invalid(), Some(1));
+        assert_eq!(v.recency_ranks(), vec![0, 0, 1, 0]);
+        assert_eq!(v.oldest_fill_way(), Some(2));
+    }
+
+    #[test]
+    fn line_of_reconstructs_address() {
+        let g = Geometry::from_sets(8, 2, 64);
+        let ways = [meta(true, 5, 0, 0), meta(false, 0, 0, 0)];
+        let v = SetView::new(&ways, 3, g);
+        assert_eq!(v.line_of(0), Some(LineAddr(5 * 8 + 3)));
+        assert_eq!(v.line_of(1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one set")]
+    fn wrong_width_panics() {
+        let g = Geometry::from_sets(4, 4, 64);
+        let ways = [meta(true, 1, 0, 0)];
+        let _ = SetView::new(&ways, 0, g);
+    }
+}

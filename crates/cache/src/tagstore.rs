@@ -1,0 +1,290 @@
+//! The tag array: per-set, per-way metadata plus recency bookkeeping.
+
+use crate::addr::{Geometry, LineAddr};
+use crate::meta::{CostQ, WayMeta};
+use crate::set::SetView;
+
+/// A tag store: the full array of [`WayMeta`] for a cache, with helpers to
+/// probe, touch (hit), and fill (replace) blocks.
+///
+/// The tag store is shared by real caches ([`CacheModel`]) and the
+/// data-less auxiliary tag directories ([`Atd`]) that the paper's hybrid
+/// replacement mechanisms use ("data lines are not required to estimate the
+/// performance of replacement policies", §6).
+///
+/// [`CacheModel`]: crate::model::CacheModel
+/// [`Atd`]: crate::atd::Atd
+///
+/// # Example
+///
+/// ```
+/// use mlpsim_cache::addr::{Geometry, LineAddr};
+/// use mlpsim_cache::tagstore::TagStore;
+///
+/// let mut tags = TagStore::new(Geometry::from_sets(4, 2, 64));
+/// tags.fill(LineAddr(5), 0, false, 3);
+/// assert_eq!(tags.probe(LineAddr(5)), Some(0));
+/// assert_eq!(tags.cost_q_of(LineAddr(5)), Some(3));
+/// ```
+#[derive(Clone, Debug)]
+pub struct TagStore {
+    geometry: Geometry,
+    ways: Vec<WayMeta>,
+    /// Monotonic stamp source for recency/fill ordering.
+    next_stamp: u64,
+}
+
+impl TagStore {
+    /// Creates an empty (all-invalid) tag store for the given geometry.
+    pub fn new(geometry: Geometry) -> Self {
+        let n = geometry.lines() as usize;
+        TagStore { geometry, ways: vec![WayMeta::invalid(); n], next_stamp: 1 }
+    }
+
+    /// The cache geometry.
+    #[inline]
+    pub fn geometry(&self) -> Geometry {
+        self.geometry
+    }
+
+    #[inline]
+    fn base(&self, set_index: u32) -> usize {
+        set_index as usize * usize::from(self.geometry.ways())
+    }
+
+    /// Slice of ways for one set.
+    #[inline]
+    pub fn set_ways(&self, set_index: u32) -> &[WayMeta] {
+        let b = self.base(set_index);
+        &self.ways[b..b + usize::from(self.geometry.ways())]
+    }
+
+    #[inline]
+    fn set_ways_mut(&mut self, set_index: u32) -> &mut [WayMeta] {
+        let b = self.base(set_index);
+        let w = usize::from(self.geometry.ways());
+        &mut self.ways[b..b + w]
+    }
+
+    /// Read-only view of one set, suitable for handing to a replacement
+    /// engine.
+    pub fn view(&self, set_index: u32) -> SetView<'_> {
+        SetView::new(self.set_ways(set_index), set_index, self.geometry)
+    }
+
+    /// Looks up a line; returns the way it resides in, if present.
+    pub fn probe(&self, line: LineAddr) -> Option<usize> {
+        let set = self.geometry.set_index(line);
+        let tag = self.geometry.tag(line);
+        self.set_ways(set).iter().position(|w| w.valid && w.tag == tag)
+    }
+
+    /// Whether the line is resident.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.probe(line).is_some()
+    }
+
+    /// Marks a resident way as most-recently-used (hit handling).
+    pub fn touch(&mut self, line: LineAddr, way: usize) {
+        let stamp = self.take_stamp();
+        let set = self.geometry.set_index(line);
+        let w = &mut self.set_ways_mut(set)[way];
+        debug_assert!(w.valid, "touching an invalid way");
+        w.lru_stamp = stamp;
+    }
+
+    /// Fills `line` into `way` of its set, returning the evicted block (if
+    /// the way held a valid one). The filled block becomes MRU.
+    pub fn fill(&mut self, line: LineAddr, way: usize, dirty: bool, cost_q: CostQ) -> Option<Evicted> {
+        let stamp = self.take_stamp();
+        let set = self.geometry.set_index(line);
+        let tag = self.geometry.tag(line);
+        let geometry = self.geometry;
+        let w = &mut self.set_ways_mut(set)[way];
+        let evicted = w.valid.then(|| Evicted {
+            line: geometry.line_from_parts(w.tag, set),
+            dirty: w.dirty,
+            cost_q: w.cost_q,
+        });
+        *w = WayMeta { valid: true, tag, lru_stamp: stamp, fill_stamp: stamp, cost_q, dirty };
+        evicted
+    }
+
+    /// Invalidates a resident line, returning its eviction record.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<Evicted> {
+        let way = self.probe(line)?;
+        let set = self.geometry.set_index(line);
+        let w = &mut self.set_ways_mut(set)[way];
+        let evicted = Evicted {
+            line,
+            dirty: w.dirty,
+            cost_q: w.cost_q,
+        };
+        *w = WayMeta::invalid();
+        Some(evicted)
+    }
+
+    /// Updates the stored `cost_q` of a resident line (done when the miss
+    /// that fetched it is finally serviced and its MLP-based cost is known).
+    /// Returns `false` if the line is no longer resident.
+    pub fn set_cost_q(&mut self, line: LineAddr, cost_q: CostQ) -> bool {
+        match self.probe(line) {
+            Some(way) => {
+                let set = self.geometry.set_index(line);
+                self.set_ways_mut(set)[way].cost_q = cost_q;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The stored `cost_q` of a resident line, if present.
+    pub fn cost_q_of(&self, line: LineAddr) -> Option<CostQ> {
+        self.probe(line).map(|way| {
+            let set = self.geometry.set_index(line);
+            self.set_ways(set)[way].cost_q
+        })
+    }
+
+    /// Sets the dirty bit of a resident line. Returns `false` if absent.
+    pub fn mark_dirty(&mut self, line: LineAddr) -> bool {
+        match self.probe(line) {
+            Some(way) => {
+                let set = self.geometry.set_index(line);
+                self.set_ways_mut(set)[way].dirty = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of valid blocks currently resident.
+    pub fn resident_count(&self) -> usize {
+        self.ways.iter().filter(|w| w.valid).count()
+    }
+
+    /// Iterator over all resident line addresses.
+    pub fn resident_lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
+        let g = self.geometry;
+        let ways = usize::from(g.ways());
+        self.ways.iter().enumerate().filter(|(_, w)| w.valid).map(move |(i, w)| {
+            let set = (i / ways) as u32;
+            g.line_from_parts(w.tag, set)
+        })
+    }
+
+    #[inline]
+    fn take_stamp(&mut self) -> u64 {
+        let s = self.next_stamp;
+        self.next_stamp += 1;
+        s
+    }
+}
+
+/// Record of a block evicted (or invalidated) from a tag store.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Evicted {
+    /// The evicted line's address.
+    pub line: LineAddr,
+    /// Whether the block was dirty (needs a writeback).
+    pub dirty: bool,
+    /// The quantized cost that was stored with it.
+    pub cost_q: CostQ,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> TagStore {
+        TagStore::new(Geometry::from_sets(4, 2, 64))
+    }
+
+    #[test]
+    fn probe_miss_then_fill_then_hit() {
+        let mut t = store();
+        let line = LineAddr(5);
+        assert_eq!(t.probe(line), None);
+        assert_eq!(t.fill(line, 0, false, 3), None);
+        assert_eq!(t.probe(line), Some(0));
+        assert_eq!(t.cost_q_of(line), Some(3));
+        assert_eq!(t.resident_count(), 1);
+    }
+
+    #[test]
+    fn fill_evicts_previous_occupant() {
+        let mut t = store();
+        let a = LineAddr(1); // set 1
+        let b = LineAddr(9); // set 1 as well (9 % 4 == 1)
+        t.fill(a, 0, true, 2);
+        let ev = t.fill(b, 0, false, 0).expect("must evict a");
+        assert_eq!(ev.line, a);
+        assert!(ev.dirty);
+        assert_eq!(ev.cost_q, 2);
+        assert!(t.contains(b));
+        assert!(!t.contains(a));
+    }
+
+    #[test]
+    fn touch_promotes_to_mru() {
+        let mut t = store();
+        let a = LineAddr(0);
+        let b = LineAddr(4); // same set 0
+        t.fill(a, 0, false, 0);
+        t.fill(b, 1, false, 0);
+        // b is MRU now; touching a should flip the order.
+        t.touch(a, 0);
+        let view = t.view(0);
+        assert_eq!(view.lru_way(), Some(1));
+        assert_eq!(view.recency_ranks(), vec![1, 0]);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut t = store();
+        let a = LineAddr(2);
+        t.fill(a, 1, true, 5);
+        let ev = t.invalidate(a).unwrap();
+        assert_eq!(ev.line, a);
+        assert!(ev.dirty);
+        assert!(!t.contains(a));
+        assert_eq!(t.invalidate(a), None);
+    }
+
+    #[test]
+    fn set_cost_q_updates_resident_only() {
+        let mut t = store();
+        let a = LineAddr(3);
+        assert!(!t.set_cost_q(a, 7));
+        t.fill(a, 0, false, 0);
+        assert!(t.set_cost_q(a, 7));
+        assert_eq!(t.cost_q_of(a), Some(7));
+    }
+
+    #[test]
+    fn resident_lines_round_trip() {
+        let mut t = store();
+        let lines = [LineAddr(0), LineAddr(1), LineAddr(6), LineAddr(11)];
+        for (i, &l) in lines.iter().enumerate() {
+            let set = t.geometry().set_index(l);
+            let way = t.view(set).first_invalid().unwrap();
+            t.fill(l, way, false, i as u8);
+        }
+        let mut resident: Vec<_> = t.resident_lines().collect();
+        resident.sort();
+        let mut expect = lines.to_vec();
+        expect.sort();
+        assert_eq!(resident, expect);
+    }
+
+    #[test]
+    fn mark_dirty_sets_bit() {
+        let mut t = store();
+        let a = LineAddr(7);
+        t.fill(a, 0, false, 0);
+        assert!(t.mark_dirty(a));
+        let ev = t.invalidate(a).unwrap();
+        assert!(ev.dirty);
+        assert!(!t.mark_dirty(a));
+    }
+}

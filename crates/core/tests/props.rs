@@ -1,0 +1,165 @@
+//! Property-based tests for the MLP-aware replacement mechanisms.
+
+use mlpsim_cache::addr::LineAddr;
+use mlpsim_cache::meta::COST_Q_MAX;
+use mlpsim_core::ccl::{update_mlp_cost_per_cycle, AdderMode, Ccl};
+use mlpsim_core::leader::{LeaderSets, SelectionPolicy};
+use mlpsim_core::psel::Psel;
+use mlpsim_core::quant::{bucket_range, quantize};
+use mlpsim_mem::Mshr;
+use proptest::prelude::*;
+
+proptest! {
+    /// Quantization is monotone, 3-bit, and consistent with its bucket
+    /// ranges.
+    #[test]
+    fn quantize_is_monotone_and_in_range(a in 0.0f64..2000.0, b in 0.0f64..2000.0) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(quantize(lo) <= quantize(hi));
+        let q = quantize(lo);
+        prop_assert!(q <= COST_Q_MAX);
+        let (rlo, rhi) = bucket_range(q);
+        prop_assert!(rlo <= lo && lo < rhi);
+    }
+
+    /// The event-driven CCL equals the literal per-cycle Algorithm 1 for
+    /// arbitrary interleavings of allocations, frees, and time.
+    #[test]
+    fn ccl_matches_per_cycle_reference(
+        events in prop::collection::vec((0u8..3, 0u64..40, 1u64..200), 1..40)
+    ) {
+        let mut fast_mshr = Mshr::new(8);
+        let mut slow_mshr = Mshr::new(8);
+        let mut ccl = Ccl::new(AdderMode::PerEntry);
+        let mut now = 0u64;
+        let mut next_line = 0u64;
+        for &(op, pick, dt) in &events {
+            // Advance both models by dt cycles.
+            ccl.advance(&mut fast_mshr, now + dt);
+            update_mlp_cost_per_cycle(&mut slow_mshr, dt);
+            now += dt;
+            match op {
+                0 if !fast_mshr.is_full() => {
+                    let line = LineAddr(next_line);
+                    next_line += 1;
+                    let demand = pick % 4 != 0; // mix demand and writeback
+                    fast_mshr.allocate(line, now, now + 444, demand).unwrap();
+                    slow_mshr.allocate(line, now, now + 444, demand).unwrap();
+                }
+                1 if !fast_mshr.is_empty() => {
+                    let ids: Vec<_> = fast_mshr.iter().map(|(id, _)| id).collect();
+                    let id = ids[pick as usize % ids.len()];
+                    let a = fast_mshr.free(id);
+                    let b = slow_mshr.free(id);
+                    prop_assert!((a.mlp_cost - b.mlp_cost).abs() < 1e-6,
+                        "event-driven {} vs per-cycle {}", a.mlp_cost, b.mlp_cost);
+                }
+                _ => {}
+            }
+        }
+        for ((_, a), (_, b)) in fast_mshr.iter().zip(slow_mshr.iter()) {
+            prop_assert!((a.mlp_cost - b.mlp_cost).abs() < 1e-6);
+        }
+    }
+
+    /// Shared adders never overshoot the ideal accumulation and lose less
+    /// than one visit-stride worth of cost.
+    #[test]
+    fn shared_adders_bounded_below_ideal(n in 1usize..8, dt in 1u64..2000) {
+        let build = |count: usize| {
+            let mut m = Mshr::new(8);
+            for i in 0..count {
+                m.allocate(LineAddr(i as u64), 0, 10_000, true).unwrap();
+            }
+            m
+        };
+        let mut ideal = build(n);
+        let mut shared = build(n);
+        Ccl::new(AdderMode::PerEntry).advance(&mut ideal, dt);
+        Ccl::new(AdderMode::paper_shared()).advance(&mut shared, dt);
+        for ((_, a), (_, b)) in ideal.iter().zip(shared.iter()) {
+            prop_assert!(b.mlp_cost <= a.mlp_cost + 1e-9);
+            let stride = (n as f64 / 4.0).ceil();
+            prop_assert!(a.mlp_cost - b.mlp_cost <= stride / n as f64 * stride + 1e-9);
+        }
+    }
+
+    /// PSEL stays within [0, 2^bits) under any update sequence.
+    #[test]
+    fn psel_is_bounded(bits in 1u32..12, updates in prop::collection::vec((prop::bool::ANY, 0u32..8), 0..200)) {
+        let mut p = Psel::new(bits);
+        for (up, amount) in updates {
+            if up { p.inc_by(amount) } else { p.dec_by(amount) }
+            prop_assert!(p.value() <= p.max());
+        }
+    }
+
+    /// Leader-set maps always choose exactly one leader per constituency,
+    /// for both selection policies and across reselections.
+    #[test]
+    fn leader_sets_partition(k_log in 0u32..6, reselects in 0usize..4, seed in 0u64..1000) {
+        let sets = 1024u32;
+        let k = 1u32 << k_log;
+        for policy in [SelectionPolicy::SimpleStatic, SelectionPolicy::RandDynamic] {
+            let mut l = LeaderSets::new(sets, k, policy, seed);
+            for _ in 0..=reselects {
+                let leaders: Vec<u32> = l.leaders().collect();
+                prop_assert_eq!(leaders.len() as u32, k);
+                let size = sets / k;
+                for (c, &s) in leaders.iter().enumerate() {
+                    prop_assert_eq!(s / size, c as u32);
+                    prop_assert!(l.is_leader(s));
+                }
+                let count = (0..sets).filter(|&s| l.is_leader(s)).count();
+                prop_assert_eq!(count as u32, k);
+                l.reselect();
+            }
+        }
+    }
+}
+
+/// LIN's victim really is the arg-min of `R + λ·cost_q` (cross-checked
+/// against a brute-force evaluation on random set states).
+#[test]
+fn lin_victim_is_argmin() {
+    use mlpsim_cache::meta::WayMeta;
+    use mlpsim_cache::policy::{ReplacementEngine, VictimCtx};
+    use mlpsim_cache::set::SetView;
+    use mlpsim_cache::addr::Geometry;
+
+    let geom = Geometry::from_sets(2, 8, 64);
+    let mut state = 0xDEADBEEFu64;
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for lambda in [0u32, 1, 2, 4, 8] {
+        let mut lin = mlpsim_core::lin::LinEngine::new(lambda);
+        for _ in 0..200 {
+            let ways: Vec<WayMeta> = (0..8)
+                .map(|i| WayMeta {
+                    valid: true,
+                    tag: i,
+                    lru_stamp: rng() % 1000,
+                    fill_stamp: 0,
+                    cost_q: (rng() % 8) as u8,
+                    dirty: false,
+                })
+                .collect();
+            let view = SetView::new(&ways, 0, geom);
+            let ranks = view.recency_ranks();
+            let victim = lin.victim(&VictimCtx { set: view, incoming: mlpsim_cache::addr::LineAddr(99), seq: 0 });
+            let score = |w: usize| u32::from(ranks[w]) + lambda * u32::from(ways[w].cost_q);
+            let best = (0..8).map(score).min().unwrap();
+            assert_eq!(score(victim), best, "victim must minimize the LIN score");
+            // Tie-break: no way with the same score has a smaller rank.
+            for w in 0..8 {
+                if score(w) == best {
+                    assert!(ranks[victim] <= ranks[w], "ties break to smallest recency");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Next-line prefetching at the L2.
+//!
+//! The paper's introduction names prefetching among the techniques that
+//! "improve performance by parallelizing long-latency memory operations";
+//! its cost accounting handles prefetches implicitly: only *demand*
+//! misses accrue MLP-based cost, so an in-flight prefetch neither pays
+//! nor dilutes cost until a demand access merges into it — at which point
+//! the MSHR entry is promoted to demand status and starts accruing.
+//!
+//! The prefetcher here is the classic next-line scheme: a demand L2 miss
+//! to line `X` issues non-demand fills for `X+1 … X+degree` (skipping
+//! lines that are resident or already in flight, and yielding to MSHR
+//! pressure). Prefetched lines are inserted with `cost_q = 0`, so an
+//! MLP-aware replacement engine treats them as cheap to lose — which is
+//! correct: losing a prefetched line costs at most a re-prefetch.
+//!
+//! Off by default (`SystemConfig::prefetch = None`), matching the paper's
+//! baseline; the `prefetch_effects` experiment quantifies the
+//! interaction.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the next-line L2 prefetcher.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PrefetchConfig {
+    /// Lines prefetched ahead of each demand miss.
+    pub degree: usize,
+}
+
+impl PrefetchConfig {
+    /// A conservative degree-1 next-line prefetcher.
+    pub fn next_line() -> Self {
+        PrefetchConfig { degree: 1 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_line_is_degree_one() {
+        assert_eq!(PrefetchConfig::next_line().degree, 1);
+    }
+}

@@ -1,0 +1,111 @@
+//! The store buffer.
+//!
+//! "Store instructions that miss the L2 cache do not block the window
+//! unless the store buffer is full" (paper Table 2): stores retire
+//! immediately into the buffer and drain to the memory system in the
+//! background; only a full buffer back-pressures dispatch.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A fixed-capacity store buffer tracking when each resident store's
+/// memory access completes.
+#[derive(Clone, Debug)]
+pub struct StoreBuffer {
+    completions: BinaryHeap<Reverse<u64>>,
+    capacity: usize,
+}
+
+impl StoreBuffer {
+    /// Creates a buffer with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "store buffer capacity must be non-zero");
+        StoreBuffer { completions: BinaryHeap::with_capacity(capacity), capacity }
+    }
+
+    /// Releases entries whose stores completed at or before `now`.
+    pub fn drain(&mut self, now: u64) {
+        while let Some(&Reverse(t)) = self.completions.peek() {
+            if t <= now {
+                self.completions.pop();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Occupied entries (after the caller's last [`drain`]).
+    ///
+    /// [`drain`]: StoreBuffer::drain
+    pub fn len(&self) -> usize {
+        self.completions.len()
+    }
+
+    /// Whether no stores are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.completions.is_empty()
+    }
+
+    /// Whether the buffer is full at cycle `now` (drains first).
+    pub fn is_full(&mut self, now: u64) -> bool {
+        self.drain(now);
+        self.completions.len() >= self.capacity
+    }
+
+    /// Inserts a store completing at `done`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is full (callers must check [`is_full`]).
+    ///
+    /// [`is_full`]: StoreBuffer::is_full
+    pub fn push(&mut self, done: u64) {
+        assert!(self.completions.len() < self.capacity, "push into a full store buffer");
+        self.completions.push(Reverse(done));
+    }
+
+    /// Earliest pending completion, if any (the cycle dispatch should
+    /// retry at when blocked on a full buffer).
+    pub fn next_completion(&self) -> Option<u64> {
+        self.completions.peek().map(|&Reverse(t)| t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drains_in_completion_order() {
+        let mut b = StoreBuffer::new(4);
+        b.push(100);
+        b.push(50);
+        b.push(200);
+        b.drain(99);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.next_completion(), Some(100));
+    }
+
+    #[test]
+    fn fullness_blocks_until_drain() {
+        let mut b = StoreBuffer::new(2);
+        b.push(10);
+        b.push(20);
+        assert!(b.is_full(5));
+        assert!(!b.is_full(10), "one entry drains at cycle 10");
+        b.push(30);
+        assert!(b.is_full(15));
+    }
+
+    #[test]
+    #[should_panic(expected = "full store buffer")]
+    fn overfill_panics() {
+        let mut b = StoreBuffer::new(1);
+        b.push(1);
+        b.push(2);
+    }
+}

@@ -1,0 +1,162 @@
+//! The instruction window: in-order retirement over out-of-order
+//! completion.
+//!
+//! "For current instruction window sizes, instruction processing stalls
+//! shortly after a long-latency miss occurs" (paper §3): when the oldest
+//! instruction is an unserviced L2 miss, the window fills up and dispatch
+//! stops — the *full-window stall* whose cycles the MLP-based cost model
+//! apportions among concurrent misses.
+
+use std::collections::VecDeque;
+
+/// One in-flight instruction.
+#[derive(Clone, Copy, Debug)]
+pub struct WinEntry {
+    /// Cycle at which the instruction is complete and may retire.
+    pub done: u64,
+    /// Whether this is a load waiting on an L2 miss (used to attribute
+    /// full-window stalls to the memory system).
+    pub l2_miss: bool,
+}
+
+/// A fixed-capacity instruction window with in-order retirement.
+///
+/// # Example
+///
+/// ```
+/// use mlpsim_cpu::window::{InstructionWindow, WinEntry};
+/// let mut w = InstructionWindow::new(4);
+/// w.push(WinEntry { done: 5, l2_miss: false });
+/// w.push(WinEntry { done: 3, l2_miss: false });
+/// // At cycle 4 the head (done=5) blocks retirement even though the
+/// // younger instruction is complete: retirement is in-order.
+/// assert_eq!(w.retire_ready(4, 8), 0);
+/// assert_eq!(w.retire_ready(5, 8), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct InstructionWindow {
+    slots: VecDeque<WinEntry>,
+    capacity: usize,
+}
+
+impl InstructionWindow {
+    /// Creates a window with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be non-zero");
+        InstructionWindow { slots: VecDeque::with_capacity(capacity), capacity }
+    }
+
+    /// Number of occupied entries.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Whether the window is full (dispatch must stall).
+    pub fn is_full(&self) -> bool {
+        self.slots.len() >= self.capacity
+    }
+
+    /// Free entries.
+    pub fn free(&self) -> usize {
+        self.capacity - self.slots.len()
+    }
+
+    /// Dispatches one instruction into the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is full (callers must check [`is_full`]).
+    ///
+    /// [`is_full`]: InstructionWindow::is_full
+    pub fn push(&mut self, entry: WinEntry) {
+        assert!(!self.is_full(), "dispatch into a full window");
+        self.slots.push_back(entry);
+    }
+
+    /// The oldest instruction, if any.
+    pub fn head(&self) -> Option<&WinEntry> {
+        self.slots.front()
+    }
+
+    /// Retires up to `max` instructions whose completion cycle is at or
+    /// before `now`, in order; returns how many retired.
+    pub fn retire_ready(&mut self, now: u64, max: u32) -> u32 {
+        let mut retired = 0;
+        while retired < max {
+            match self.slots.front() {
+                Some(e) if e.done <= now => {
+                    self.slots.pop_front();
+                    retired += 1;
+                }
+                _ => break,
+            }
+        }
+        retired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(done: u64) -> WinEntry {
+        WinEntry { done, l2_miss: false }
+    }
+
+    #[test]
+    fn in_order_retirement_blocks_on_head() {
+        let mut w = InstructionWindow::new(8);
+        w.push(e(100));
+        for _ in 0..5 {
+            w.push(e(1));
+        }
+        assert_eq!(w.retire_ready(50, 8), 0, "head not done");
+        assert_eq!(w.retire_ready(100, 8), 6, "head done frees the rest");
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn retirement_respects_width() {
+        let mut w = InstructionWindow::new(32);
+        for _ in 0..20 {
+            w.push(e(1));
+        }
+        assert_eq!(w.retire_ready(10, 8), 8);
+        assert_eq!(w.retire_ready(10, 8), 8);
+        assert_eq!(w.retire_ready(10, 8), 4);
+    }
+
+    #[test]
+    fn fullness_tracks_capacity() {
+        let mut w = InstructionWindow::new(2);
+        assert!(!w.is_full());
+        w.push(e(1));
+        w.push(e(2));
+        assert!(w.is_full());
+        assert_eq!(w.free(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "full window")]
+    fn overfill_panics() {
+        let mut w = InstructionWindow::new(1);
+        w.push(e(1));
+        w.push(e(2));
+    }
+
+    #[test]
+    fn head_exposes_miss_flag() {
+        let mut w = InstructionWindow::new(4);
+        w.push(WinEntry { done: 500, l2_miss: true });
+        assert!(w.head().unwrap().l2_miss);
+    }
+}

@@ -1,0 +1,58 @@
+//! Wrong-path memory traffic.
+//!
+//! The paper's accounting rule (§3.1): "We count instruction accesses,
+//! load accesses, and store accesses that miss in the largest on-chip
+//! cache as demand misses. All misses are treated on correct path until
+//! they are confirmed to be on the wrong path. Misses on the wrong path
+//! are not counted as demand misses."
+//!
+//! Traces carry only the correct path, so wrong-path traffic is
+//! synthesized: every `interval_insts` dispatched instructions a branch
+//! mispredicts, issuing `burst` wrong-path loads to fresh addresses.
+//! Those loads pollute the caches and occupy MSHR entries, banks, and
+//! bus bandwidth like real ones; they are treated as demand misses until
+//! the branch resolves (`resolve_cycles` later, the paper's 15-cycle
+//! minimum penalty), at which point they are demoted — their accumulated
+//! cost is discarded and they stop diluting the `N` of Algorithm 1.
+//!
+//! Wrong-path modeling is off by default (`SystemConfig::wrong_path =
+//! None`); the `wrong_path_effects` experiment quantifies its impact.
+
+use serde::{Deserialize, Serialize};
+
+/// Line-address base of the synthesized wrong-path region (disjoint from
+/// both workload data slots and the code region).
+pub const WRONG_PATH_BASE_LINE: u64 = 1 << 42;
+
+/// Configuration of the synthetic wrong-path injector.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct WrongPathConfig {
+    /// Dispatched instructions between mispredicted branches.
+    pub interval_insts: u64,
+    /// Wrong-path loads issued per misprediction.
+    pub burst: usize,
+    /// Cycles until the misprediction is confirmed and the wrong-path
+    /// misses are demoted (Table 2: minimum penalty 15 cycles).
+    pub resolve_cycles: u64,
+}
+
+impl WrongPathConfig {
+    /// A moderate default: one misprediction per 2000 instructions, four
+    /// wrong-path loads each, resolved after the paper's 15-cycle minimum
+    /// branch-misprediction penalty.
+    pub fn baseline() -> Self {
+        WrongPathConfig { interval_insts: 2_000, burst: 4, resolve_cycles: 15 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_uses_table2_penalty() {
+        let c = WrongPathConfig::baseline();
+        assert_eq!(c.resolve_cycles, 15);
+        assert!(c.interval_insts > 0 && c.burst > 0);
+    }
+}

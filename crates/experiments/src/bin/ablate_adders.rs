@@ -1,0 +1,38 @@
+//! Footnote-3 ablation: one adder per MSHR entry vs four time-shared
+//! adders in the cost-calculation logic.
+//!
+//! The paper: "time sharing four adders among the 32 entries has only a
+//! negligible effect on the absolute value of the MLP-based cost". We run
+//! the two highest-MLP benchmarks under both CCL configurations and
+//! compare the measured cost distribution and the LIN IPC gain.
+
+use mlpsim_analysis::table::Table;
+use mlpsim_analysis::util::percent_improvement;
+use mlpsim_core::ccl::AdderMode;
+use mlpsim_cpu::policy::PolicyKind;
+use mlpsim_experiments::runner::{run_bench_with, RunOptions};
+use mlpsim_trace::spec::SpecBench;
+
+fn main() {
+    println!("Footnote-3 ablation — per-entry adders vs 4 time-shared adders\n");
+    let mut t = Table::with_headers(&[
+        "bench", "adders", "meanCost", "iso%", "LINipc%",
+    ]);
+    for bench in [SpecBench::Art, SpecBench::Mcf, SpecBench::Sixtrack] {
+        for (label, adders) in [("per-entry", AdderMode::PerEntry), ("4-shared", AdderMode::paper_shared())] {
+            let opts = RunOptions { adders, ..RunOptions::default() };
+            let lru = run_bench_with(bench, PolicyKind::Lru, &opts);
+            let lin = run_bench_with(bench, PolicyKind::lin4(), &opts);
+            t.row(vec![
+                bench.name().into(),
+                label.into(),
+                format!("{:.1}", lru.cost_hist.mean()),
+                format!("{:.1}", lru.cost_hist.percent(7)),
+                format!("{:+.1}", percent_improvement(lin.ipc(), lru.ipc())),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!("Expected: mean cost differs by well under one quantization bucket (60 cycles)");
+    println!("and the LIN improvement is unchanged — the paper's \"negligible effect\".");
+}

@@ -1,0 +1,49 @@
+//! Footnote-4 ablation: accrue `mlp-cost` every cycle (Algorithm 1 as
+//! written) vs only during full-window stall cycles.
+//!
+//! The paper: "we did not find any significant difference in the relative
+//! value of mlp_cost or the performance improvement provided by our
+//! proposed replacement scheme." This binary measures both accountings on
+//! a representative subset.
+
+use mlpsim_analysis::table::Table;
+use mlpsim_analysis::util::percent_improvement;
+use mlpsim_cpu::config::{CostAccounting, SystemConfig};
+use mlpsim_cpu::policy::PolicyKind;
+use mlpsim_cpu::system::System;
+use mlpsim_trace::spec::SpecBench;
+
+fn main() {
+    println!("Footnote-4 ablation — all-cycles vs stall-cycles-only cost accounting\n");
+    let mut t = Table::with_headers(&[
+        "bench", "accounting", "meanCost", "iso%", "LINipc%",
+    ]);
+    for bench in [SpecBench::Mcf, SpecBench::Vpr, SpecBench::Art] {
+        let trace = bench.generate(200_000, 42);
+        for (label, accounting) in [
+            ("all-cycles", CostAccounting::AllCycles),
+            ("stall-only", CostAccounting::StallCyclesOnly),
+        ] {
+            let run = |policy| {
+                let mut cfg = SystemConfig::baseline(policy);
+                cfg.cost_accounting = accounting;
+                System::new(cfg).run(trace.iter())
+            };
+            let lru = run(PolicyKind::Lru);
+            let lin = run(PolicyKind::lin4());
+            t.row(vec![
+                bench.name().into(),
+                label.into(),
+                format!("{:.1}", lru.cost_hist.mean()),
+                format!("{:.1}", lru.cost_hist.percent(7)),
+                format!("{:+.1}", percent_improvement(lin.ipc(), lru.ipc())),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!("Expected (paper footnote 4): absolute costs shrink a little under stall-only");
+    println!("accounting while the relative values — and hence LIN's decisions — barely");
+    println!("move (mcf, vpr). A caveat the first-order model makes visible: populations");
+    println!("whose cost sits on a 60-cycle quantization edge can flip buckets under the");
+    println!("alternative accounting and change how strongly LIN pins them (art).");
+}

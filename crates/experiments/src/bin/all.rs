@@ -1,0 +1,43 @@
+//! Runs every experiment binary's logic in sequence (by invoking the
+//! sibling binaries), regenerating all of the paper's tables and figures.
+//!
+//! Prefer running individual binaries while iterating; this one exists so
+//! `cargo run --bin all --release` reproduces the full evaluation in one
+//! shot.
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "fig1", "fig2", "fig3b", "table1", "table2", "table3", "fig4", "fig5", "fig6", "fig7", "fig8",
+    "fig9", "fig10", "fig11", "cbs_compare", "overhead", "ablate_adders", "ablate_lambda", "ablate_stall_accounting", "care_alternatives", "sweep_cache", "sweep_latency", "sweep_mlp_limits", "icache_effects", "wrong_path_effects", "prefetch_effects", "measure_p", "multi_seed",
+];
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("target dir");
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        println!("\n================================================================");
+        println!("== {name}");
+        println!("================================================================");
+        let path = dir.join(name);
+        let status = Command::new(&path).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{name} exited with {s}");
+                failures.push(*name);
+            }
+            Err(e) => {
+                eprintln!("could not launch {name} ({e}); build the workspace binaries first");
+                failures.push(*name);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nAll {} experiments completed.", EXPERIMENTS.len());
+    } else {
+        eprintln!("\nFailed experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,49 @@
+//! Generator-tuning dashboard: per-benchmark LRU baseline characteristics
+//! plus LIN(4)/SBAR deltas, side by side with the paper's targets.
+//!
+//! This is the internal instrument used to tune the synthetic workload
+//! parameters in `mlpsim-trace` until the qualitative shapes (Fig. 2,
+//! Table 1, Fig. 4/5, Fig. 9) match the paper.
+
+use mlpsim_analysis::table::Table;
+use mlpsim_analysis::util::percent_improvement;
+use mlpsim_cpu::policy::PolicyKind;
+use mlpsim_experiments::paper::paper_row;
+use mlpsim_experiments::runner::{run_many, RunOptions};
+use mlpsim_trace::spec::SpecBench;
+
+fn main() {
+    let opts = RunOptions::default();
+    let mut t = Table::with_headers(&[
+        "bench", "ipc", "mpki", "comp%", "iso%", "d<60%", "dAvg", "LINipc%", "(paper)", "LINmiss%",
+        "(paper)", "SBARipc%", "(paper)",
+    ]);
+    for bench in SpecBench::ALL {
+        let results = run_many(
+            bench,
+            &[PolicyKind::Lru, PolicyKind::lin4(), PolicyKind::sbar_default()],
+            &opts,
+        );
+        let (lru, lin, sbar) = (&results[0], &results[1], &results[2]);
+        let p = paper_row(bench);
+        let lin_ipc = percent_improvement(lin.ipc(), lru.ipc());
+        let lin_miss = percent_improvement(lin.l2.misses as f64, lru.l2.misses as f64);
+        let sbar_ipc = percent_improvement(sbar.ipc(), lru.ipc());
+        t.row(vec![
+            bench.name().into(),
+            format!("{:.3}", lru.ipc()),
+            format!("{:.1}", lru.l2_mpki()),
+            format!("{:.1}", lru.compulsory_pct()),
+            format!("{:.1}", lru.cost_hist.percent(7)),
+            format!("{:.0}", lru.deltas.pct_lt60()),
+            format!("{:.0}", lru.deltas.average()),
+            format!("{:+.1}", lin_ipc),
+            format!("{:+.1}", p.lin_ipc_pct),
+            format!("{:+.1}", lin_miss),
+            format!("{:+.1}", p.lin_miss_pct),
+            format!("{:+.1}", sbar_ipc),
+            format!("{:+.1}", p.sbar_ipc_pct),
+        ]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,40 @@
+//! Internal diagnostic: per-interval IPC/MPKI for LRU vs LIN vs SBAR on a
+//! phased benchmark (ammp by default) — a raw-text preview of Fig. 11.
+//!
+//! Usage: `debug_phases [bench] [interval_insts]`
+
+use mlpsim_cpu::config::SystemConfig;
+use mlpsim_cpu::policy::PolicyKind;
+use mlpsim_cpu::system::System;
+use mlpsim_trace::spec::SpecBench;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "ammp".into());
+    let interval: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(400_000);
+    let bench = SpecBench::from_name(&name).expect("unknown benchmark");
+    let trace = bench.generate(420_000, 42);
+    let mut results = Vec::new();
+    for policy in [PolicyKind::Lru, PolicyKind::lin4(), PolicyKind::sbar_default()] {
+        let mut cfg = SystemConfig::baseline(policy);
+        cfg.sample_interval = Some(interval);
+        let r = System::new(cfg).run(trace.iter());
+        println!(
+            "{:10} total ipc {:.3} misses {} {}",
+            r.policy,
+            r.ipc(),
+            r.l2.misses,
+            r.policy_debug.as_deref().unwrap_or("")
+        );
+        results.push(r);
+    }
+    println!("\ninterval  lru-ipc  lin-ipc  sbar-ipc   lru-mpki  lin-mpki  sbar-mpki  lru-cq  lin-cq  sbar-cq");
+    let n = results.iter().map(|r| r.samples.len()).min().unwrap_or(0);
+    for i in 0..n {
+        let s: Vec<_> = results.iter().map(|r| &r.samples[i]).collect();
+        println!(
+            "{:8} {:8.3} {:8.3} {:9.3} {:10.1} {:9.1} {:10.1} {:7.2} {:7.2} {:8.2}",
+            i, s[0].ipc, s[1].ipc, s[2].ipc, s[0].mpki, s[1].mpki, s[2].mpki,
+            s[0].avg_cost_q, s[1].avg_cost_q, s[2].avg_cost_q
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Internal diagnostic: per-address-slot miss breakdown for one benchmark
+//! under LRU vs LIN, to see which workload component a policy is hurting.
+//!
+//! Usage: `debug_regions [bench]` (default: twolf).
+
+use mlpsim_cpu::config::SystemConfig;
+use mlpsim_cpu::policy::PolicyKind;
+use mlpsim_cpu::system::System;
+use mlpsim_trace::spec::SpecBench;
+use std::collections::HashMap;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "twolf".into());
+    let bench = SpecBench::from_name(&name).expect("unknown benchmark");
+    let trace = bench.generate(420_000, 42);
+    let mut acc: HashMap<u64, u64> = HashMap::new();
+    for a in trace.iter() {
+        *acc.entry(a.line >> 24).or_default() += 1;
+    }
+    println!("bench {name}: {} accesses", trace.len());
+    for policy in [PolicyKind::Lru, PolicyKind::lin4()] {
+        let mut cfg = SystemConfig::baseline(policy);
+        cfg.collect_miss_log = true;
+        let r = System::new(cfg).run(trace.iter());
+        println!(
+            "{:8} ipc {:.3} l2miss {:6} iso% {:4.1} meanCost {:3.0} stallEp {:6} memStall {}",
+            r.policy,
+            r.ipc(),
+            r.l2.misses,
+            r.cost_hist.percent(7),
+            r.cost_hist.mean(),
+            r.stall_episodes,
+            r.mem_stall_cycles,
+        );
+        let mut slot_miss: HashMap<u64, (u64, f64)> = HashMap::new();
+        for &(line, cost) in &r.miss_log {
+            let e = slot_miss.entry(line >> 24).or_default();
+            e.0 += 1;
+            e.1 += cost;
+        }
+        let mut slots: Vec<_> = slot_miss.iter().collect();
+        slots.sort_by_key(|(slot, _)| **slot);
+        for (slot, (m, cost_sum)) in slots {
+            println!(
+                "   slot{}: {:7} misses (of {:7} acc) avgCost {:4.0}",
+                slot,
+                m,
+                acc.get(slot).copied().unwrap_or(0),
+                cost_sum / *m as f64
+            );
+        }
+    }
+}

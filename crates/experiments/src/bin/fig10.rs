@@ -1,0 +1,49 @@
+//! Figure 10: SBAR sensitivity to the leader-set selection policy
+//! (`simple-static` vs `rand-dynamic`) and to the number of leader sets
+//! (8, 16, 32).
+//!
+//! The paper's shape: mostly insensitive — one policy usually dominates
+//! overwhelmingly, so even 8 leaders suffice; ammp is the exception, where
+//! random selection helps when leaders are few.
+
+use mlpsim_analysis::table::Table;
+use mlpsim_analysis::util::percent_improvement;
+use mlpsim_core::leader::SelectionPolicy;
+use mlpsim_core::sbar::SbarConfig;
+use mlpsim_cpu::policy::PolicyKind;
+use mlpsim_experiments::runner::{run_many, RunOptions};
+use mlpsim_trace::spec::SpecBench;
+
+fn main() {
+    println!("Figure 10 — SBAR IPC improvement (%) over LRU by leader-set policy and count\n");
+    let configs: Vec<(String, SbarConfig)> = [8u32, 16, 32]
+        .iter()
+        .flat_map(|&k| {
+            [
+                (format!("ss-{k}"), SelectionPolicy::SimpleStatic),
+                (format!("rd-{k}"), SelectionPolicy::RandDynamic),
+            ]
+            .into_iter()
+            .map(move |(label, selection)| {
+                (label, SbarConfig { leader_sets: k, selection, ..SbarConfig::paper_default() })
+            })
+        })
+        .collect();
+
+    let mut headers = vec!["bench".to_string()];
+    headers.extend(configs.iter().map(|(l, _)| l.clone()));
+    let mut t = Table::new(headers);
+    for bench in SpecBench::ALL {
+        let mut policies = vec![PolicyKind::Lru];
+        policies.extend(configs.iter().map(|(_, cfg)| PolicyKind::Sbar(*cfg)));
+        let results = run_many(bench, &policies, &RunOptions::default());
+        let lru = &results[0];
+        let mut row = vec![bench.name().to_string()];
+        for r in &results[1..] {
+            row.push(format!("{:+.1}", percent_improvement(r.ipc(), lru.ipc())));
+        }
+        t.row(row);
+    }
+    println!("{}", t.render());
+    println!("ss = simple-static, rd = rand-dynamic; the number is the leader-set count.");
+}

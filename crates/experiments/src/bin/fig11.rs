@@ -1,0 +1,56 @@
+//! Figure 11: the ammp case study — average cost_q per miss, misses per
+//! 1000 instructions, and IPC over time for LRU, LIN, and SBAR.
+//!
+//! The paper's shape: ammp alternates between a phase where LIN beats LRU
+//! and one where LRU beats LIN; SBAR switches policies with the phases and
+//! therefore outperforms either fixed policy over the whole run.
+
+use mlpsim_analysis::table::Table;
+use mlpsim_analysis::util::percent_improvement;
+use mlpsim_cpu::policy::PolicyKind;
+use mlpsim_experiments::runner::{run_bench_with, RunOptions};
+use mlpsim_trace::spec::SpecBench;
+
+fn main() {
+    println!("Figure 11 — ammp over time: LRU vs LIN vs SBAR\n");
+    let opts = RunOptions { sample_interval: Some(1_000_000), ..RunOptions::default() };
+    let lru = run_bench_with(SpecBench::Ammp, PolicyKind::Lru, &opts);
+    let lin = run_bench_with(SpecBench::Ammp, PolicyKind::lin4(), &opts);
+    let sbar = run_bench_with(SpecBench::Ammp, PolicyKind::sbar_default(), &opts);
+
+    let mut t = Table::with_headers(&[
+        "Minsts", "lru-cq", "lin-cq", "sbar-cq", "lru-mpki", "lin-mpki", "sbar-mpki",
+        "lru-ipc", "lin-ipc", "sbar-ipc",
+    ]);
+    let n = lru.samples.len().min(lin.samples.len()).min(sbar.samples.len());
+    for i in 0..n {
+        let (a, b, c) = (&lru.samples[i], &lin.samples[i], &sbar.samples[i]);
+        t.row(vec![
+            format!("{}", a.instructions / 1_000_000),
+            format!("{:.2}", a.avg_cost_q),
+            format!("{:.2}", b.avg_cost_q),
+            format!("{:.2}", c.avg_cost_q),
+            format!("{:.1}", a.mpki),
+            format!("{:.1}", b.mpki),
+            format!("{:.1}", c.mpki),
+            format!("{:.3}", a.ipc),
+            format!("{:.3}", b.ipc),
+            format!("{:.3}", c.ipc),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Whole-run IPC: lru {:.3}, lin {:.3} ({:+.1}%), sbar {:.3} ({:+.1}%)",
+        lru.ipc(),
+        lin.ipc(),
+        percent_improvement(lin.ipc(), lru.ipc()),
+        sbar.ipc(),
+        percent_improvement(sbar.ipc(), lru.ipc())
+    );
+    println!(
+        "Paper: LIN improves ammp by only 4.2% while SBAR improves it by 18.3%, because\n\
+         SBAR tracks the phase-local winner. The shape to check above: intervals where\n\
+         lin-ipc >> lru-ipc alternate with intervals where lru-ipc >> lin-ipc, and\n\
+         sbar-ipc follows whichever is better."
+    );
+}

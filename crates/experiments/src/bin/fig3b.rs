@@ -1,0 +1,24 @@
+//! Figure 3(b): the quantization of `mlp-cost` into the 3-bit `cost_q`.
+
+use mlpsim_analysis::table::Table;
+use mlpsim_core::quant::{bucket_label, bucket_range, quantize};
+
+fn main() {
+    println!("Figure 3(b) — quantization of mlp-cost\n");
+    let mut t = Table::with_headers(&["mlp-cost (cycles)", "cost_q", "axis label"]);
+    for q in 0u8..=7 {
+        let (lo, hi) = bucket_range(q);
+        let range = if hi.is_infinite() {
+            format!("{lo:.0}+")
+        } else {
+            format!("{lo:.0} to {:.0}", hi - 1.0)
+        };
+        t.row(vec![range, format!("{q}"), bucket_label(q)]);
+    }
+    println!("{}", t.render());
+    // Spot checks of the mapping boundaries.
+    for (cost, expect) in [(0.0, 0u8), (59.0, 0), (60.0, 1), (444.0, 7)] {
+        assert_eq!(quantize(cost), expect);
+    }
+    println!("An isolated miss (444 cycles) quantizes to cost_q = {}.", quantize(444.0));
+}

@@ -1,0 +1,38 @@
+//! Figure 4: IPC improvement over the LRU baseline for LIN(λ) as λ goes
+//! from 1 to 4.
+//!
+//! The paper's shape: the effect grows with λ; with λ = 4 LIN clearly
+//! helps art, mcf, vpr, ammp, galgel and sixtrack and clearly hurts
+//! bzip2, parser and mgrid.
+
+use mlpsim_analysis::table::Table;
+use mlpsim_analysis::util::percent_improvement;
+use mlpsim_cpu::policy::PolicyKind;
+use mlpsim_experiments::paper::paper_row;
+use mlpsim_experiments::runner::{run_many, RunOptions};
+use mlpsim_trace::spec::SpecBench;
+
+fn main() {
+    println!("Figure 4 — IPC improvement (%) over LRU for LIN(lambda), lambda = 1..4\n");
+    let mut t = Table::with_headers(&[
+        "bench", "LIN(1)", "LIN(2)", "LIN(3)", "LIN(4)", "paperLIN(4)",
+    ]);
+    let policies = [
+        PolicyKind::Lru,
+        PolicyKind::Lin { lambda: 1 },
+        PolicyKind::Lin { lambda: 2 },
+        PolicyKind::Lin { lambda: 3 },
+        PolicyKind::Lin { lambda: 4 },
+    ];
+    for bench in SpecBench::ALL {
+        let results = run_many(bench, &policies, &RunOptions::default());
+        let lru = &results[0];
+        let mut row = vec![bench.name().to_string()];
+        for lin in &results[1..] {
+            row.push(format!("{:+.1}", percent_improvement(lin.ipc(), lru.ipc())));
+        }
+        row.push(format!("{:+.1}", paper_row(bench).lin_ipc_pct));
+        t.row(row);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,34 @@
+//! Figure 9: IPC improvement over LRU for pure LIN vs SBAR.
+//!
+//! The paper's shape: SBAR maintains LIN's gains where LIN wins and
+//! eliminates the degradation on bzip2, parser and mgrid (leaving only the
+//! marginal loss of the always-LIN leader sets); on ammp and galgel SBAR
+//! beats both pure policies by tracking program phases.
+
+use mlpsim_analysis::table::Table;
+use mlpsim_analysis::util::percent_improvement;
+use mlpsim_cpu::policy::PolicyKind;
+use mlpsim_experiments::paper::paper_row;
+use mlpsim_experiments::runner::{run_many, RunOptions};
+use mlpsim_trace::spec::SpecBench;
+
+fn main() {
+    println!("Figure 9 — IPC improvement (%) over LRU: LIN vs SBAR\n");
+    let mut t = Table::with_headers(&[
+        "bench", "LIN", "(paper)", "SBAR", "(paper)",
+    ]);
+    for bench in SpecBench::ALL {
+        let policies = [PolicyKind::Lru, PolicyKind::lin4(), PolicyKind::sbar_default()];
+        let results = run_many(bench, &policies, &RunOptions::default());
+        let (lru, lin, sbar) = (&results[0], &results[1], &results[2]);
+        let p = paper_row(bench);
+        t.row(vec![
+            bench.name().into(),
+            format!("{:+.1}", percent_improvement(lin.ipc(), lru.ipc())),
+            format!("{:+.1}", p.lin_ipc_pct),
+            format!("{:+.1}", percent_improvement(sbar.ipc(), lru.ipc())),
+            format!("{:+.1}", p.sbar_ipc_pct),
+        ]);
+    }
+    println!("{}", t.render());
+}

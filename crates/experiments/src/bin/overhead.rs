@@ -1,0 +1,46 @@
+//! §6.4 / §1.2: the hardware storage budget.
+//!
+//! The paper prices SBAR at 1854 B — "less than 0.2% area of the baseline
+//! 1MB cache". This binary prints the itemized budget for LIN's cost
+//! tracking, SBAR's adaptation, and the CBS variants SBAR replaces.
+
+use mlpsim_analysis::table::Table;
+use mlpsim_core::overhead::{cbs_overhead, lin_overhead, sbar_overhead, OverheadParams};
+
+fn main() {
+    let p = OverheadParams::paper_baseline();
+    println!("Hardware overhead model (40-bit physical addresses, {} tag bits)\n", p.tag_bits());
+    let mut t = Table::with_headers(&["mechanism", "ATD bits", "PSEL bits", "cost_q bits", "MSHR bits", "total B", "% of 1MB"]);
+    let rows = [
+        ("LIN cost tracking", lin_overhead(&p)),
+        ("SBAR adaptation", sbar_overhead(&p)),
+        ("CBS-global", cbs_overhead(&p, false)),
+        ("CBS-local", cbs_overhead(&p, true)),
+    ];
+    for (name, o) in rows {
+        t.row(vec![
+            name.into(),
+            format!("{}", o.atd_bits),
+            format!("{}", o.psel_bits),
+            format!("{}", o.cost_q_bits),
+            format!("{}", o.mshr_bits),
+            format!("{}", o.total_bytes()),
+            format!("{:.3}", o.fraction_of(p.geometry) * 100.0),
+        ]);
+    }
+    println!("{}", t.render());
+    let sbar = sbar_overhead(&p);
+    println!(
+        "SBAR: {} B vs the paper's 1854 B (the difference is the paper's unstated tag\n\
+         width); {}x fewer ATD bits than CBS.",
+        sbar.total_bytes(),
+        cbs_overhead(&p, true).atd_bits / sbar.atd_bits
+    );
+    // Leader-count sweep.
+    println!("\nSBAR budget vs leader-set count:");
+    for k in [8u32, 16, 32, 64] {
+        let mut pk = p;
+        pk.leader_sets = k;
+        println!("  k = {:2} -> {:5} B", k, sbar_overhead(&pk).total_bytes());
+    }
+}

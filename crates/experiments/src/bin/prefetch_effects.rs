@@ -1,0 +1,51 @@
+//! Extension experiment: next-line prefetching and MLP-aware replacement.
+//!
+//! Prefetching and MLP-aware replacement attack the same stall cycles
+//! from opposite ends: prefetching removes (or parallelizes) stream
+//! misses, replacement protects the isolated ones. The sweep shows the
+//! interaction: streaming benchmarks (art, sixtrack) soak up prefetch
+//! coverage, which shrinks the stream's share of stall time and *changes*
+//! how much headroom is left for LIN; pointer-chasing mcf gets little
+//! prefetch coverage and keeps its LIN win.
+
+use mlpsim_analysis::table::Table;
+use mlpsim_analysis::util::percent_improvement;
+use mlpsim_cpu::config::SystemConfig;
+use mlpsim_cpu::policy::PolicyKind;
+use mlpsim_cpu::prefetch::PrefetchConfig;
+use mlpsim_cpu::system::System;
+use mlpsim_trace::spec::SpecBench;
+
+fn main() {
+    println!("Prefetch interaction — next-line degree vs coverage and LIN headroom\n");
+    let mut t = Table::with_headers(&[
+        "bench", "degree", "issued", "promoted", "L2miss", "ipc", "LINipc%",
+    ]);
+    for bench in [SpecBench::Art, SpecBench::Mcf, SpecBench::Sixtrack] {
+        let trace = bench.generate(150_000, 42);
+        for degree in [0usize, 1, 2, 4] {
+            let run = |policy| {
+                let mut cfg = SystemConfig::baseline(policy);
+                if degree > 0 {
+                    cfg.prefetch = Some(PrefetchConfig { degree });
+                }
+                System::new(cfg).run(trace.iter())
+            };
+            let lru = run(PolicyKind::Lru);
+            let lin = run(PolicyKind::lin4());
+            t.row(vec![
+                bench.name().into(),
+                format!("{degree}"),
+                format!("{}", lru.prefetches_issued),
+                format!("{}", lru.prefetches_promoted),
+                format!("{}", lru.l2.misses),
+                format!("{:.3}", lru.ipc()),
+                format!("{:+.1}", percent_improvement(lin.ipc(), lru.ipc())),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!("Sequential-burst workloads convert their stream misses into prefetch hits");
+    println!("(watch L2miss fall and ipc rise with degree); random pointer graphs do not.");
+    println!("LIN's improvement shifts with whatever stall structure prefetching leaves.");
+}

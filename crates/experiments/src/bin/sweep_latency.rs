@@ -1,0 +1,49 @@
+//! Extension experiment: sensitivity to memory latency.
+//!
+//! The paper's motivation opens with the growing processor–memory gap;
+//! this sweep scales the DRAM access latency around the baseline 400
+//! cycles (keeping the 44-cycle bus) and shows that MLP-aware
+//! replacement's leverage grows with the gap: the farther memory is, the
+//! more an isolated miss costs relative to a parallel one.
+
+use mlpsim_analysis::table::Table;
+use mlpsim_analysis::util::percent_improvement;
+use mlpsim_cpu::config::SystemConfig;
+use mlpsim_cpu::policy::PolicyKind;
+use mlpsim_cpu::system::System;
+use mlpsim_trace::spec::SpecBench;
+
+fn main() {
+    println!("Memory-latency sweep — LIN / SBAR IPC improvement (%) over same-latency LRU\n");
+    let benches = [SpecBench::Mcf, SpecBench::Vpr, SpecBench::Sixtrack];
+    let latencies = [100u64, 200, 400, 800];
+    let mut headers = vec!["bench".to_string()];
+    for l in latencies {
+        headers.push(format!("LIN@{l}"));
+        headers.push(format!("SBAR@{l}"));
+    }
+    let mut t = Table::new(headers);
+    for bench in benches {
+        let trace = bench.generate(250_000, 42);
+        let mut row = vec![bench.name().to_string()];
+        for latency in latencies {
+            let run = |policy| {
+                let mut cfg = SystemConfig::baseline(policy);
+                cfg.mem.dram_access_cycles = latency;
+                System::new(cfg).run(trace.iter())
+            };
+            let lru = run(PolicyKind::Lru);
+            let lin = run(PolicyKind::lin4());
+            let sbar = run(PolicyKind::sbar_default());
+            row.push(format!("{:+.1}", percent_improvement(lin.ipc(), lru.ipc())));
+            row.push(format!("{:+.1}", percent_improvement(sbar.ipc(), lru.ipc())));
+        }
+        t.row(row);
+    }
+    println!("{}", t.render());
+    println!("Latency is the DRAM access time in cycles (444-cycle baseline = 400 + 44 bus).");
+    println!("Caveat: the quantizer's 60-cycle buckets are calibrated for ~444-cycle");
+    println!("misses; at 100-cycle memory most misses collapse into the bottom buckets and");
+    println!("the cost differential (and LIN's leverage) fades — the other face of the");
+    println!("same effect that makes MLP-awareness increasingly valuable as memory recedes.");
+}

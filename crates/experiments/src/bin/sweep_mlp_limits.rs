@@ -1,0 +1,52 @@
+//! Extension experiment: the structures that *create* MLP — the
+//! instruction window and the MSHR file — swept around the baseline.
+//!
+//! §2 of the paper surveys window-scaling proposals precisely because "the
+//! effectiveness of an out-of-order engine's ability to increase MLP is
+//! limited by the instruction window size". This sweep shows both limits
+//! acting on the measured cost distribution and on LIN's leverage: a tiny
+//! window serializes everything (all misses become isolated, so there is
+//! no cost differential to exploit); a huge window parallelizes
+//! everything (same outcome from the other side).
+
+use mlpsim_analysis::table::Table;
+use mlpsim_analysis::util::percent_improvement;
+use mlpsim_cpu::config::SystemConfig;
+use mlpsim_cpu::policy::PolicyKind;
+use mlpsim_cpu::system::System;
+use mlpsim_trace::spec::SpecBench;
+
+fn main() {
+    println!("MLP-limit sweep — window size and MSHR entries vs cost profile and LIN gain\n");
+    let mut t = Table::with_headers(&[
+        "bench", "window", "mshr", "meanCost", "iso%", "peakMLP", "LINipc%",
+    ]);
+    for bench in [SpecBench::Mcf, SpecBench::Art] {
+        let trace = bench.generate(200_000, 42);
+        for (window, mshr) in [(32usize, 32usize), (128, 8), (128, 32), (512, 32)] {
+            let run = |policy| {
+                let mut cfg = SystemConfig::baseline(policy);
+                cfg.cpu.window = window;
+                cfg.mem.mshr_entries = mshr;
+                System::new(cfg).run(trace.iter())
+            };
+            let lru = run(PolicyKind::Lru);
+            let lin = run(PolicyKind::lin4());
+            t.row(vec![
+                bench.name().into(),
+                format!("{window}"),
+                format!("{mshr}"),
+                format!("{:.0}", lru.cost_hist.mean()),
+                format!("{:.1}", lru.cost_hist.percent(7)),
+                format!("{}", lru.peak_mlp),
+                format!("{:+.1}", percent_improvement(lin.ipc(), lru.ipc())),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!("At a 512-entry window even the \"isolated\" accesses (192-instruction gaps)");
+    println!("overlap: the mean cost collapses, the isolated fraction hits zero, and LIN's");
+    println!("leverage evaporates — cost differentials are what MLP-aware replacement eats.");
+    println!("Around the 128-entry baseline the differential (and LIN's gain) is widest;");
+    println!("the MSHR only binds once the window can expose more misses than it holds.");
+}

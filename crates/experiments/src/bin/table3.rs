@@ -1,0 +1,36 @@
+//! Table 3: benchmark summary — type, trace size, L2 misses under the
+//! baseline, and the compulsory-miss percentage.
+//!
+//! Absolute miss counts differ from the paper (we run synthetic slices,
+//! not 250 M-instruction SimPoint regions); the column to compare is the
+//! compulsory-miss *ordering*, which drives which benchmarks can profit
+//! from replacement improvements at all.
+
+use mlpsim_analysis::table::Table;
+use mlpsim_cpu::policy::PolicyKind;
+use mlpsim_experiments::paper::paper_row;
+use mlpsim_experiments::runner::run_bench;
+use mlpsim_trace::spec::SpecBench;
+
+fn main() {
+    println!("Table 3 — benchmark summary (baseline LRU)\n");
+    let mut t = Table::with_headers(&[
+        "bench", "type", "insts(M)", "L2miss(K)", "(paperK)", "comp%", "(paper)",
+    ]);
+    for bench in SpecBench::ALL {
+        let r = run_bench(bench, PolicyKind::Lru);
+        let p = paper_row(bench);
+        t.row(vec![
+            bench.name().into(),
+            if bench.is_fp() { "FP".into() } else { "INT".into() },
+            format!("{:.1}", r.instructions as f64 / 1e6),
+            format!("{:.0}", r.l2.misses as f64 / 1e3),
+            format!("{}", p.table3_misses_k),
+            format!("{:.1}", r.compulsory_pct()),
+            format!("{:.1}", p.compulsory_pct),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Paper's selection rule: only benchmarks with < 50% compulsory misses are");
+    println!("studied, because replacement cannot remove compulsory misses.");
+}

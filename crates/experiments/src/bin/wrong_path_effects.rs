@@ -1,0 +1,55 @@
+//! Extension experiment: wrong-path traffic and the paper's demand-miss
+//! accounting rule (§3.1).
+//!
+//! Wrong-path loads occupy MSHR entries, banks, and bus slots and pollute
+//! the caches, but the paper excludes them from demand-miss accounting
+//! once the branch resolves. This sweep shows (a) the performance cost of
+//! the pollution itself and (b) that the cost *histogram* stays anchored
+//! to correct-path behavior because demoted misses never report a cost.
+
+use mlpsim_analysis::table::Table;
+use mlpsim_analysis::util::percent_improvement;
+use mlpsim_cpu::config::SystemConfig;
+use mlpsim_cpu::policy::PolicyKind;
+use mlpsim_cpu::system::System;
+use mlpsim_cpu::wrongpath::WrongPathConfig;
+use mlpsim_trace::spec::SpecBench;
+
+fn main() {
+    println!("Wrong-path effects — misprediction rate vs pollution and cost accounting\n");
+    let mut t = Table::with_headers(&[
+        "bench", "mispred/kinst", "wp-misses", "ipc", "meanCost", "iso%", "LINipc%",
+    ]);
+    for bench in [SpecBench::Mcf, SpecBench::Vpr] {
+        let trace = bench.generate(150_000, 42);
+        for interval in [0u64, 4_000, 1_000, 250] {
+            let run = |policy| {
+                let mut cfg = SystemConfig::baseline(policy);
+                if interval > 0 {
+                    cfg.wrong_path = Some(WrongPathConfig {
+                        interval_insts: interval,
+                        burst: 4,
+                        resolve_cycles: 15,
+                    });
+                }
+                System::new(cfg).run(trace.iter())
+            };
+            let lru = run(PolicyKind::Lru);
+            let lin = run(PolicyKind::lin4());
+            t.row(vec![
+                bench.name().into(),
+                if interval == 0 { "perfect".into() } else { format!("{:.1}", 1000.0 / interval as f64) },
+                format!("{}", lru.wrong_path_misses),
+                format!("{:.3}", lru.ipc()),
+                format!("{:.0}", lru.cost_hist.mean()),
+                format!("{:.1}", lru.cost_hist.percent(7)),
+                format!("{:+.1}", percent_improvement(lin.ipc(), lru.ipc())),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!("Heavier wrong-path rates cost IPC through pollution and bandwidth, but the");
+    println!("demand-cost profile (meanCost, iso%) moves only slightly: demoted misses");
+    println!("are excluded exactly as the paper prescribes, so LIN's signal survives a");
+    println!("realistic branch predictor.");
+}

@@ -1,0 +1,85 @@
+//! Shared simulation driver for the experiment binaries.
+
+use mlpsim_core::ccl::AdderMode;
+use mlpsim_cpu::config::SystemConfig;
+use mlpsim_cpu::policy::PolicyKind;
+use mlpsim_cpu::stats::SimResult;
+use mlpsim_cpu::system::System;
+use mlpsim_trace::record::Trace;
+use mlpsim_trace::spec::SpecBench;
+
+/// Default number of memory accesses per benchmark run. The paper
+/// simulates 250 M instructions; these synthetic slices are sized so the
+/// working sets wrap several times and every policy reaches steady state,
+/// while keeping a full 14-benchmark sweep in seconds.
+pub const DEFAULT_ACCESSES: usize = 420_000;
+
+/// Default RNG seed for workload generation.
+pub const DEFAULT_SEED: u64 = 42;
+
+/// Options for a benchmark run.
+#[derive(Clone, Debug)]
+pub struct RunOptions {
+    /// Number of memory accesses to generate.
+    pub accesses: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Time-series sampling interval (retired instructions), if any.
+    pub sample_interval: Option<u64>,
+    /// CCL adder configuration (paper footnote 3).
+    pub adders: AdderMode,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            accesses: DEFAULT_ACCESSES,
+            seed: DEFAULT_SEED,
+            sample_interval: None,
+            adders: AdderMode::PerEntry,
+        }
+    }
+}
+
+/// Runs `bench` under `policy` on the baseline machine with default
+/// options.
+pub fn run_bench(bench: SpecBench, policy: PolicyKind) -> SimResult {
+    run_bench_with(bench, policy, &RunOptions::default())
+}
+
+/// Runs `bench` under `policy` with explicit options.
+pub fn run_bench_with(bench: SpecBench, policy: PolicyKind, opts: &RunOptions) -> SimResult {
+    let trace = bench.generate(opts.accesses, opts.seed);
+    run_trace(&trace, policy, opts)
+}
+
+/// Generates the benchmark's trace once and runs it under each policy in
+/// turn — the efficient shape for policy sweeps (the trace is
+/// deterministic, so regenerating it per policy is pure waste).
+pub fn run_many(bench: SpecBench, policies: &[PolicyKind], opts: &RunOptions) -> Vec<SimResult> {
+    let trace = bench.generate(opts.accesses, opts.seed);
+    policies.iter().map(|&p| run_trace(&trace, p, opts)).collect()
+}
+
+/// Runs a pre-generated trace under `policy` on the baseline machine.
+pub fn run_trace(trace: &Trace, policy: PolicyKind, opts: &RunOptions) -> SimResult {
+    let mut cfg = SystemConfig::baseline(policy);
+    cfg.sample_interval = opts.sample_interval;
+    cfg.adders = opts.adders;
+    System::new(cfg).run(trace.iter())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_produces_sane_results() {
+        let opts = RunOptions { accesses: 3_000, ..RunOptions::default() };
+        let r = run_bench_with(SpecBench::Mcf, PolicyKind::Lru, &opts);
+        assert!(r.instructions > 3_000);
+        assert!(r.cycles > 0);
+        assert!(r.l2.misses > 0);
+        assert!(r.ipc() > 0.0 && r.ipc() < 8.0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Memory-system configuration (paper Table 2).
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the off-chip memory system.
+///
+/// Defaults reproduce the paper's baseline: "32 DRAM banks; 400-cycle
+/// access latency; bank conflicts modeled; maximum 32 outstanding requests;
+/// 16B-wide split-transaction bus at 4:1 frequency ratio; queueing delays
+/// modeled", with an isolated miss taking 400 + 44 = 444 cycles.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct MemConfig {
+    /// Number of independent DRAM banks.
+    pub banks: u32,
+    /// DRAM access latency per request, in CPU cycles.
+    pub dram_access_cycles: u64,
+    /// Fixed (non-occupying) portion of the bus round trip: request
+    /// transfer, arbitration, and command latency.
+    pub bus_fixed_cycles: u64,
+    /// Bus occupancy of one cache-line data transfer: 64-byte line over a
+    /// 16-byte bus at a 4:1 CPU:bus frequency ratio → 4 beats × 4 cycles.
+    pub bus_transfer_cycles: u64,
+    /// Maximum outstanding requests (MSHR entries).
+    pub mshr_entries: usize,
+}
+
+impl MemConfig {
+    /// The paper's baseline memory system (Table 2).
+    pub fn baseline() -> Self {
+        MemConfig {
+            banks: 32,
+            dram_access_cycles: 400,
+            bus_fixed_cycles: 28,
+            bus_transfer_cycles: 16,
+            mshr_entries: 32,
+        }
+    }
+
+    /// Latency of a fully isolated, conflict-free miss: DRAM access plus
+    /// the full bus delay. For the baseline this is the paper's 444 cycles.
+    pub fn isolated_miss_cycles(&self) -> u64 {
+        self.dram_access_cycles + self.bus_fixed_cycles + self.bus_transfer_cycles
+    }
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig::baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_isolated_miss_is_444_cycles() {
+        assert_eq!(MemConfig::baseline().isolated_miss_cycles(), 444);
+    }
+
+    #[test]
+    fn baseline_matches_table2() {
+        let c = MemConfig::baseline();
+        assert_eq!(c.banks, 32);
+        assert_eq!(c.dram_access_cycles, 400);
+        assert_eq!(c.mshr_entries, 32);
+        // 64B line over 16B bus at 4:1 → 16 CPU cycles of occupancy.
+        assert_eq!(c.bus_transfer_cycles, 16);
+    }
+}

@@ -1,0 +1,110 @@
+//! `tracetool` — generate, summarize, and inspect mlpsim traces from the
+//! shell.
+//!
+//! ```text
+//! tracetool gen <bench> <accesses> <seed> [out.trace]   # write a trace
+//! tracetool summarize <file.trace>                      # static stats
+//! tracetool head <file.trace> [n]                       # first n records
+//! tracetool benches                                     # list benchmarks
+//! ```
+
+use mlpsim_trace::io::{read_trace, write_trace};
+use mlpsim_trace::record::AccessKind;
+use mlpsim_trace::spec::SpecBench;
+use mlpsim_trace::stats::TraceSummary;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  tracetool gen <bench> <accesses> <seed> [out.trace]\n  \
+         tracetool summarize <file.trace>\n  tracetool head <file.trace> [n]\n  \
+         tracetool benches"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("benches") => {
+            for b in SpecBench::ALL {
+                println!("{:10} {}", b.name(), if b.is_fp() { "FP" } else { "INT" });
+            }
+            ExitCode::SUCCESS
+        }
+        Some("gen") => {
+            let (Some(name), Some(n), Some(seed)) = (args.get(1), args.get(2), args.get(3)) else {
+                return usage();
+            };
+            let Some(bench) = SpecBench::from_name(name) else {
+                eprintln!("unknown benchmark {name:?}; try `tracetool benches`");
+                return ExitCode::FAILURE;
+            };
+            let (Ok(n), Ok(seed)) = (n.parse::<usize>(), seed.parse::<u64>()) else {
+                return usage();
+            };
+            let trace = bench.generate(n, seed);
+            let result = match args.get(4) {
+                Some(path) => {
+                    let file = match File::create(path) {
+                        Ok(f) => f,
+                        Err(e) => {
+                            eprintln!("cannot create {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    write_trace(BufWriter::new(file), &trace)
+                }
+                None => write_trace(BufWriter::new(io::stdout().lock()), &trace),
+            };
+            if let Err(e) = result {
+                eprintln!("write failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        Some("summarize") => {
+            let Some(path) = args.get(1) else { return usage() };
+            let trace = match File::open(path).map_err(Into::into).and_then(read_trace) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let s = TraceSummary::of(&trace);
+            println!("accesses        {}", s.accesses);
+            println!("  loads         {}", s.loads);
+            println!("  stores        {}", s.stores);
+            println!("instructions    {}", s.instructions);
+            println!("unique lines    {}", s.unique_lines);
+            println!("window breaks   {}", s.window_breaks);
+            println!("acc/kinst       {:.2}", s.accesses_per_kilo_inst());
+            println!("unique fraction {:.4}", s.unique_fraction());
+            ExitCode::SUCCESS
+        }
+        Some("head") => {
+            let Some(path) = args.get(1) else { return usage() };
+            let n: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(10);
+            let trace = match File::open(path).map_err(Into::into).and_then(read_trace) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut out = io::stdout().lock();
+            for a in trace.iter().take(n) {
+                let k = match a.kind {
+                    AccessKind::Load => 'L',
+                    AccessKind::Store => 'S',
+                };
+                let _ = writeln!(out, "gap {:6}  {k}  line {:#x}", a.gap, a.line);
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

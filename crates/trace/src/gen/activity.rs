@@ -1,0 +1,217 @@
+//! Activities: episodes of accesses with characteristic MLP.
+//!
+//! The out-of-order window model turns instruction gaps into memory-level
+//! parallelism: misses dispatched within one 128-instruction window span
+//! overlap, misses farther apart serialize. Each activity emits one
+//! episode whose gaps engineer a target parallelism:
+//!
+//! | Activity | misses per window span | resulting `mlp-cost` |
+//! |---|---|---|
+//! | `Burst { width: 8 }` | 8 | ≈ 444/8 + bus/bank contention (bin 1) |
+//! | `Pair` | 2 | ≈ 222 (bin 3) |
+//! | `Isolated` | 1 | ≈ 444 (bin 7) |
+//! | `Hot` | — | mostly hits; no cost contribution |
+
+use crate::gen::region::Region;
+use crate::record::{Access, AccessKind};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Gap large enough to guarantee isolation from the previous and next
+/// memory access (> the 128-entry instruction window).
+pub const ISOLATING_GAP: u32 = 192;
+
+/// Gap small enough that consecutive accesses share a window span.
+pub const TIGHT_GAP: u32 = 2;
+
+/// One weighted workload component.
+#[derive(Clone, Debug)]
+pub enum Activity {
+    /// `width` accesses to consecutive walk steps, all within one window
+    /// span: misses are serviced with parallelism ≈ `width`.
+    Burst {
+        /// The region walked.
+        region: Region,
+        /// Number of overlapping accesses per episode.
+        width: usize,
+        /// Gap preceding the episode. [`ISOLATING_GAP`] gives the burst a
+        /// clean window of its own; smaller values let consecutive bursts
+        /// overlap, raising the effective parallelism.
+        spacing: u32,
+    },
+    /// Two accesses within one window span (parallelism 2), isolated from
+    /// neighboring episodes.
+    Pair {
+        /// The region walked.
+        region: Region,
+    },
+    /// A single access isolated from its neighbors (parallelism 1): the
+    /// pointer-chasing pattern of the paper's introduction.
+    Isolated {
+        /// The region walked.
+        region: Region,
+    },
+    /// `width` *stores* to consecutive walk steps within one window span.
+    /// Store misses occupy MSHR entries (they are demand misses, paper
+    /// §3.1) and therefore dilute the measured `mlp-cost` of any load miss
+    /// they overlap — but they do not unblock the window, so the load's
+    /// real stall is undiminished. This is the cost-model blind spot that
+    /// store-heavy sweeps (mgrid-style) exploit.
+    StoreBurst {
+        /// The region walked.
+        region: Region,
+        /// Number of overlapping stores per episode.
+        width: usize,
+        /// Gap preceding the episode.
+        spacing: u32,
+    },
+    /// A run of accesses over a small, frequently re-visited region:
+    /// recency-friendly traffic that mostly hits.
+    Hot {
+        /// The region walked (should be small relative to the cache).
+        region: Region,
+        /// Accesses per episode.
+        run: usize,
+        /// Gap between the run's accesses.
+        gap: u32,
+        /// Fraction (0–100) of accesses that are stores.
+        store_pct: u8,
+    },
+}
+
+impl Activity {
+    /// Emits one episode into `out`; returns the number of accesses
+    /// appended.
+    pub fn emit(&mut self, out: &mut Vec<Access>, rng: &mut SmallRng) -> usize {
+        match self {
+            Activity::Burst { region, width, spacing } => {
+                let n = *width;
+                for i in 0..n {
+                    let line = region.next_line(rng);
+                    let gap = if i == 0 { *spacing } else { TIGHT_GAP };
+                    out.push(Access { line, kind: AccessKind::Load, gap });
+                }
+                n
+            }
+            Activity::StoreBurst { region, width, spacing } => {
+                let n = *width;
+                for i in 0..n {
+                    let line = region.next_line(rng);
+                    let gap = if i == 0 { *spacing } else { TIGHT_GAP };
+                    out.push(Access { line, kind: AccessKind::Store, gap });
+                }
+                n
+            }
+            Activity::Pair { region } => {
+                let a = region.next_line(rng);
+                let b = region.next_line(rng);
+                out.push(Access::load(a, ISOLATING_GAP));
+                out.push(Access::load(b, TIGHT_GAP + 2));
+                2
+            }
+            Activity::Isolated { region } => {
+                let line = region.next_line(rng);
+                out.push(Access::load(line, ISOLATING_GAP));
+                1
+            }
+            Activity::Hot { region, run, gap, store_pct } => {
+                let n = *run;
+                for _ in 0..n {
+                    let line = region.next_line(rng);
+                    let kind = if rng.random_range(0..100u8) < *store_pct {
+                        AccessKind::Store
+                    } else {
+                        AccessKind::Load
+                    };
+                    out.push(Access { line, kind, gap: *gap });
+                }
+                n
+            }
+        }
+    }
+
+    /// A short, human-readable label for diagnostics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Activity::Burst { .. } => "burst",
+            Activity::StoreBurst { .. } => "store-burst",
+            Activity::Pair { .. } => "pair",
+            Activity::Isolated { .. } => "isolated",
+            Activity::Hot { .. } => "hot",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::region::Order;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn burst_emits_width_accesses_tightly_packed() {
+        let mut a = Activity::Burst {
+            region: Region::new(0, 100, Order::Sequential),
+            width: 8,
+            spacing: ISOLATING_GAP,
+        };
+        let mut out = Vec::new();
+        assert_eq!(a.emit(&mut out, &mut rng()), 8);
+        assert_eq!(out.len(), 8);
+        assert!(out[0].gap >= ISOLATING_GAP, "burst opens with its spacing gap");
+        for acc in &out[1..] {
+            assert!(acc.gap <= 4, "intra-burst gaps keep accesses in one window");
+        }
+    }
+
+    #[test]
+    fn isolated_uses_isolating_gap() {
+        let mut a = Activity::Isolated { region: Region::new(0, 10, Order::Sequential) };
+        let mut out = Vec::new();
+        a.emit(&mut out, &mut rng());
+        assert_eq!(out.len(), 1);
+        assert!(out[0].gap >= 128, "gap must exceed the window size");
+    }
+
+    #[test]
+    fn pair_keeps_two_accesses_in_one_window() {
+        let mut a = Activity::Pair { region: Region::new(0, 10, Order::Sequential) };
+        let mut out = Vec::new();
+        a.emit(&mut out, &mut rng());
+        assert_eq!(out.len(), 2);
+        assert!(out[0].gap >= 128);
+        assert!(out[1].gap < 128);
+    }
+
+    #[test]
+    fn store_burst_emits_tight_stores() {
+        let mut a = Activity::StoreBurst {
+            region: Region::new(0, 100, Order::Fresh),
+            width: 8,
+            spacing: 30,
+        };
+        let mut out = Vec::new();
+        assert_eq!(a.emit(&mut out, &mut rng()), 8);
+        assert!(out.iter().all(|x| x.kind == AccessKind::Store));
+        assert_eq!(out[0].gap, 30);
+        assert!(out[1..].iter().all(|x| x.gap <= 4));
+    }
+
+    #[test]
+    fn hot_run_mixes_stores() {
+        let mut a = Activity::Hot {
+            region: Region::new(0, 16, Order::Sequential),
+            run: 200,
+            gap: 1,
+            store_pct: 50,
+        };
+        let mut out = Vec::new();
+        a.emit(&mut out, &mut rng());
+        let stores = out.iter().filter(|x| x.kind == AccessKind::Store).count();
+        assert!(stores > 50 && stores < 150, "≈50% stores, got {stores}");
+    }
+}

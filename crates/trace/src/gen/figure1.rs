@@ -1,0 +1,103 @@
+//! The motivating loop of the paper's Figure 1.
+//!
+//! ```text
+//!   A  P1 P2 P3 P4  B  P4 P3 P2 P1  C  S1  D  S2  E  S3  A ...
+//! ```
+//!
+//! Accesses to the P blocks occur together inside one instruction-window
+//! span (so P misses are serviced in parallel); S1, S2 and S3 are each
+//! separated by "an interval of at least K instructions" (K = window
+//! size), so S misses are isolated. On a fully-associative cache with
+//! space for four blocks the paper shows:
+//!
+//! * Belady's OPT: 4 misses and 4 long-latency stalls per iteration,
+//! * LRU: 6 misses and 4 stalls per iteration,
+//! * the MLP-aware policy: 6 misses but only 2 stalls per iteration.
+
+use crate::record::{Access, Trace};
+
+/// Line addresses used for the P blocks (P1–P4).
+pub const P_BLOCKS: [u64; 4] = [1, 2, 3, 4];
+
+/// Line addresses used for the S blocks (S1–S3).
+pub const S_BLOCKS: [u64; 3] = [101, 102, 103];
+
+/// Gap implementing "an interval of at least K instructions" for a
+/// 128-entry window.
+pub const INTERVAL_GAP: u32 = 192;
+
+/// Gap between P-block accesses inside one window span.
+pub const P_GAP: u32 = 2;
+
+/// Generates `iterations` of the Figure-1 loop.
+///
+/// # Example
+///
+/// ```
+/// use mlpsim_trace::gen::figure1::{figure1_trace, P_BLOCKS, S_BLOCKS};
+/// let t = figure1_trace(2);
+/// assert_eq!(t.len(), 2 * 11); // 11 memory references per iteration
+/// ```
+pub fn figure1_trace(iterations: usize) -> Trace {
+    let mut t = Trace::new();
+    for _ in 0..iterations {
+        // A → B: P1 P2 P3 P4 in one window span.
+        for (i, &p) in P_BLOCKS.iter().enumerate() {
+            let gap = if i == 0 { INTERVAL_GAP } else { P_GAP };
+            t.push(Access::load(p, gap));
+        }
+        // B → C: P4 P3 P2 P1 in one window span.
+        for (i, &p) in P_BLOCKS.iter().rev().enumerate() {
+            let gap = if i == 0 { INTERVAL_GAP } else { P_GAP };
+            t.push(Access::load(p, gap));
+        }
+        // C → D → E → A: S1, S2, S3, each in its own interval.
+        for &s in S_BLOCKS.iter() {
+            t.push(Access::load(s, INTERVAL_GAP));
+        }
+    }
+    t
+}
+
+/// The raw per-iteration access pattern as line addresses (for analyses
+/// that only need the reference stream, e.g. Belady's oracle).
+pub fn figure1_lines(iterations: usize) -> Vec<u64> {
+    figure1_trace(iterations).iter().map(|a| a.line).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eleven_references_per_iteration() {
+        let t = figure1_trace(3);
+        assert_eq!(t.len(), 33);
+    }
+
+    #[test]
+    fn p_blocks_share_windows_s_blocks_do_not() {
+        let t = figure1_trace(1);
+        let a = t.accesses();
+        // Indices 1..4 (P2..P4) and 5..8 (P3..P1) are tight.
+        for &i in &[1usize, 2, 3, 5, 6, 7] {
+            assert!(a[i].gap < 128, "P run must stay inside the window");
+        }
+        // S blocks (indices 8, 9, 10) each open a fresh interval.
+        for &i in &[8usize, 9, 10] {
+            assert!(a[i].gap >= 128, "S accesses are isolated");
+        }
+    }
+
+    #[test]
+    fn seven_distinct_blocks() {
+        let t = figure1_trace(5);
+        assert_eq!(t.unique_lines(), 7);
+    }
+
+    #[test]
+    fn lines_follow_paper_order() {
+        let lines = figure1_lines(1);
+        assert_eq!(lines, vec![1, 2, 3, 4, 4, 3, 2, 1, 101, 102, 103]);
+    }
+}

@@ -1,0 +1,26 @@
+//! Workload generation: regions, activities, and phase schedules.
+//!
+//! Generators are built from three layers:
+//!
+//! 1. a [`region::Region`] names a contiguous range of cache lines
+//!    and an iteration order over them;
+//! 2. an [`activity::Activity`] emits one *episode* of accesses
+//!    with a characteristic memory-level parallelism — a parallel burst, a
+//!    pair, an isolated access, or a cache-friendly hot run;
+//! 3. a [`schedule::Schedule`] interleaves weighted activities,
+//!    optionally switching activity mixes across program phases (the
+//!    ammp/mgrid behavior of the paper's Fig. 11).
+//!
+//! [`spec`] instantiates one schedule per SPEC CPU2000 benchmark of the
+//! paper's Table 3, and [`figure1`] reproduces the motivating loop of the
+//! paper's Figure 1.
+
+pub mod activity;
+pub mod figure1;
+pub mod region;
+pub mod schedule;
+pub mod spec;
+
+pub use activity::Activity;
+pub use region::{Order, Region};
+pub use schedule::{Phase, Schedule};

@@ -1,0 +1,158 @@
+//! Weighted, phased interleaving of activities into a trace.
+
+use crate::gen::activity::Activity;
+use crate::record::{Access, Trace};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One program phase: a weighted mix of activities and how long (in
+/// accesses) the phase lasts before the schedule moves on.
+#[derive(Clone, Debug)]
+pub struct Phase {
+    activities: Vec<(Activity, u32)>,
+    total_weight: u32,
+    accesses: usize,
+}
+
+impl Phase {
+    /// Creates a phase from `(activity, weight)` pairs lasting `accesses`
+    /// memory accesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no activity is given, any weight is zero, or `accesses`
+    /// is zero.
+    pub fn new(activities: Vec<(Activity, u32)>, accesses: usize) -> Self {
+        assert!(!activities.is_empty(), "a phase needs at least one activity");
+        assert!(accesses > 0, "a phase must emit at least one access");
+        let total_weight = activities.iter().map(|(_, w)| *w).sum();
+        assert!(
+            activities.iter().all(|(_, w)| *w > 0),
+            "activity weights must be positive"
+        );
+        Phase { activities, total_weight, accesses }
+    }
+
+    /// Number of accesses this phase emits per visit.
+    pub fn accesses(&self) -> usize {
+        self.accesses
+    }
+
+    fn pick(&mut self, rng: &mut SmallRng) -> &mut Activity {
+        let mut roll = rng.random_range(0..self.total_weight);
+        for (activity, w) in &mut self.activities {
+            if roll < *w {
+                return activity;
+            }
+            roll -= *w;
+        }
+        unreachable!("weights cover the roll range")
+    }
+}
+
+/// A cyclic sequence of phases that generates a trace.
+///
+/// Single-phase workloads (most benchmarks) use one phase; phase-varying
+/// workloads (ammp, mgrid, galgel) alternate between LIN-friendly and
+/// LRU-friendly mixes, which is what SBAR exploits in the paper's
+/// Fig. 11.
+#[derive(Clone, Debug)]
+pub struct Schedule {
+    phases: Vec<Phase>,
+}
+
+impl Schedule {
+    /// Creates a schedule cycling through `phases`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty.
+    pub fn new(phases: Vec<Phase>) -> Self {
+        assert!(!phases.is_empty(), "a schedule needs at least one phase");
+        Schedule { phases }
+    }
+
+    /// Convenience constructor for a single-phase schedule.
+    pub fn single(activities: Vec<(Activity, u32)>) -> Self {
+        Schedule::new(vec![Phase::new(activities, usize::MAX / 2)])
+    }
+
+    /// Generates a trace of (at least) `accesses` memory accesses with the
+    /// given seed. Episodes are never split, so the result may exceed
+    /// `accesses` by one episode length.
+    pub fn generate(&mut self, accesses: usize, seed: u64) -> Trace {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut out: Vec<Access> = Vec::with_capacity(accesses + 64);
+        let mut phase_idx = 0usize;
+        let mut emitted_in_phase = 0usize;
+        while out.len() < accesses {
+            let phase = &mut self.phases[phase_idx];
+            let n = phase.pick(&mut rng).emit(&mut out, &mut rng);
+            emitted_in_phase += n;
+            if emitted_in_phase >= phase.accesses {
+                phase_idx = (phase_idx + 1) % self.phases.len();
+                emitted_in_phase = 0;
+            }
+        }
+        Trace::from_accesses(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::region::{Order, Region};
+
+    fn hot(base: u64, lines: u64) -> Activity {
+        Activity::Hot { region: Region::new(base, lines, Order::Sequential), run: 4, gap: 1, store_pct: 0 }
+    }
+
+    fn isolated(base: u64, lines: u64) -> Activity {
+        Activity::Isolated { region: Region::new(base, lines, Order::Sequential) }
+    }
+
+    #[test]
+    fn generates_requested_length() {
+        let mut s = Schedule::single(vec![(hot(0, 8), 1)]);
+        let t = s.generate(1000, 1);
+        assert!(t.len() >= 1000 && t.len() < 1010);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let t1 = Schedule::single(vec![(hot(0, 8), 1), (isolated(100, 50), 1)]).generate(500, 42);
+        let t2 = Schedule::single(vec![(hot(0, 8), 1), (isolated(100, 50), 1)]).generate(500, 42);
+        let t3 = Schedule::single(vec![(hot(0, 8), 1), (isolated(100, 50), 1)]).generate(500, 43);
+        assert_eq!(t1, t2);
+        assert_ne!(t1, t3);
+    }
+
+    #[test]
+    fn weights_bias_the_mix() {
+        let mut s = Schedule::single(vec![(hot(0, 8), 9), (isolated(1000, 500), 1)]);
+        let t = s.generate(4000, 5);
+        let isolated_count = t.iter().filter(|a| a.line >= 1000).count();
+        // Isolated is 1 access/episode vs hot's 4: expect roughly
+        // 1/(1 + 9*4) ≈ 2.7% of accesses from the isolated region.
+        let frac = isolated_count as f64 / t.len() as f64;
+        assert!(frac > 0.005 && frac < 0.08, "got {frac}");
+    }
+
+    #[test]
+    fn phases_alternate() {
+        let p1 = Phase::new(vec![(hot(0, 8), 1)], 100);
+        let p2 = Phase::new(vec![(hot(10_000, 8), 1)], 100);
+        let mut s = Schedule::new(vec![p1, p2]);
+        let t = s.generate(400, 9);
+        let first_hundred_high = t.accesses()[..100].iter().any(|a| a.line >= 10_000);
+        let second_hundred_high = t.accesses()[100..200].iter().all(|a| a.line >= 10_000);
+        assert!(!first_hundred_high, "phase 1 stays in its region");
+        assert!(second_hundred_high, "phase 2 switches regions");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one activity")]
+    fn empty_phase_panics() {
+        let _ = Phase::new(vec![], 10);
+    }
+}

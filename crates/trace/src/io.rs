@@ -1,0 +1,161 @@
+//! Plain-text trace serialization.
+//!
+//! The format is one access per line — `gap kind line` with `kind` being
+//! `L` or `S` — plus `#`-prefixed comment lines. It is deliberately
+//! trivial so traces can be produced or consumed by shell tools:
+//!
+//! ```text
+//! # mlpsim trace v1
+//! 192 L 4096
+//! 2 L 4097
+//! 0 S 128
+//! ```
+
+use crate::record::{Access, AccessKind, Trace};
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Error produced while parsing a trace.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based line number.
+    Parse {
+        /// 1-based line number of the offending line.
+        line_no: usize,
+        /// Description of what was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace i/o failed: {e}"),
+            TraceIoError::Parse { line_no, reason } => {
+                write!(f, "trace parse error at line {line_no}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            TraceIoError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+/// Writes a trace in the text format. A `&mut` writer may be passed.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_trace<W: Write>(mut w: W, trace: &Trace) -> Result<(), TraceIoError> {
+    writeln!(w, "# mlpsim trace v1")?;
+    for a in trace.iter() {
+        let k = match a.kind {
+            AccessKind::Load => 'L',
+            AccessKind::Store => 'S',
+        };
+        writeln!(w, "{} {} {}", a.gap, k, a.line)?;
+    }
+    Ok(())
+}
+
+/// Reads a trace in the text format. A `&mut` reader may be passed.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Parse`] on malformed lines and
+/// [`TraceIoError::Io`] on read failures.
+pub fn read_trace<R: Read>(r: R) -> Result<Trace, TraceIoError> {
+    let reader = BufReader::new(r);
+    let mut trace = Trace::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line_no = i + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_ascii_whitespace();
+        let parse = |field: Option<&str>, what: &str| -> Result<String, TraceIoError> {
+            field.map(str::to_string).ok_or_else(|| TraceIoError::Parse {
+                line_no,
+                reason: format!("missing {what}"),
+            })
+        };
+        let gap: u32 = parse(parts.next(), "gap")?.parse().map_err(|e| TraceIoError::Parse {
+            line_no,
+            reason: format!("bad gap: {e}"),
+        })?;
+        let kind = match parse(parts.next(), "kind")?.as_str() {
+            "L" => AccessKind::Load,
+            "S" => AccessKind::Store,
+            other => {
+                return Err(TraceIoError::Parse {
+                    line_no,
+                    reason: format!("kind must be L or S, got {other:?}"),
+                })
+            }
+        };
+        let addr: u64 = parse(parts.next(), "line address")?.parse().map_err(|e| {
+            TraceIoError::Parse { line_no, reason: format!("bad line address: {e}") }
+        })?;
+        trace.push(Access { line: addr, kind, gap });
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let t = Trace::from_accesses(vec![
+            Access::load(4096, 192),
+            Access::load(4097, 2),
+            Access::store(128, 0),
+        ]);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let text = "# header\n\n10 L 5\n   \n0 S 6\n";
+        let t = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn bad_kind_is_reported_with_line_number() {
+        let text = "# c\n1 L 2\n3 X 4\n";
+        match read_trace(text.as_bytes()) {
+            Err(TraceIoError::Parse { line_no, reason }) => {
+                assert_eq!(line_no, 3);
+                assert!(reason.contains('X'));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_fields_error() {
+        assert!(read_trace("5 L\n".as_bytes()).is_err());
+        assert!(read_trace("L 5\n".as_bytes()).is_err());
+    }
+}

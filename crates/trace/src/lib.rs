@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! Memory-reference traces and synthetic workload generators.
+//!
+//! The paper evaluates on SimPoint slices of SPEC CPU2000 running on a
+//! proprietary Alpha simulator. Neither the traces nor the simulator are
+//! available, so this crate supplies the substitute: a compact trace
+//! format ([`record`]) and a family of *synthetic* workload generators
+//! ([`gen`]) whose memory behavior is parameterized to match each
+//! benchmark's qualitative signature — its MLP distribution (paper
+//! Fig. 2), its `mlp-cost` predictability (Table 1), its working-set
+//! pressure (Table 3), and its phase behavior (Fig. 11).
+//!
+//! Traces are sequences of [`record::Access`] records: a cache-line
+//! address, a load/store kind, and the number of non-memory instructions
+//! preceding the access. Instruction *gaps* are what create or destroy
+//! memory-level parallelism in the out-of-order window model: two misses
+//! less than a window (128 instructions) apart overlap; two misses more
+//! than a window apart serialize. This is exactly the vocabulary of the
+//! paper's Figure-1 example ("Points A, B, C, D, and E each represent an
+//! interval of at least K instructions").
+
+pub mod gen;
+pub mod io;
+pub mod record;
+pub mod stats;
+
+pub use gen::figure1;
+pub use gen::spec;
+pub use record::{Access, AccessKind, Trace};

@@ -1,0 +1,92 @@
+//! Trace-level summary statistics (pre-simulation).
+
+use crate::record::{AccessKind, Trace};
+use serde::{Deserialize, Serialize};
+
+/// Summary of a trace's static properties.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Memory accesses in the trace.
+    pub accesses: u64,
+    /// Loads.
+    pub loads: u64,
+    /// Stores.
+    pub stores: u64,
+    /// Total instructions (accesses + gaps).
+    pub instructions: u64,
+    /// Distinct cache lines touched.
+    pub unique_lines: u64,
+    /// Accesses whose preceding gap is at least a window (128): episodes
+    /// that start a fresh window span.
+    pub window_breaks: u64,
+}
+
+impl TraceSummary {
+    /// Computes the summary of a trace.
+    pub fn of(trace: &Trace) -> Self {
+        let mut s = TraceSummary {
+            accesses: trace.len() as u64,
+            instructions: trace.instructions(),
+            unique_lines: trace.unique_lines(),
+            ..TraceSummary::default()
+        };
+        for a in trace.iter() {
+            match a.kind {
+                AccessKind::Load => s.loads += 1,
+                AccessKind::Store => s.stores += 1,
+            }
+            if a.gap >= 128 {
+                s.window_breaks += 1;
+            }
+        }
+        s
+    }
+
+    /// Memory accesses per 1000 instructions.
+    pub fn accesses_per_kilo_inst(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.accesses as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// Upper bound on the compulsory miss *fraction* if every unique line
+    /// missed exactly once: `unique_lines / accesses`.
+    pub fn unique_fraction(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.unique_lines as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Access;
+
+    #[test]
+    fn summary_counts_everything() {
+        let t = Trace::from_accesses(vec![
+            Access::load(1, 200),
+            Access::load(2, 2),
+            Access::store(1, 130),
+        ]);
+        let s = TraceSummary::of(&t);
+        assert_eq!(s.accesses, 3);
+        assert_eq!(s.loads, 2);
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.unique_lines, 2);
+        assert_eq!(s.window_breaks, 2);
+        assert_eq!(s.instructions, 201 + 3 + 131);
+    }
+
+    #[test]
+    fn rates_handle_empty() {
+        let s = TraceSummary::of(&Trace::new());
+        assert_eq!(s.accesses_per_kilo_inst(), 0.0);
+        assert_eq!(s.unique_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,58 @@
+//! Property-based tests for workload generation.
+
+use mlpsim_trace::gen::activity::{Activity, ISOLATING_GAP};
+use mlpsim_trace::gen::region::{Order, Region};
+use mlpsim_trace::gen::schedule::Schedule;
+use mlpsim_trace::spec::SpecBench;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Region walks never leave their address range (except Fresh, which
+    /// never repeats).
+    #[test]
+    fn region_walk_bounds(base in 0u64..1_000_000, lines in 1u64..10_000, steps in 1usize..2000, seed in 0u64..100) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for order in [Order::Sequential, Order::Strided { stride: 7 }, Order::Random] {
+            let mut r = Region::new(base, lines, order);
+            for _ in 0..steps {
+                let line = r.next_line(&mut rng);
+                prop_assert!((base..base + lines).contains(&line));
+            }
+        }
+        let mut fresh = Region::new(base, lines, Order::Fresh);
+        let walked = fresh.take_lines(steps, &mut rng);
+        let mut dedup = walked.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), steps, "fresh walks never repeat");
+    }
+
+    /// A schedule always emits at least the requested access count, never
+    /// overshoots by more than one episode, and is seed-deterministic.
+    #[test]
+    fn schedule_length_contract(accesses in 1usize..5000, seed in 0u64..50) {
+        let mk = || Schedule::single(vec![
+            (Activity::Burst { region: Region::new(0, 100, Order::Sequential), width: 8, spacing: ISOLATING_GAP }, 2),
+            (Activity::Isolated { region: Region::new(1000, 50, Order::Random) }, 1),
+            (Activity::Hot { region: Region::new(2000, 16, Order::Sequential), run: 10, gap: 1, store_pct: 30 }, 1),
+        ]);
+        let t = mk().generate(accesses, seed);
+        prop_assert!(t.len() >= accesses);
+        prop_assert!(t.len() < accesses + 16, "no episode exceeds 16 accesses here");
+        prop_assert_eq!(mk().generate(accesses, seed), t);
+    }
+
+    /// Every benchmark generator keeps the isolated/parallel vocabulary
+    /// honest: bursts internally tight, episodes separated.
+    #[test]
+    fn episode_gap_structure(seed in 0u64..20) {
+        let t = SpecBench::Sixtrack.generate(2_000, seed);
+        // In sixtrack, every access is either an episode opener (gap >=
+        // window) or tightly packed inside a burst/run.
+        for a in t.iter() {
+            prop_assert!(a.gap >= 128 || a.gap <= 16, "gap {}", a.gap);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! The paper's Figure-1 argument, narrated: on the P/S-block loop, the
+//! miss-count-optimal policy (Belady's OPT) stalls the processor twice as
+//! often as a simple MLP-aware policy, even though it misses less.
+//!
+//! Run with: `cargo run --release --example figure1_loop`
+
+use mlpsim::cache::addr::{Geometry, LineAddr};
+use mlpsim::cache::belady::BeladyEngine;
+use mlpsim::cpu::{PolicyKind, System, SystemConfig};
+use mlpsim::trace::figure1::{figure1_lines, figure1_trace, P_BLOCKS, S_BLOCKS};
+
+fn main() {
+    println!("The loop touches P-blocks {P_BLOCKS:?} in tight bursts (parallel misses)");
+    println!("and S-blocks {S_BLOCKS:?} in separate window intervals (isolated misses).\n");
+
+    let iterations = 100;
+    let trace = figure1_trace(iterations);
+    let cache = Geometry::from_sets(1, 4, 64); // "space for four cache blocks"
+
+    let cfg = |policy| {
+        let mut c = SystemConfig::baseline(policy);
+        c.l1 = None;
+        c.l2 = cache;
+        c
+    };
+
+    let opt_oracle = BeladyEngine::from_accesses(
+        figure1_lines(iterations).into_iter().map(LineAddr),
+    );
+    let runs = [
+        ("Belady's OPT", System::with_l2_engine(cfg(PolicyKind::Lru), Box::new(opt_oracle))),
+        ("LRU", System::new(cfg(PolicyKind::Lru))),
+        ("MLP-aware LIN", System::new(cfg(PolicyKind::lin4()))),
+    ];
+    println!("{:14} {:>10} {:>14} {:>10}", "policy", "misses", "stall events", "cycles");
+    for (name, system) in runs {
+        let r = system.run(trace.iter());
+        println!(
+            "{:14} {:10} {:14} {:10}",
+            name, r.l2.misses, r.stall_episodes, r.cycles
+        );
+    }
+    println!(
+        "\nOPT minimizes misses (4/iter) but eats 4 long-latency stalls per iteration;\n\
+         LIN accepts 6 misses but groups them into 2 parallel stalls — and wins on time."
+    );
+}

@@ -1,0 +1,63 @@
+//! Building a custom workload with the generator DSL: a database-style
+//! scenario where an index walk (pointer chasing, isolated misses)
+//! competes with a table scan (streaming, parallel misses) for the L2.
+//!
+//! Run with: `cargo run --release --example pointer_chase`
+
+use mlpsim::cpu::{PolicyKind, System, SystemConfig};
+use mlpsim::trace::gen::activity::Activity;
+use mlpsim::trace::gen::region::{Order, Region};
+use mlpsim::trace::gen::schedule::Schedule;
+
+fn main() {
+    // The "index": 6k cache lines chased one isolated load at a time.
+    // Each miss stalls the pipeline for a full memory round trip.
+    let index_walk = Activity::Isolated {
+        region: Region::new(0, 6_000, Order::Random),
+    };
+    // The "table": a huge scan that touches eight new lines per burst;
+    // its misses overlap and cost ~1/8th each.
+    let table_scan = Activity::Burst {
+        region: Region::new(1 << 24, 400_000, Order::Sequential),
+        width: 8,
+        spacing: 192,
+    };
+    // The query loop's working registers: a small hot structure.
+    let locals = Activity::Hot {
+        region: Region::new(2 << 24, 256, Order::Sequential),
+        run: 12,
+        gap: 2,
+        store_pct: 25,
+    };
+
+    let mut schedule = Schedule::single(vec![
+        (index_walk, 6),
+        (table_scan, 3),
+        (locals, 1),
+    ]);
+    let trace = schedule.generate(150_000, 99);
+
+    println!("A table scan wants to flush the cache; the index wants to live there.\n");
+    println!("{:10} {:>8} {:>10} {:>12} {:>16}", "policy", "IPC", "L2 misses", "mean cost", "isolated misses");
+    let mut base_ipc = None;
+    for policy in [PolicyKind::Lru, PolicyKind::lin4(), PolicyKind::sbar_default()] {
+        let r = System::new(SystemConfig::baseline(policy)).run(trace.iter());
+        println!(
+            "{:10} {:8.3} {:10} {:12.1} {:15.1}%",
+            r.policy,
+            r.ipc(),
+            r.l2.misses,
+            r.mean_cost(),
+            r.cost_hist.percent(7)
+        );
+        let b = *base_ipc.get_or_insert(r.ipc());
+        if r.ipc() != b {
+            println!("{:21}({:+.1}% vs LRU)", "", (r.ipc() / b - 1.0) * 100.0);
+        }
+    }
+    println!(
+        "\nLRU lets the scan evict the index (every index load becomes a 444-cycle\n\
+         stall). LIN sees the index blocks' high mlp-cost and pins them: the scan\n\
+         still misses, but eight-at-a-time — exactly the trade the paper argues for."
+    );
+}

@@ -1,0 +1,68 @@
+//! Explore any benchmark under any policy from the command line.
+//!
+//! Usage:
+//! `cargo run --release --example policy_explorer -- [bench] [policy] [accesses]`
+//! where `bench` is a SPEC short name (default `mcf`) and `policy` is one
+//! of `lru`, `fifo`, `random`, `lin1`..`lin4`, `bcl`, `sbar`, `cbs-local`,
+//! `cbs-global` (default `lin4`).
+
+use mlpsim::cpu::{PolicyKind, System, SystemConfig};
+use mlpsim::trace::spec::SpecBench;
+
+fn parse_policy(s: &str) -> Option<PolicyKind> {
+    Some(match s {
+        "lru" => PolicyKind::Lru,
+        "fifo" => PolicyKind::Fifo,
+        "random" => PolicyKind::Random { seed: 1 },
+        "lin1" => PolicyKind::Lin { lambda: 1 },
+        "lin2" => PolicyKind::Lin { lambda: 2 },
+        "lin3" => PolicyKind::Lin { lambda: 3 },
+        "lin4" | "lin" => PolicyKind::lin4(),
+        "bcl" => PolicyKind::Bcl(mlpsim::core::bcl::BclConfig::default_config()),
+        "sbar" => PolicyKind::sbar_default(),
+        "cbs-local" => PolicyKind::CbsLocal,
+        "cbs-global" => PolicyKind::CbsGlobal,
+        _ => return None,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let bench = args
+        .get(1)
+        .map(|s| SpecBench::from_name(s).expect("unknown benchmark"))
+        .unwrap_or(SpecBench::Mcf);
+    let policy = args
+        .get(2)
+        .map(|s| parse_policy(s).expect("unknown policy"))
+        .unwrap_or(PolicyKind::lin4());
+    let accesses: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(200_000);
+
+    let trace = bench.generate(accesses, 42);
+    let r = System::new(SystemConfig::baseline(policy)).run(trace.iter());
+
+    println!("benchmark {bench} under {}:", r.policy);
+    println!("  instructions       {:>12}", r.instructions);
+    println!("  cycles             {:>12}", r.cycles);
+    println!("  IPC                {:>12.3}", r.ipc());
+    println!("  L1 hits/misses     {:>12} / {}", r.l1.hits, r.l1.misses);
+    println!("  L2 hits/misses     {:>12} / {}", r.l2.hits, r.l2.misses);
+    println!("  L2 MPKI            {:>12.2}", r.l2_mpki());
+    println!("  compulsory misses  {:>11.1}%", r.compulsory_pct());
+    println!("  writebacks         {:>12}", r.l2.writebacks);
+    println!("  peak MLP           {:>12}", r.peak_mlp);
+    println!("  mem stall cycles   {:>12}", r.mem_stall_cycles);
+    println!("  long stalls        {:>12}", r.stall_episodes);
+    println!("  bank conflicts     {:>12}", r.mem.dram.bank_conflicts);
+    println!("  bus contention     {:>12} cycles", r.mem.bus.contention_cycles);
+    println!("  mlp-cost histogram {}", r.cost_hist.render_row());
+    println!(
+        "  cost delta         {:.0}% <60cy, avg {:.0} cycles over {} samples",
+        r.deltas.pct_lt60(),
+        r.deltas.average(),
+        r.deltas.count()
+    );
+    if let Some(dbg) = &r.policy_debug {
+        println!("  policy internals   {dbg}");
+    }
+}

@@ -1,0 +1,77 @@
+//! Integration tests for trace generation determinism and serialization.
+
+use mlpsim::trace::io::{read_trace, write_trace};
+use mlpsim::trace::record::{Access, AccessKind, Trace};
+use mlpsim::trace::spec::SpecBench;
+use mlpsim::trace::stats::TraceSummary;
+use proptest::prelude::*;
+
+#[test]
+fn generated_traces_round_trip_through_the_text_format() {
+    for bench in [SpecBench::Art, SpecBench::Mgrid, SpecBench::Parser] {
+        let t = bench.generate(3_000, 11);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(t, back, "{bench}");
+    }
+}
+
+#[test]
+fn summaries_are_stable_across_regeneration() {
+    for bench in SpecBench::ALL {
+        let a = TraceSummary::of(&bench.generate(2_000, 5));
+        let b = TraceSummary::of(&bench.generate(2_000, 5));
+        assert_eq!(a, b, "{bench}");
+    }
+}
+
+#[test]
+fn distinct_seeds_give_distinct_streams_for_randomized_benchmarks() {
+    // mcf uses random region walks; different seeds must differ.
+    let a = SpecBench::Mcf.generate(2_000, 1);
+    let b = SpecBench::Mcf.generate(2_000, 2);
+    assert_ne!(a, b);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arbitrary_traces_round_trip(accesses in prop::collection::vec(
+        (0u64..u64::MAX / 2, prop::bool::ANY, 0u32..100_000),
+        0..200,
+    )) {
+        let t: Trace = accesses
+            .into_iter()
+            .map(|(line, store, gap)| Access {
+                line,
+                kind: if store { AccessKind::Store } else { AccessKind::Load },
+                gap,
+            })
+            .collect();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        prop_assert_eq!(read_trace(buf.as_slice()).unwrap(), t);
+    }
+
+    #[test]
+    fn summary_identities(accesses in prop::collection::vec(
+        (0u64..1024, prop::bool::ANY, 0u32..500),
+        0..300,
+    )) {
+        let t: Trace = accesses
+            .into_iter()
+            .map(|(line, store, gap)| Access {
+                line,
+                kind: if store { AccessKind::Store } else { AccessKind::Load },
+                gap,
+            })
+            .collect();
+        let s = TraceSummary::of(&t);
+        prop_assert_eq!(s.loads + s.stores, s.accesses);
+        prop_assert!(s.unique_lines <= s.accesses);
+        prop_assert!(s.instructions >= s.accesses);
+        prop_assert!(s.window_breaks <= s.accesses);
+    }
+}
