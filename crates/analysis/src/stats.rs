@@ -54,9 +54,42 @@ impl Summary {
     }
 }
 
+/// The `p`-th percentile (0–100) of a sample by linear interpolation
+/// between closest ranks (the same convention as numpy's default).
+/// Returns 0 for an empty slice; `p` is clamped to [0, 100].
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let p = p.clamp(0.0, 100.0);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn percentile_interpolates_between_ranks() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+        assert_eq!(percentile(&xs, 50.0), 2.5);
+        assert_eq!(percentile(&xs, 25.0), 1.75);
+        // Unsorted input is handled; empty input is 0.
+        assert_eq!(percentile(&[9.0, 1.0, 5.0], 50.0), 5.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
 
     #[test]
     fn known_sample() {

@@ -22,7 +22,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new(headers: Vec<String>) -> Self {
-        Table { headers, rows: Vec::new() }
+        Table {
+            headers,
+            rows: Vec::new(),
+        }
     }
 
     /// Convenience constructor from string slices.
@@ -36,8 +39,31 @@ impl Table {
     ///
     /// Panics if the row width differs from the header width.
     pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
-        assert_eq!(cells.len(), self.headers.len(), "row width must match headers");
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
         self.rows.push(cells);
+        self
+    }
+
+    /// Replaces the most recent row (no-op on an empty table) — for
+    /// incremental builders that refine a provisional row once final
+    /// numbers arrive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn replace_last(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        if let Some(last) = self.rows.last_mut() {
+            *last = cells;
+        }
         self
     }
 

@@ -18,7 +18,11 @@ fn cache_access_throughput(c: &mut Criterion) {
     // A mixed stream with ~50% hits.
     let lines: Vec<LineAddr> = (0..40_000u64).map(|i| LineAddr((i * 7) % 30_000)).collect();
     g.throughput(Throughput::Elements(lines.len() as u64));
-    for policy in [PolicyKind::Lru, PolicyKind::lin4(), PolicyKind::sbar_default()] {
+    for policy in [
+        PolicyKind::Lru,
+        PolicyKind::lin4(),
+        PolicyKind::sbar_default(),
+    ] {
         g.bench_function(policy.label(), |b| {
             b.iter(|| {
                 let mut cache = CacheModel::new(geom, policy.build(geom));

@@ -23,7 +23,12 @@ use mlpsim_trace::spec::SpecBench;
 use std::hint::black_box;
 
 /// The benchmark subset used by sweep-style experiments at bench scale.
-const SWEEP: [SpecBench; 4] = [SpecBench::Mcf, SpecBench::Vpr, SpecBench::Parser, SpecBench::Art];
+const SWEEP: [SpecBench; 4] = [
+    SpecBench::Mcf,
+    SpecBench::Vpr,
+    SpecBench::Parser,
+    SpecBench::Art,
+];
 
 fn fig1(c: &mut Criterion) {
     c.bench_function("fig1_opt_vs_lru_vs_lin", |b| {
@@ -162,10 +167,15 @@ fn fig10(c: &mut Criterion) {
     g.sample_size(10);
     let trace = bench_trace(SpecBench::Mcf);
     for k in [8u32, 16, 32] {
-        for (label, selection) in
-            [("ss", SelectionPolicy::SimpleStatic), ("rd", SelectionPolicy::RandDynamic)]
-        {
-            let cfg = SbarConfig { leader_sets: k, selection, ..SbarConfig::paper_default() };
+        for (label, selection) in [
+            ("ss", SelectionPolicy::SimpleStatic),
+            ("rd", SelectionPolicy::RandDynamic),
+        ] {
+            let cfg = SbarConfig {
+                leader_sets: k,
+                selection,
+                ..SbarConfig::paper_default()
+            };
             g.bench_function(format!("{label}-{k}"), |b| {
                 b.iter(|| black_box(simulate(&trace, PolicyKind::Sbar(cfg)).ipc()))
             });
@@ -190,7 +200,11 @@ fn cbs_compare(c: &mut Criterion) {
     let mut g = c.benchmark_group("cbs_compare");
     g.sample_size(10);
     let trace = bench_trace(SpecBench::Vpr);
-    for policy in [PolicyKind::sbar_default(), PolicyKind::CbsGlobal, PolicyKind::CbsLocal] {
+    for policy in [
+        PolicyKind::sbar_default(),
+        PolicyKind::CbsGlobal,
+        PolicyKind::CbsLocal,
+    ] {
         g.bench_function(policy.label(), |b| {
             b.iter(|| black_box(simulate(&trace, policy).ipc()))
         });
@@ -218,9 +232,10 @@ fn ablate_adders(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablate_adders");
     g.sample_size(10);
     let trace = bench_trace(SpecBench::Mcf);
-    for (label, adders) in
-        [("per-entry", AdderMode::PerEntry), ("4-shared", AdderMode::paper_shared())]
-    {
+    for (label, adders) in [
+        ("per-entry", AdderMode::PerEntry),
+        ("4-shared", AdderMode::paper_shared()),
+    ] {
         g.bench_function(label, |b| {
             b.iter(|| {
                 let mut cfg = SystemConfig::baseline(PolicyKind::lin4());

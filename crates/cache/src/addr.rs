@@ -23,7 +23,9 @@ use std::fmt;
 /// assert_eq!(a, b); // same 64-byte line
 /// assert_eq!(a.byte_addr(64), 0x1040);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default, Serialize, Deserialize,
+)]
 pub struct LineAddr(pub u64);
 
 impl LineAddr {
@@ -132,8 +134,15 @@ impl Geometry {
     ///
     /// Panics if any parameter is zero.
     pub fn from_sets(sets: u32, ways: u16, line_bytes: u32) -> Self {
-        assert!(sets > 0 && ways > 0 && line_bytes > 0, "geometry parameters must be non-zero");
-        Geometry { sets, ways, line_bytes }
+        assert!(
+            sets > 0 && ways > 0 && line_bytes > 0,
+            "geometry parameters must be non-zero"
+        );
+        Geometry {
+            sets,
+            ways,
+            line_bytes,
+        }
     }
 
     /// The paper's baseline L2: 1 MB, 16-way, 64-byte lines (Table 2).
@@ -253,7 +262,10 @@ mod tests {
     #[test]
     fn geometry_rejects_bad_parameters() {
         assert_eq!(Geometry::new(0, 4, 64), Err(GeometryError::ZeroParameter));
-        assert_eq!(Geometry::new(1024, 0, 64), Err(GeometryError::ZeroParameter));
+        assert_eq!(
+            Geometry::new(1024, 0, 64),
+            Err(GeometryError::ZeroParameter)
+        );
         assert_eq!(Geometry::new(1024, 4, 0), Err(GeometryError::ZeroParameter));
         assert_eq!(Geometry::new(100, 4, 64), Err(GeometryError::NotDivisible));
     }

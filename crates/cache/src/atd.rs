@@ -46,7 +46,12 @@ pub struct Atd {
 impl Atd {
     /// Creates an ATD with the given geometry and policy.
     pub fn new(geometry: Geometry, engine: Box<dyn ReplacementEngine>) -> Self {
-        Atd { tags: TagStore::new(geometry), engine, hits: 0, misses: 0 }
+        Atd {
+            tags: TagStore::new(geometry),
+            engine,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// The shadow directory's policy name.
@@ -91,7 +96,11 @@ impl Atd {
                 let way = match self.tags.view(set_index).first_invalid() {
                     Some(way) => way,
                     None => {
-                        let ctx = VictimCtx { set: self.tags.view(set_index), incoming: line, seq };
+                        let ctx = VictimCtx {
+                            set: self.tags.view(set_index),
+                            incoming: line,
+                            seq,
+                        };
                         self.engine.victim(&ctx)
                     }
                 };

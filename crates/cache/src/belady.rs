@@ -123,7 +123,10 @@ mod tests {
             trace.push(LineAddr(rep)); // noise
         }
         let g = Geometry::from_sets(4, 4, 64);
-        let mut opt = CacheModel::new(g, Box::new(BeladyEngine::from_accesses(trace.iter().copied())));
+        let mut opt = CacheModel::new(
+            g,
+            Box::new(BeladyEngine::from_accesses(trace.iter().copied())),
+        );
         let mut lru = CacheModel::new(g, Box::new(LruEngine::new()));
         let opt_misses = run(&trace, &mut opt);
         let lru_misses = run(&trace, &mut lru);
@@ -131,7 +134,10 @@ mod tests {
             opt_misses <= lru_misses,
             "OPT ({opt_misses}) must not exceed LRU ({lru_misses})"
         );
-        assert!(opt_misses < lru_misses, "this trace is built to separate them");
+        assert!(
+            opt_misses < lru_misses,
+            "this trace is built to separate them"
+        );
     }
 
     #[test]
@@ -139,9 +145,18 @@ mod tests {
         // 3 lines in a 2-way set: 0 1 2 0 1  — OPT evicts 1 when 2 arrives
         // only if 1 is used later than 0... here next uses after seq=2 are
         // 0@3, 1@4, so OPT evicts 1 (farther).
-        let trace = [LineAddr(0), LineAddr(4), LineAddr(8), LineAddr(0), LineAddr(4)];
+        let trace = [
+            LineAddr(0),
+            LineAddr(4),
+            LineAddr(8),
+            LineAddr(0),
+            LineAddr(4),
+        ];
         let g = Geometry::from_sets(4, 2, 64);
-        let mut c = CacheModel::new(g, Box::new(BeladyEngine::from_accesses(trace.iter().copied())));
+        let mut c = CacheModel::new(
+            g,
+            Box::new(BeladyEngine::from_accesses(trace.iter().copied())),
+        );
         for (i, &line) in trace.iter().enumerate() {
             let res = c.access(line, false, i as u64);
             if i == 2 {
@@ -155,9 +170,18 @@ mod tests {
 
     #[test]
     fn never_reused_block_is_first_victim() {
-        let trace = [LineAddr(0), LineAddr(4), LineAddr(8), LineAddr(0), LineAddr(8)];
+        let trace = [
+            LineAddr(0),
+            LineAddr(4),
+            LineAddr(8),
+            LineAddr(0),
+            LineAddr(8),
+        ];
         let g = Geometry::from_sets(4, 2, 64);
-        let mut c = CacheModel::new(g, Box::new(BeladyEngine::from_accesses(trace.iter().copied())));
+        let mut c = CacheModel::new(
+            g,
+            Box::new(BeladyEngine::from_accesses(trace.iter().copied())),
+        );
         for (i, &line) in trace.iter().enumerate() {
             let res = c.access(line, false, i as u64);
             if i == 2 {

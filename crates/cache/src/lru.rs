@@ -93,7 +93,10 @@ mod tests {
             for i in 0..5u64 {
                 let res = c.access(LineAddr(i), false, seq);
                 seq += 1;
-                assert!(!res.hit, "cyclic working set of assoc+1 never hits under LRU");
+                assert!(
+                    !res.hit,
+                    "cyclic working set of assoc+1 never hits under LRU"
+                );
             }
         }
     }

@@ -5,6 +5,7 @@ use crate::meta::CostQ;
 use crate::policy::{ReplacementEngine, VictimCtx};
 use crate::tagstore::{Evicted, TagStore};
 
+use mlpsim_telemetry::{Event, SinkHandle};
 use serde::{Deserialize, Serialize};
 
 /// Outcome of one cache access.
@@ -71,6 +72,10 @@ pub struct CacheModel {
     /// the *count*, so we track it with a HashSet.
     seen: std::collections::HashSet<LineAddr>,
     first_touch_misses: u64,
+    /// Telemetry sink (disabled unless attached) and the cache-level tag
+    /// stamped on emitted events (1 = L1, 2 = L2).
+    sink: SinkHandle,
+    level: u8,
 }
 
 impl CacheModel {
@@ -82,7 +87,18 @@ impl CacheModel {
             stats: CacheStats::default(),
             seen: std::collections::HashSet::new(),
             first_touch_misses: 0,
+            sink: SinkHandle::disabled(),
+            level: 0,
         }
+    }
+
+    /// Streams `cache_hit`/`cache_miss`/`cache_victim` events into `sink`,
+    /// stamped with `level`, and hands the engine a clone for its own
+    /// `psel_*`/`leader_divergence` events.
+    pub fn set_sink(&mut self, sink: SinkHandle, level: u8) {
+        self.engine.attach_sink(sink.clone());
+        self.sink = sink;
+        self.level = level;
     }
 
     /// The cache geometry.
@@ -133,7 +149,17 @@ impl CacheModel {
                     self.tags.mark_dirty(line);
                 }
                 self.stats.hits += 1;
-                AccessResult { hit: true, way, evicted: None }
+                self.sink.emit_with(|| Event::CacheHit {
+                    level: self.level,
+                    set: u64::from(self.tags.geometry().set_index(line)),
+                    line: line.0,
+                    seq,
+                });
+                AccessResult {
+                    hit: true,
+                    way,
+                    evicted: None,
+                }
             }
             None => {
                 self.engine.on_access(line, seq, false, None);
@@ -142,6 +168,17 @@ impl CacheModel {
                     self.first_touch_misses += 1;
                 }
                 let set_index = self.tags.geometry().set_index(line);
+                self.sink.emit_with(|| Event::CacheMiss {
+                    level: self.level,
+                    set: u64::from(set_index),
+                    line: line.0,
+                    seq,
+                });
+                // Rank of the victim way within the set's recency stack,
+                // computed only when a sink is listening: recency_ranks()
+                // walks the whole set, which would tax the uninstrumented
+                // miss path.
+                let mut victim_rank: Option<u8> = None;
                 let way = match self.tags.view(set_index).first_invalid() {
                     Some(way) => {
                         self.stats.cold_fills += 1;
@@ -149,12 +186,19 @@ impl CacheModel {
                     }
                     None => {
                         self.stats.evictions += 1;
-                        let ctx = VictimCtx { set: self.tags.view(set_index), incoming: line, seq };
+                        let ctx = VictimCtx {
+                            set: self.tags.view(set_index),
+                            incoming: line,
+                            seq,
+                        };
                         let way = self.engine.victim(&ctx);
                         assert!(
                             way < usize::from(self.tags.geometry().ways()),
                             "engine returned out-of-range way"
                         );
+                        if self.sink.enabled() {
+                            victim_rank = Some(self.tags.view(set_index).recency_ranks()[way]);
+                        }
                         way
                     }
                 };
@@ -163,8 +207,24 @@ impl CacheModel {
                     if ev.dirty {
                         self.stats.writebacks += 1;
                     }
+                    if let Some(rank) = victim_rank {
+                        self.sink.emit(Event::CacheVictim {
+                            level: self.level,
+                            set: u64::from(set_index),
+                            way: way as u64,
+                            rank: u64::from(rank),
+                            cost_q: ev.cost_q,
+                            line: ev.line.0,
+                            dirty: ev.dirty,
+                            seq,
+                        });
+                    }
                 }
-                AccessResult { hit: false, way, evicted }
+                AccessResult {
+                    hit: false,
+                    way,
+                    evicted,
+                }
             }
         }
     }
@@ -182,7 +242,11 @@ impl CacheModel {
         let way = match self.tags.view(set_index).first_invalid() {
             Some(way) => way,
             None => {
-                let ctx = VictimCtx { set: self.tags.view(set_index), incoming: line, seq };
+                let ctx = VictimCtx {
+                    set: self.tags.view(set_index),
+                    incoming: line,
+                    seq,
+                };
                 self.engine.victim(&ctx)
             }
         };
@@ -295,7 +359,10 @@ mod tests {
         c.access(LineAddr(0), false, 0);
         c.reset_stats();
         assert_eq!(c.stats().accesses(), 0);
-        assert!(c.access(LineAddr(0), false, 1).hit, "contents survive reset");
+        assert!(
+            c.access(LineAddr(0), false, 1).hit,
+            "contents survive reset"
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use crate::addr::LineAddr;
 use crate::meta::CostQ;
 use crate::set::SetView;
+use mlpsim_telemetry::SinkHandle;
 
 /// Context handed to an engine when a victim must be chosen.
 #[derive(Clone, Copy, Debug)]
@@ -67,6 +68,14 @@ pub trait ReplacementEngine {
 
     /// Human-readable policy name (used in experiment tables).
     fn name(&self) -> &'static str;
+
+    /// Hands the engine a telemetry sink. Engines with internal adaptive
+    /// state (PSEL counters, leader sets) emit `psel_update`/`psel_flip`/
+    /// `leader_divergence` events through it; stateless policies ignore
+    /// it, which is the default.
+    fn attach_sink(&mut self, sink: SinkHandle) {
+        let _ = sink;
+    }
 }
 
 impl ReplacementEngine for Box<dyn ReplacementEngine> {
@@ -93,6 +102,10 @@ impl ReplacementEngine for Box<dyn ReplacementEngine> {
     fn name(&self) -> &'static str {
         (**self).name()
     }
+
+    fn attach_sink(&mut self, sink: SinkHandle) {
+        (**self).attach_sink(sink);
+    }
 }
 
 #[cfg(test)]
@@ -115,9 +128,22 @@ mod tests {
     fn boxed_engine_delegates() {
         let mut engine: Box<dyn ReplacementEngine> = Box::new(AlwaysZero);
         let g = Geometry::from_sets(2, 2, 64);
-        let ways = [WayMeta { valid: true, ..WayMeta::invalid() }, WayMeta { valid: true, ..WayMeta::invalid() }];
+        let ways = [
+            WayMeta {
+                valid: true,
+                ..WayMeta::invalid()
+            },
+            WayMeta {
+                valid: true,
+                ..WayMeta::invalid()
+            },
+        ];
         let view = SetView::new(&ways, 0, g);
-        let ctx = VictimCtx { set: view, incoming: LineAddr(9), seq: 1 };
+        let ctx = VictimCtx {
+            set: view,
+            incoming: LineAddr(9),
+            seq: 1,
+        };
         assert_eq!(engine.victim(&ctx), 0);
         assert_eq!(engine.name(), "zero");
         engine.on_access(LineAddr(9), 1, false, None);

@@ -17,14 +17,19 @@ pub struct RandomEngine {
 impl RandomEngine {
     /// Creates a random engine from an explicit seed.
     pub fn new(seed: u64) -> Self {
-        RandomEngine { rng: SmallRng::seed_from_u64(seed) }
+        RandomEngine {
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 }
 
 impl ReplacementEngine for RandomEngine {
     fn victim(&mut self, ctx: &VictimCtx<'_>) -> usize {
         let assoc = ctx.set.assoc();
-        debug_assert!(ctx.set.valid_count() == assoc, "victim() requires a full set");
+        debug_assert!(
+            ctx.set.valid_count() == assoc,
+            "victim() requires a full set"
+        );
         self.rng.random_range(0..assoc)
     }
 
@@ -53,7 +58,11 @@ mod tests {
             evictions
         };
         assert_eq!(run(7), run(7));
-        assert_ne!(run(7), run(8), "different seeds should diverge on 60 evictions");
+        assert_ne!(
+            run(7),
+            run(8),
+            "different seeds should diverge on 60 evictions"
+        );
     }
 
     #[test]
@@ -73,6 +82,9 @@ mod tests {
             seen[way] = true;
             resident[way] = LineAddr(i);
         }
-        assert!(seen.iter().all(|&s| s), "200 random evictions should touch every way");
+        assert!(
+            seen.iter().all(|&s| s),
+            "200 random evictions should touch every way"
+        );
     }
 }

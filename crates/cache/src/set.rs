@@ -29,7 +29,11 @@ impl<'a> SetView<'a> {
             usize::from(geometry.ways()),
             "set view must cover exactly one set"
         );
-        SetView { ways, set_index, geometry }
+        SetView {
+            ways,
+            set_index,
+            geometry,
+        }
     }
 
     /// The ways of this set.
@@ -60,7 +64,8 @@ impl<'a> SetView<'a> {
     #[inline]
     pub fn line_of(&self, way: usize) -> Option<LineAddr> {
         let w = &self.ways[way];
-        w.valid.then(|| self.geometry.line_from_parts(w.tag, self.set_index))
+        w.valid
+            .then(|| self.geometry.line_from_parts(w.tag, self.set_index))
     }
 
     /// Iterator over `(way_index, &WayMeta)` for valid ways only.
@@ -104,13 +109,17 @@ impl<'a> SetView<'a> {
     /// The valid way with the smallest recency stamp (the LRU way), or
     /// `None` if the set is empty.
     pub fn lru_way(&self) -> Option<usize> {
-        self.valid_ways().min_by_key(|(_, w)| w.lru_stamp).map(|(i, _)| i)
+        self.valid_ways()
+            .min_by_key(|(_, w)| w.lru_stamp)
+            .map(|(i, _)| i)
     }
 
     /// The valid way with the smallest fill stamp (the FIFO victim), or
     /// `None` if the set is empty.
     pub fn oldest_fill_way(&self) -> Option<usize> {
-        self.valid_ways().min_by_key(|(_, w)| w.fill_stamp).map(|(i, _)| i)
+        self.valid_ways()
+            .min_by_key(|(_, w)| w.fill_stamp)
+            .map(|(i, _)| i)
     }
 }
 
@@ -120,7 +129,14 @@ mod tests {
     use crate::addr::Geometry;
 
     fn meta(valid: bool, tag: u64, lru: u64, fill: u64) -> WayMeta {
-        WayMeta { valid, tag, lru_stamp: lru, fill_stamp: fill, cost_q: 0, dirty: false }
+        WayMeta {
+            valid,
+            tag,
+            lru_stamp: lru,
+            fill_stamp: fill,
+            cost_q: 0,
+            dirty: false,
+        }
     }
 
     #[test]

@@ -38,7 +38,11 @@ impl TagStore {
     /// Creates an empty (all-invalid) tag store for the given geometry.
     pub fn new(geometry: Geometry) -> Self {
         let n = geometry.lines() as usize;
-        TagStore { geometry, ways: vec![WayMeta::invalid(); n], next_stamp: 1 }
+        TagStore {
+            geometry,
+            ways: vec![WayMeta::invalid(); n],
+            next_stamp: 1,
+        }
     }
 
     /// The cache geometry.
@@ -76,7 +80,9 @@ impl TagStore {
     pub fn probe(&self, line: LineAddr) -> Option<usize> {
         let set = self.geometry.set_index(line);
         let tag = self.geometry.tag(line);
-        self.set_ways(set).iter().position(|w| w.valid && w.tag == tag)
+        self.set_ways(set)
+            .iter()
+            .position(|w| w.valid && w.tag == tag)
     }
 
     /// Whether the line is resident.
@@ -95,7 +101,13 @@ impl TagStore {
 
     /// Fills `line` into `way` of its set, returning the evicted block (if
     /// the way held a valid one). The filled block becomes MRU.
-    pub fn fill(&mut self, line: LineAddr, way: usize, dirty: bool, cost_q: CostQ) -> Option<Evicted> {
+    pub fn fill(
+        &mut self,
+        line: LineAddr,
+        way: usize,
+        dirty: bool,
+        cost_q: CostQ,
+    ) -> Option<Evicted> {
         let stamp = self.take_stamp();
         let set = self.geometry.set_index(line);
         let tag = self.geometry.tag(line);
@@ -106,7 +118,14 @@ impl TagStore {
             dirty: w.dirty,
             cost_q: w.cost_q,
         });
-        *w = WayMeta { valid: true, tag, lru_stamp: stamp, fill_stamp: stamp, cost_q, dirty };
+        *w = WayMeta {
+            valid: true,
+            tag,
+            lru_stamp: stamp,
+            fill_stamp: stamp,
+            cost_q,
+            dirty,
+        };
         evicted
     }
 
@@ -167,10 +186,14 @@ impl TagStore {
     pub fn resident_lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
         let g = self.geometry;
         let ways = usize::from(g.ways());
-        self.ways.iter().enumerate().filter(|(_, w)| w.valid).map(move |(i, w)| {
-            let set = (i / ways) as u32;
-            g.line_from_parts(w.tag, set)
-        })
+        self.ways
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.valid)
+            .map(move |(i, w)| {
+                let set = (i / ways) as u32;
+                g.line_from_parts(w.tag, set)
+            })
     }
 
     #[inline]

@@ -37,7 +37,10 @@ impl BclConfig {
     /// A reasonable default: look 4 positions deep, spare a block at most
     /// 4 times.
     pub fn default_config() -> Self {
-        BclConfig { depth: 4, credit: 4 }
+        BclConfig {
+            depth: 4,
+            credit: 4,
+        }
     }
 }
 
@@ -66,7 +69,10 @@ pub struct BclEngine {
 impl BclEngine {
     /// Creates a BCL engine.
     pub fn new(config: BclConfig) -> Self {
-        BclEngine { config, credits: HashMap::new() }
+        BclEngine {
+            config,
+            credits: HashMap::new(),
+        }
     }
 
     /// The engine's configuration.
@@ -102,10 +108,7 @@ impl ReplacementEngine for BclEngine {
         match candidate {
             Some(cheap_way) => {
                 // Spare the LRU block, charging its credit.
-                let credit = self
-                    .credits
-                    .entry(lru_line)
-                    .or_insert(self.config.credit);
+                let credit = self.credits.entry(lru_line).or_insert(self.config.credit);
                 if *credit == 0 {
                     // Credit exhausted: the costly block goes anyway.
                     self.credits.remove(&lru_line);
@@ -144,7 +147,10 @@ mod tests {
     use mlpsim_cache::model::CacheModel;
 
     fn cache(config: BclConfig) -> CacheModel {
-        CacheModel::new(Geometry::from_sets(1, 4, 64), Box::new(BclEngine::new(config)))
+        CacheModel::new(
+            Geometry::from_sets(1, 4, 64),
+            Box::new(BclEngine::new(config)),
+        )
     }
 
     /// Fill the 4-way set with lines 0..4; line 0 (the LRU) carries the
@@ -161,7 +167,11 @@ mod tests {
         let mut c = cache(BclConfig::default_config());
         prime(&mut c, 0);
         let r = c.access(LineAddr(10), false, 10);
-        assert_eq!(r.evicted.unwrap().line, LineAddr(0), "plain LRU when costs tie");
+        assert_eq!(
+            r.evicted.unwrap().line,
+            LineAddr(0),
+            "plain LRU when costs tie"
+        );
     }
 
     #[test]
@@ -176,7 +186,10 @@ mod tests {
 
     #[test]
     fn credit_exhaustion_evicts_the_squatter() {
-        let mut c = cache(BclConfig { depth: 4, credit: 2 });
+        let mut c = cache(BclConfig {
+            depth: 4,
+            credit: 2,
+        });
         prime(&mut c, 7);
         // Each new fill spares line 0 once; after `credit` spares it goes.
         let mut evicted = Vec::new();
@@ -194,7 +207,10 @@ mod tests {
 
     #[test]
     fn hit_restores_credit() {
-        let mut c = cache(BclConfig { depth: 4, credit: 1 });
+        let mut c = cache(BclConfig {
+            depth: 4,
+            credit: 1,
+        });
         prime(&mut c, 7);
         // Burn the credit once.
         c.access(LineAddr(20), false, 10);
@@ -205,7 +221,11 @@ mod tests {
             c.access(LineAddr(*l), false, 12 + i as u64);
         }
         let r = c.access(LineAddr(30), false, 20);
-        assert_ne!(r.evicted.unwrap().line, LineAddr(0), "refreshed credit spares it again");
+        assert_ne!(
+            r.evicted.unwrap().line,
+            LineAddr(0),
+            "refreshed credit spares it again"
+        );
     }
 
     #[test]
@@ -214,7 +234,13 @@ mod tests {
         // the dead block squats forever; under BCL it is gone after
         // `credit` spares.
         let g = Geometry::from_sets(1, 2, 64);
-        let mut c = CacheModel::new(g, Box::new(BclEngine::new(BclConfig { depth: 2, credit: 3 })));
+        let mut c = CacheModel::new(
+            g,
+            Box::new(BclEngine::new(BclConfig {
+                depth: 2,
+                credit: 3,
+            })),
+        );
         c.access(LineAddr(0), false, 0);
         c.record_serviced_cost(LineAddr(0), 7); // dead, never re-accessed
         let mut dead_survived = 0;
@@ -224,6 +250,9 @@ mod tests {
                 dead_survived += 1;
             }
         }
-        assert!(dead_survived <= 4, "dead block evicted after its credit ({dead_survived})");
+        assert!(
+            dead_survived <= 4,
+            "dead block evicted after its credit ({dead_survived})"
+        );
     }
 }

@@ -11,12 +11,13 @@
 //! approximates it with 64× fewer ATD entries.
 
 use crate::lin::LinEngine;
-use crate::psel::Psel;
+use crate::psel::{Psel, PselWatch};
 use mlpsim_cache::addr::{Geometry, LineAddr};
 use mlpsim_cache::atd::Atd;
 use mlpsim_cache::lru::LruEngine;
 use mlpsim_cache::meta::CostQ;
 use mlpsim_cache::policy::{ReplacementEngine, VictimCtx};
+use mlpsim_telemetry::{Event, SinkHandle};
 use std::collections::HashMap;
 
 /// Scope of the PSEL contest.
@@ -44,12 +45,20 @@ pub struct CbsConfig {
 impl CbsConfig {
     /// Paper configuration for CBS-local: λ = 4, 6-bit PSELs.
     pub fn local() -> Self {
-        CbsConfig { mode: CbsMode::Local, lambda: 4, psel_bits: 6 }
+        CbsConfig {
+            mode: CbsMode::Local,
+            lambda: 4,
+            psel_bits: 6,
+        }
     }
 
     /// Paper configuration for CBS-global: λ = 4, 7-bit PSEL (footnote 7).
     pub fn global() -> Self {
-        CbsConfig { mode: CbsMode::Global, lambda: 4, psel_bits: 7 }
+        CbsConfig {
+            mode: CbsMode::Global,
+            lambda: 4,
+            psel_bits: 7,
+        }
     }
 }
 
@@ -73,6 +82,12 @@ pub struct CbsEngine {
     /// One counter in `Global` mode, `sets` counters in `Local` mode.
     psels: Vec<Psel>,
     pending: HashMap<LineAddr, Pending>,
+    sink: SinkHandle,
+    /// One MSB watch per PSEL, for `psel_flip` telemetry.
+    watches: Vec<PselWatch>,
+    /// Sequence number of the most recent access, stamped on PSEL events
+    /// settled later in `on_serviced`.
+    last_seq: u64,
 }
 
 impl CbsEngine {
@@ -82,6 +97,8 @@ impl CbsEngine {
             CbsMode::Local => geometry.sets() as usize,
             CbsMode::Global => 1,
         };
+        let psels = vec![Psel::new(config.psel_bits); psel_count];
+        let watches = psels.iter().map(PselWatch::new).collect();
         CbsEngine {
             geometry,
             mode: config.mode,
@@ -89,8 +106,61 @@ impl CbsEngine {
             lru: LruEngine::new(),
             atd_lin: Atd::new(geometry, Box::new(LinEngine::new(config.lambda))),
             atd_lru: Atd::new(geometry, Box::new(LruEngine::new())),
-            psels: vec![Psel::new(config.psel_bits); psel_count],
+            psels,
             pending: HashMap::new(),
+            sink: SinkHandle::disabled(),
+            watches,
+            last_seq: 0,
+        }
+    }
+
+    /// Moves PSEL `idx` by `cost` in the direction of `delta_sign`, with
+    /// telemetry (`psel_update`, and `psel_flip` on MSB change, plus the
+    /// `leader_divergence` that caused it).
+    fn duel_update(&mut self, idx: usize, inc: bool, cost: CostQ, line: LineAddr, seq: u64) {
+        let p = &mut self.psels[idx];
+        if inc {
+            p.inc_by(u32::from(cost));
+        } else {
+            p.dec_by(u32::from(cost));
+        }
+        if !self.sink.enabled() {
+            return;
+        }
+        let unit = match self.mode {
+            CbsMode::Local => "cbs-local",
+            CbsMode::Global => "cbs-global",
+        };
+        let side = if inc { "atd_lru_miss" } else { "atd_lin_miss" };
+        self.sink.emit(Event::LeaderDivergence {
+            unit: unit.to_string(),
+            side: side.to_string(),
+            line: line.0,
+            cost_q: cost,
+            seq,
+        });
+        let p = self.psels[idx];
+        self.sink.emit(Event::PselUpdate {
+            unit: unit.to_string(),
+            index: idx as u64,
+            delta: if inc {
+                i64::from(cost)
+            } else {
+                -i64::from(cost)
+            },
+            value: u64::from(p.value()),
+            msb: p.msb_set(),
+            saturated: p.is_saturated(),
+            seq,
+        });
+        if let Some(msb) = self.watches[idx].observe(&p) {
+            self.sink.emit(Event::PselFlip {
+                unit: unit.to_string(),
+                index: idx as u64,
+                msb,
+                value: u64::from(p.value()),
+                seq,
+            });
         }
     }
 
@@ -133,10 +203,17 @@ impl ReplacementEngine for CbsEngine {
         }
     }
 
-    fn on_access(&mut self, line: LineAddr, seq: u64, mtd_hit: bool, resident_cost_q: Option<CostQ>) {
+    fn on_access(
+        &mut self,
+        line: LineAddr,
+        seq: u64,
+        mtd_hit: bool,
+        resident_cost_q: Option<CostQ>,
+    ) {
         // Replay in both shadows. If the MTD holds the line, shadow fills
         // inherit the MTD's cost_q (footnote 6); otherwise the real cost is
         // patched in via `on_serviced`.
+        self.last_seq = seq;
         let provisional = resident_cost_q.unwrap_or(0);
         let lin_hit = self.atd_lin.access(line, seq, provisional).hit;
         let lru_hit = self.atd_lru.access(line, seq, provisional).hit;
@@ -148,7 +225,7 @@ impl ReplacementEngine for CbsEngine {
                 // cost_q of ATD-LIN's miss.
                 if mtd_hit {
                     // Not serviced by memory; cost from the MTD tag entry.
-                    self.psels[idx].dec_by(u32::from(provisional));
+                    self.duel_update(idx, false, provisional, line, seq);
                 } else {
                     self.pending.entry(line).or_default().decrements += 1;
                 }
@@ -157,7 +234,7 @@ impl ReplacementEngine for CbsEngine {
                 // ATD-LRU missed: LIN is doing better; increment by the
                 // cost_q of ATD-LRU's miss.
                 if mtd_hit {
-                    self.psels[idx].inc_by(u32::from(provisional));
+                    self.duel_update(idx, true, provisional, line, seq);
                 } else {
                     self.pending.entry(line).or_default().increments += 1;
                 }
@@ -170,11 +247,12 @@ impl ReplacementEngine for CbsEngine {
         self.atd_lru.set_cost_q(line, cost_q);
         if let Some(p) = self.pending.remove(&line) {
             let idx = self.psel_index(self.geometry.set_index(line));
+            let seq = self.last_seq;
             for _ in 0..p.increments {
-                self.psels[idx].inc_by(u32::from(cost_q));
+                self.duel_update(idx, true, cost_q, line, seq);
             }
             for _ in 0..p.decrements {
-                self.psels[idx].dec_by(u32::from(cost_q));
+                self.duel_update(idx, false, cost_q, line, seq);
             }
         }
     }
@@ -189,6 +267,10 @@ impl ReplacementEngine for CbsEngine {
     fn debug_state(&self) -> Option<String> {
         let (lin, total) = self.psel_census();
         Some(format!("psel_lin={lin}/{total}"))
+    }
+
+    fn attach_sink(&mut self, sink: SinkHandle) {
+        self.sink = sink;
     }
 }
 
@@ -282,6 +364,10 @@ mod tests {
         acc(&mut cache, 1, 7); // old, costly
         acc(&mut cache, 5, 0); // new, cheap
         let res = cache.access(LineAddr(9), false, seq);
-        assert_eq!(res.evicted.unwrap().line, LineAddr(1), "LRU evicts the older block");
+        assert_eq!(
+            res.evicted.unwrap().line,
+            LineAddr(1),
+            "LRU evicts the older block"
+        );
     }
 }

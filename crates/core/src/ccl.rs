@@ -80,7 +80,11 @@ impl Ccl {
     /// Creates a CCL in the given adder mode, starting at cycle 0, with
     /// accumulation enabled every cycle (the paper's default).
     pub fn new(mode: AdderMode) -> Self {
-        Ccl { mode, last_cycle: 0, gate_open: true }
+        Ccl {
+            mode,
+            last_cycle: 0,
+            gate_open: true,
+        }
     }
 
     /// Opens or closes the accumulation gate. With the gate closed,
@@ -220,7 +224,11 @@ mod tests {
         let w = mshr.allocate(LineAddr(1), 0, 444, false).unwrap();
         let mut ccl = Ccl::default();
         ccl.advance(&mut mshr, 100);
-        assert_eq!(mshr.entry(d).mlp_cost, 100.0, "demand miss pays full rate: N=1");
+        assert_eq!(
+            mshr.entry(d).mlp_cost,
+            100.0,
+            "demand miss pays full rate: N=1"
+        );
         assert_eq!(mshr.entry(w).mlp_cost, 0.0, "writeback accrues nothing");
     }
 
@@ -279,7 +287,10 @@ mod tests {
         let s = costs(&shared);
         for (a, b) in e.iter().zip(s.iter()) {
             assert!(b <= a, "shared adders never overshoot");
-            assert!((a - b) < 1.0, "difference is sub-cycle per paper footnote 3");
+            assert!(
+                (a - b) < 1.0,
+                "difference is sub-cycle per paper footnote 3"
+            );
         }
     }
 

@@ -54,18 +54,25 @@ impl LeaderSets {
     /// `sets`.
     pub fn new(sets: u32, k: u32, policy: SelectionPolicy, seed: u64) -> Self {
         assert!(k > 0 && k <= sets, "leader count must be in 1..=sets");
-        assert!(sets.is_multiple_of(k), "constituencies must be equally sized");
+        assert!(
+            sets.is_multiple_of(k),
+            "constituencies must be equally sized"
+        );
         let constituency_size = sets / k;
         let mut rng = SmallRng::seed_from_u64(seed);
         let offsets = match policy {
-            SelectionPolicy::SimpleStatic => {
-                (0..k).map(|c| c % constituency_size).collect()
-            }
-            SelectionPolicy::RandDynamic => {
-                (0..k).map(|_| rng.random_range(0..constituency_size)).collect()
-            }
+            SelectionPolicy::SimpleStatic => (0..k).map(|c| c % constituency_size).collect(),
+            SelectionPolicy::RandDynamic => (0..k)
+                .map(|_| rng.random_range(0..constituency_size))
+                .collect(),
         };
-        LeaderSets { sets, constituency_size, offsets, policy, rng }
+        LeaderSets {
+            sets,
+            constituency_size,
+            offsets,
+            policy,
+            rng,
+        }
     }
 
     /// Number of leader sets (K).
@@ -148,10 +155,17 @@ mod tests {
         let mut a = LeaderSets::new(1024, 32, SelectionPolicy::RandDynamic, 9);
         let b = LeaderSets::new(1024, 32, SelectionPolicy::RandDynamic, 9);
         let first: Vec<u32> = a.leaders().collect();
-        assert_eq!(first, b.leaders().collect::<Vec<_>>(), "same seed, same leaders");
+        assert_eq!(
+            first,
+            b.leaders().collect::<Vec<_>>(),
+            "same seed, same leaders"
+        );
         a.reselect();
         let second: Vec<u32> = a.leaders().collect();
-        assert_ne!(first, second, "32 uniform redraws virtually never all repeat");
+        assert_ne!(
+            first, second,
+            "32 uniform redraws virtually never all repeat"
+        );
         // Still exactly one per constituency.
         for (c, &s) in second.iter().enumerate() {
             assert_eq!(s / 32, c as u32);

@@ -112,7 +112,9 @@ mod tests {
         // A pseudo-random access pattern with costs attached.
         let mut x = 12345u64;
         for seq in 0..2000u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let line = LineAddr(x % 9);
             let q = (x >> 32) as u8 % 8;
             let a = lin0.access(line, false, seq);
@@ -152,9 +154,15 @@ mod tests {
             c
         };
         let mut c1 = build(1);
-        assert_eq!(c1.access(LineAddr(9), false, 9).evicted.unwrap().line, LineAddr(0));
+        assert_eq!(
+            c1.access(LineAddr(9), false, 9).evicted.unwrap().line,
+            LineAddr(0)
+        );
         let mut c4 = build(4);
-        assert_eq!(c4.access(LineAddr(9), false, 9).evicted.unwrap().line, LineAddr(1));
+        assert_eq!(
+            c4.access(LineAddr(9), false, 9).evicted.unwrap().line,
+            LineAddr(1)
+        );
     }
 
     #[test]

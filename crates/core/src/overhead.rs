@@ -116,7 +116,11 @@ pub fn lin_overhead(p: &OverheadParams) -> Overhead {
 /// what makes CBS impractical and motivates sampling.
 pub fn cbs_overhead(p: &OverheadParams, local: bool) -> Overhead {
     let entries = p.geometry.lines() * 2; // two full ATDs
-    let psel_count = if local { u64::from(p.geometry.sets()) } else { 1 };
+    let psel_count = if local {
+        u64::from(p.geometry.sets())
+    } else {
+        1
+    };
     Overhead {
         atd_bits: entries * u64::from(p.atd_entry_bits()),
         psel_bits: psel_count * u64::from(p.psel_bits),

@@ -38,7 +38,11 @@ impl Psel {
         assert!((1..=31).contains(&bits), "PSEL width must be 1..=31 bits");
         let max = (1u32 << bits) - 1;
         let msb = 1u32 << (bits - 1);
-        Psel { value: msb - 1, max, msb }
+        Psel {
+            value: msb - 1,
+            max,
+            msb,
+        }
     }
 
     /// The paper's default: a 6-bit counter.
@@ -69,6 +73,41 @@ impl Psel {
     /// Saturating decrement by `amount`.
     pub fn dec_by(&mut self, amount: u32) {
         self.value = self.value.saturating_sub(amount);
+    }
+
+    /// Whether the counter is pinned at either rail (0 or max). Useful for
+    /// telemetry: a saturated PSEL means one policy is winning decisively.
+    pub fn is_saturated(&self) -> bool {
+        self.value == 0 || self.value == self.max
+    }
+}
+
+/// Observes a [`Psel`] across updates and reports MSB flips — the moments
+/// the follower sets actually switch policy. Engines keep one watch per
+/// counter so telemetry can count flips and measure dwell times.
+#[derive(Clone, Copy, Debug)]
+pub struct PselWatch {
+    last_msb: bool,
+}
+
+impl PselWatch {
+    /// Starts watching from `p`'s current state.
+    pub fn new(p: &Psel) -> Self {
+        PselWatch {
+            last_msb: p.msb_set(),
+        }
+    }
+
+    /// Call after every update to `p`; returns `Some(new_msb)` when the
+    /// MSB changed since the last observation.
+    pub fn observe(&mut self, p: &Psel) -> Option<bool> {
+        let msb = p.msb_set();
+        if msb != self.last_msb {
+            self.last_msb = msb;
+            Some(msb)
+        } else {
+            None
+        }
     }
 }
 

@@ -13,12 +13,13 @@
 
 use crate::leader::{LeaderSets, SelectionPolicy};
 use crate::lin::LinEngine;
-use crate::psel::Psel;
+use crate::psel::{Psel, PselWatch};
 use mlpsim_cache::addr::{Geometry, LineAddr};
 use mlpsim_cache::atd::Atd;
 use mlpsim_cache::lru::LruEngine;
 use mlpsim_cache::meta::CostQ;
 use mlpsim_cache::policy::{ReplacementEngine, VictimCtx};
+use mlpsim_telemetry::{Event, SinkHandle};
 use std::collections::HashMap;
 
 /// Configuration for [`SbarEngine`].
@@ -103,6 +104,11 @@ pub struct SbarEngine {
     /// the miss's cost_q, which is only known when the miss is serviced.
     pending_dec: HashMap<LineAddr, u32>,
     stats: SbarStats,
+    sink: SinkHandle,
+    watch: PselWatch,
+    /// Sequence number of the most recent access, stamped on PSEL events
+    /// settled later in `on_serviced` (engines have no cycle clock).
+    last_seq: u64,
 }
 
 impl SbarEngine {
@@ -113,16 +119,51 @@ impl SbarEngine {
     /// Panics if the geometry's set count is not divisible by the leader
     /// count (constituencies must be equally sized).
     pub fn new(geometry: Geometry, config: SbarConfig) -> Self {
-        let leaders = LeaderSets::new(geometry.sets(), config.leader_sets, config.selection, config.seed);
+        let leaders = LeaderSets::new(
+            geometry.sets(),
+            config.leader_sets,
+            config.selection,
+            config.seed,
+        );
+        let psel = Psel::new(config.psel_bits);
         SbarEngine {
             geometry,
             lin: LinEngine::new(config.lambda),
             lru: LruEngine::new(),
             leaders,
             atd_lru: Atd::new(geometry, Box::new(LruEngine::new())),
-            psel: Psel::new(config.psel_bits),
+            psel,
             pending_dec: HashMap::new(),
             stats: SbarStats::default(),
+            sink: SinkHandle::disabled(),
+            watch: PselWatch::new(&psel),
+            last_seq: 0,
+        }
+    }
+
+    /// Emits a `psel_update` (and a `psel_flip` when the MSB changed) after
+    /// a PSEL movement of `delta` attributed to access `seq`.
+    fn note_psel_update(&mut self, delta: i64, seq: u64) {
+        if !self.sink.enabled() {
+            return;
+        }
+        self.sink.emit(Event::PselUpdate {
+            unit: "sbar".to_string(),
+            index: 0,
+            delta,
+            value: u64::from(self.psel.value()),
+            msb: self.psel.msb_set(),
+            saturated: self.psel.is_saturated(),
+            seq,
+        });
+        if let Some(msb) = self.watch.observe(&self.psel) {
+            self.sink.emit(Event::PselFlip {
+                unit: "sbar".to_string(),
+                index: 0,
+                msb,
+                value: u64::from(self.psel.value()),
+                seq,
+            });
         }
     }
 
@@ -168,7 +209,14 @@ impl ReplacementEngine for SbarEngine {
         }
     }
 
-    fn on_access(&mut self, line: LineAddr, seq: u64, mtd_hit: bool, resident_cost_q: Option<CostQ>) {
+    fn on_access(
+        &mut self,
+        line: LineAddr,
+        seq: u64,
+        mtd_hit: bool,
+        resident_cost_q: Option<CostQ>,
+    ) {
+        self.last_seq = seq;
         let set_index = self.geometry.set_index(line);
         if !self.leaders.is_leader(set_index) {
             return; // follower sets have no ATD entries and never update PSEL
@@ -177,7 +225,10 @@ impl ReplacementEngine for SbarEngine {
         // line, the shadow block inherits the MTD's stored cost_q
         // (footnote 6); otherwise the real cost is patched in later via
         // `on_serviced`.
-        let atd_hit = self.atd_lru.access(line, seq, resident_cost_q.unwrap_or(0)).hit;
+        let atd_hit = self
+            .atd_lru
+            .access(line, seq, resident_cost_q.unwrap_or(0))
+            .hit;
         match (mtd_hit, atd_hit) {
             (true, true) | (false, false) => {} // neither policy is doing better
             (false, true) => {
@@ -190,9 +241,17 @@ impl ReplacementEngine for SbarEngine {
                 // LIN kept a line LRU would have evicted: LIN wins. The
                 // miss ATD-LRU incurred is not serviced by memory; its
                 // cost_q comes from the MTD's tag-store entry.
-                let cost = u32::from(resident_cost_q.unwrap_or(0));
-                self.psel.inc_by(cost);
+                let cost = resident_cost_q.unwrap_or(0);
+                self.psel.inc_by(u32::from(cost));
                 self.stats.psel_increments += 1;
+                self.sink.emit_with(|| Event::LeaderDivergence {
+                    unit: "sbar".to_string(),
+                    side: "atd_lru_miss".to_string(),
+                    line: line.0,
+                    cost_q: cost,
+                    seq,
+                });
+                self.note_psel_update(i64::from(cost), seq);
             }
         }
     }
@@ -205,6 +264,15 @@ impl ReplacementEngine for SbarEngine {
             for _ in 0..n {
                 self.psel.dec_by(u32::from(cost_q));
                 self.stats.psel_decrements += 1;
+                let seq = self.last_seq;
+                self.sink.emit_with(|| Event::LeaderDivergence {
+                    unit: "sbar".to_string(),
+                    side: "leader_lin_miss".to_string(),
+                    line: line.0,
+                    cost_q,
+                    seq,
+                });
+                self.note_psel_update(-i64::from(cost_q), seq);
             }
         }
     }
@@ -227,6 +295,10 @@ impl ReplacementEngine for SbarEngine {
 
     fn name(&self) -> &'static str {
         "sbar"
+    }
+
+    fn attach_sink(&mut self, sink: SinkHandle) {
+        self.sink = sink;
     }
 }
 
@@ -284,12 +356,12 @@ mod tests {
             seq += 1;
         };
         acc(&mut cache, 0, 7); // pinned by LIN with cost 7
-        // Alternate 4, 8: under LIN (0 pinned) they evict each other and
-        // miss every time; under LRU in the ATD they... also alternate.
-        // But touching 0 occasionally hits in both. To force divergence,
-        // access pattern: 4, 8, 4, 8 — LIN keeps {0, last}, LRU keeps
-        // {last two} = {4, 8}. So re-access of 4/8 hits in ATD-LRU and
-        // misses in MTD → pending decrements, settled by serviced costs.
+                               // Alternate 4, 8: under LIN (0 pinned) they evict each other and
+                               // miss every time; under LRU in the ATD they... also alternate.
+                               // But touching 0 occasionally hits in both. To force divergence,
+                               // access pattern: 4, 8, 4, 8 — LIN keeps {0, last}, LRU keeps
+                               // {last two} = {4, 8}. So re-access of 4/8 hits in ATD-LRU and
+                               // misses in MTD → pending decrements, settled by serviced costs.
         for _ in 0..20 {
             acc(&mut cache, 4, 1);
             acc(&mut cache, 8, 1);
@@ -313,7 +385,10 @@ mod tests {
     #[test]
     fn psel_moves_toward_lin_when_lin_protects_useful_blocks() {
         let g = Geometry::from_sets(4, 2, 64);
-        let cfg = SbarConfig { leader_sets: 2, ..SbarConfig::paper_default() };
+        let cfg = SbarConfig {
+            leader_sets: 2,
+            ..SbarConfig::paper_default()
+        };
         let mut engine = SbarEngine::new(g, cfg);
         let before = engine.psel().value();
         // Simulate: MTD hit while ATD-LRU misses on a line whose MTD entry
@@ -334,13 +409,20 @@ mod tests {
     #[test]
     fn pending_decrements_wait_for_serviced_cost() {
         let g = Geometry::from_sets(4, 2, 64);
-        let cfg = SbarConfig { leader_sets: 2, ..SbarConfig::paper_default() };
+        let cfg = SbarConfig {
+            leader_sets: 2,
+            ..SbarConfig::paper_default()
+        };
         let mut engine = SbarEngine::new(g, cfg);
         let start = engine.psel().value();
         // Teach the ATD the line so it hits there while MTD misses.
         engine.on_access(LineAddr(0), 0, false, None);
         engine.on_access(LineAddr(0), 1, false, None); // ATD hit, MTD miss → pending dec
-        assert_eq!(engine.psel().value(), start, "decrement deferred until service");
+        assert_eq!(
+            engine.psel().value(),
+            start,
+            "decrement deferred until service"
+        );
         engine.on_serviced(LineAddr(0), 5);
         assert_eq!(engine.psel().value(), start - 5);
         assert_eq!(engine.stats().psel_decrements, 1);
@@ -349,7 +431,10 @@ mod tests {
     #[test]
     fn follower_accesses_do_not_touch_psel() {
         let g = Geometry::from_sets(4, 2, 64);
-        let cfg = SbarConfig { leader_sets: 2, ..SbarConfig::paper_default() };
+        let cfg = SbarConfig {
+            leader_sets: 2,
+            ..SbarConfig::paper_default()
+        };
         let mut engine = SbarEngine::new(g, cfg);
         let start = engine.psel().value();
         // Sets 1 and 2 are followers (leaders are 0 and 3).

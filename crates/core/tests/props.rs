@@ -122,10 +122,10 @@ proptest! {
 /// against a brute-force evaluation on random set states).
 #[test]
 fn lin_victim_is_argmin() {
+    use mlpsim_cache::addr::Geometry;
     use mlpsim_cache::meta::WayMeta;
     use mlpsim_cache::policy::{ReplacementEngine, VictimCtx};
     use mlpsim_cache::set::SetView;
-    use mlpsim_cache::addr::Geometry;
 
     let geom = Geometry::from_sets(2, 8, 64);
     let mut state = 0xDEADBEEFu64;
@@ -150,7 +150,11 @@ fn lin_victim_is_argmin() {
                 .collect();
             let view = SetView::new(&ways, 0, geom);
             let ranks = view.recency_ranks();
-            let victim = lin.victim(&VictimCtx { set: view, incoming: mlpsim_cache::addr::LineAddr(99), seq: 0 });
+            let victim = lin.victim(&VictimCtx {
+                set: view,
+                incoming: mlpsim_cache::addr::LineAddr(99),
+                seq: 0,
+            });
             let score = |w: usize| u32::from(ranks[w]) + lambda * u32::from(ways[w].cost_q);
             let best = (0..8).map(score).min().unwrap();
             assert_eq!(score(victim), best, "victim must minimize the LIN score");

@@ -8,6 +8,16 @@ use mlpsim_cache::addr::Geometry;
 use mlpsim_core::ccl::AdderMode;
 use mlpsim_mem::MemConfig;
 
+/// Maximum number of `(line, mlp_cost)` entries retained in
+/// [`SimResult::miss_log`](crate::stats::SimResult::miss_log) when
+/// [`SystemConfig::collect_miss_log`] is on. One entry is 16 bytes, so the
+/// cap bounds the log at 16 MiB regardless of trace length; entries past
+/// the cap are dropped (the per-miss analyses that consume the log — delta
+/// scatter, cost CDFs — are statistical and unaffected by truncating the
+/// tail). Full-stream per-miss data is available losslessly through the
+/// telemetry layer (`serviced` events) instead.
+pub const MISS_LOG_CAP: usize = 1 << 20;
+
 /// When the cost-calculation logic accrues `1/N` (paper footnote 4).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum CostAccounting {
@@ -38,7 +48,13 @@ pub struct CpuConfig {
 impl CpuConfig {
     /// The paper's baseline core (Table 2).
     pub fn baseline() -> Self {
-        CpuConfig { width: 8, window: 128, store_buffer: 128, l1_hit_cycles: 2, l2_hit_cycles: 15 }
+        CpuConfig {
+            width: 8,
+            window: 128,
+            store_buffer: 128,
+            l1_hit_cycles: 2,
+            l2_hit_cycles: 15,
+        }
     }
 }
 
@@ -87,9 +103,10 @@ pub struct SystemConfig {
     /// Optional interval (retired instructions) for time-series sampling
     /// (Fig. 11); `None` disables sampling.
     pub sample_interval: Option<u64>,
-    /// When true, every serviced demand miss is appended to
+    /// When true, serviced demand misses are appended to
     /// [`SimResult::miss_log`](crate::stats::SimResult::miss_log) as
     /// `(line, mlp_cost)` — per-line diagnostics at the price of memory.
+    /// The log is bounded at [`MISS_LOG_CAP`] entries.
     pub collect_miss_log: bool,
 }
 

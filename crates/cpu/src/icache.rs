@@ -73,7 +73,10 @@ impl FetchWalker {
     /// Panics if `code_lines` is zero.
     pub fn new(code_lines: u64) -> Self {
         assert!(code_lines > 0, "code footprint must be non-empty");
-        FetchWalker { code_lines, instructions: 0 }
+        FetchWalker {
+            code_lines,
+            instructions: 0,
+        }
     }
 
     /// Advances by one dispatched instruction; returns the line address to

@@ -107,7 +107,11 @@ mod tests {
         let r = SimResult {
             instructions: 1000,
             cycles: 2000,
-            l2: CacheStats { misses: 50, hits: 100, ..CacheStats::default() },
+            l2: CacheStats {
+                misses: 50,
+                hits: 100,
+                ..CacheStats::default()
+            },
             l2_compulsory: 10,
             ..SimResult::default()
         };

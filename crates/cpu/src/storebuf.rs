@@ -24,7 +24,10 @@ impl StoreBuffer {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "store buffer capacity must be non-zero");
-        StoreBuffer { completions: BinaryHeap::with_capacity(capacity), capacity }
+        StoreBuffer {
+            completions: BinaryHeap::with_capacity(capacity),
+            capacity,
+        }
     }
 
     /// Releases entries whose stores completed at or before `now`.
@@ -64,7 +67,10 @@ impl StoreBuffer {
     ///
     /// [`is_full`]: StoreBuffer::is_full
     pub fn push(&mut self, done: u64) {
-        assert!(self.completions.len() < self.capacity, "push into a full store buffer");
+        assert!(
+            self.completions.len() < self.capacity,
+            "push into a full store buffer"
+        );
         self.completions.push(Reverse(done));
     }
 

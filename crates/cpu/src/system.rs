@@ -26,12 +26,10 @@
 use crate::config::SystemConfig;
 use crate::icache::FetchWalker;
 use crate::stats::SimResult;
-use crate::wrongpath::WRONG_PATH_BASE_LINE;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use crate::storebuf::StoreBuffer;
 use crate::timeseries::Sampler;
 use crate::window::{InstructionWindow, WinEntry};
-use crate::storebuf::StoreBuffer;
+use crate::wrongpath::WRONG_PATH_BASE_LINE;
 use mlpsim_analysis::delta::DeltaTracker;
 use mlpsim_analysis::hist::CostHistogram;
 use mlpsim_cache::addr::LineAddr;
@@ -40,7 +38,10 @@ use mlpsim_cache::policy::ReplacementEngine;
 use mlpsim_core::ccl::Ccl;
 use mlpsim_core::quant::quantize;
 use mlpsim_mem::{MemorySystem, Mshr};
+use mlpsim_telemetry::{Event, NoProbe, Probe};
 use mlpsim_trace::record::{Access, AccessKind};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// A full-window stall must be at least this long (cycles) to count as a
 /// distinct "long-latency stall" episode — long enough to exclude the
@@ -62,8 +63,13 @@ pub const LONG_STALL_CYCLES: u64 = 150;
 /// assert_eq!(result.l2.misses, 1);
 /// assert!((result.mean_cost() - 444.0).abs() < 0.5);
 /// ```
-pub struct System {
+pub struct System<P: Probe = NoProbe> {
     cfg: SystemConfig,
+    /// Telemetry probe. With the default [`NoProbe`] every emission site
+    /// is statically dead code (`P::ENABLED` is a `const false`), so the
+    /// uninstrumented system compiles to the same machine code as before
+    /// the telemetry layer existed.
+    probe: P,
     l1: Option<CacheModel>,
     /// Optional instruction-fetch model: the I-cache and the synthetic
     /// code walker.
@@ -110,28 +116,54 @@ impl System {
     /// Builds a system from a configuration (the L2 engine is instantiated
     /// from `cfg.policy`).
     pub fn new(cfg: SystemConfig) -> Self {
-        let engine = cfg.policy.build(cfg.l2);
-        let label = cfg.policy.label();
-        System::with_l2_engine_labeled(cfg, engine, label)
+        System::with_probe(cfg, NoProbe)
     }
 
     /// Builds a system with an explicit L2 replacement engine (used for
     /// oracle policies like Belady's OPT that need trace preprocessing).
     pub fn with_l2_engine(cfg: SystemConfig, engine: Box<dyn ReplacementEngine>) -> Self {
         let label = engine.name().to_string();
-        System::with_l2_engine_labeled(cfg, engine, label)
+        System::with_l2_engine_labeled(cfg, engine, label, NoProbe)
+    }
+}
+
+impl<P: Probe> System<P> {
+    /// Builds an instrumented system: every subsystem streams events into
+    /// `probe` (the L2 and MSHR get clones of the probe's sink handle so
+    /// their events interleave with the core's in one stream).
+    pub fn with_probe(cfg: SystemConfig, probe: P) -> Self {
+        let engine = cfg.policy.build(cfg.l2);
+        let label = cfg.policy.label();
+        System::with_l2_engine_labeled(cfg, engine, label, probe)
+    }
+
+    /// Instrumented variant of [`System::with_l2_engine`].
+    pub fn with_l2_engine_and_probe(
+        cfg: SystemConfig,
+        engine: Box<dyn ReplacementEngine>,
+        probe: P,
+    ) -> Self {
+        let label = engine.name().to_string();
+        System::with_l2_engine_labeled(cfg, engine, label, probe)
     }
 
     fn with_l2_engine_labeled(
         cfg: SystemConfig,
         engine: Box<dyn ReplacementEngine>,
         label: String,
+        probe: P,
     ) -> Self {
         let l1 = cfg
             .l1
             .map(|g| CacheModel::new(g, Box::new(mlpsim_cache::lru::LruEngine::new())));
-        let l2 = CacheModel::new(cfg.l2, engine);
-        let mshr = Mshr::new(cfg.mem.mshr_entries);
+        let mut l2 = CacheModel::new(cfg.l2, engine);
+        let mut mshr = Mshr::new(cfg.mem.mshr_entries);
+        if P::ENABLED {
+            // Only the L2 (the cache under study) is wired: L1 hit events
+            // would dominate the stream without informing any report.
+            l2.set_sink(probe.sink(), 2);
+            mshr.attach_sink(probe.sink());
+        }
         let sampler = cfg.sample_interval.map(Sampler::new);
         let mut ccl = Ccl::new(cfg.adders);
         // In stall-only accounting (footnote 4) the gate is opened just
@@ -183,6 +215,7 @@ impl System {
             sampler,
             policy_label: label,
             cfg,
+            probe,
         }
     }
 
@@ -191,6 +224,14 @@ impl System {
     where
         I: IntoIterator<Item = &'a Access>,
     {
+        if P::ENABLED {
+            let ev = Event::RunStart {
+                label: self.policy_label.clone(),
+                policy: self.l2.policy_name().to_string(),
+                cycle: self.now,
+            };
+            self.probe.emit(ev);
+        }
         for access in trace {
             self.dispatch_gap(access.gap);
             self.dispatch_memory(access);
@@ -207,7 +248,10 @@ impl System {
             for _ in 0..n {
                 self.fetch_one();
                 self.ensure_dispatch_slot();
-                self.window.push(WinEntry { done: self.now + 1, l2_miss: false });
+                self.window.push(WinEntry {
+                    done: self.now + 1,
+                    l2_miss: false,
+                });
                 self.dispatched_this_cycle += 1;
                 self.dispatched_total += 1;
                 self.maybe_mispredict();
@@ -221,7 +265,10 @@ impl System {
             let burst = remaining.min(width_left).min(self.window.free() as u32);
             let done = self.now + 1;
             for _ in 0..burst {
-                self.window.push(WinEntry { done, l2_miss: false });
+                self.window.push(WinEntry {
+                    done,
+                    l2_miss: false,
+                });
             }
             self.dispatched_this_cycle += burst;
             self.dispatched_total += u64::from(burst);
@@ -254,9 +301,15 @@ impl System {
         if is_store {
             // Stores retire immediately; the buffer owns the latency.
             self.stbuf.push(mem_done);
-            self.window.push(WinEntry { done: self.now + 1, l2_miss: false });
+            self.window.push(WinEntry {
+                done: self.now + 1,
+                l2_miss: false,
+            });
         } else {
-            self.window.push(WinEntry { done: mem_done, l2_miss });
+            self.window.push(WinEntry {
+                done: mem_done,
+                l2_miss,
+            });
         }
         self.dispatched_this_cycle += 1;
         self.dispatched_total += 1;
@@ -293,7 +346,17 @@ impl System {
                 continue;
             }
             if let Some(id) = self.mshr.lookup(line) {
+                // Wrong-path merges never promote: a speculative touch is
+                // no evidence the line is wanted.
                 self.mshr.merge(id);
+                if P::ENABLED {
+                    self.probe.emit(Event::MshrMerge {
+                        cycle: self.now,
+                        line: line.0,
+                        promoted: false,
+                        live: self.mshr.len() as u64,
+                    });
+                }
                 continue;
             }
             if let Some(ev) = r2.evicted {
@@ -313,15 +376,23 @@ impl System {
                 .allocate(line, self.now, done, true)
                 .expect("fullness checked above");
             self.wrong_path_mshr_misses += 1;
-            self.squashes
-                .push(Reverse((self.now + wp.resolve_cycles, id.0, line.0, self.now)));
+            self.squashes.push(Reverse((
+                self.now + wp.resolve_cycles,
+                id.0,
+                line.0,
+                self.now,
+            )));
         }
     }
 
     /// Resolves a memory access through the hierarchy; returns the data-
     /// ready cycle and whether it was (or merged into) an L2 miss.
     fn resolve_memory(&mut self, line: LineAddr, is_store: bool, seq: u64) -> (u64, bool) {
-        let l1_lat = if self.l1.is_some() { self.cfg.cpu.l1_hit_cycles } else { 0 };
+        let l1_lat = if self.l1.is_some() {
+            self.cfg.cpu.l1_hit_cycles
+        } else {
+            0
+        };
         if let Some(l1) = &mut self.l1 {
             let r = l1.access(line, is_store, seq);
             if r.hit {
@@ -329,8 +400,7 @@ impl System {
                 // A tag hit on a line whose fill is still in flight is a
                 // delayed hit: data arrives with the outstanding miss.
                 if let Some(id) = self.mshr.lookup(line) {
-                    self.mshr.merge(id);
-                    self.promote_if_prefetch(id);
+                    self.merge_into(id);
                     return (self.mshr.entry(id).done_cycle.max(done), true);
                 }
                 return (done, false);
@@ -351,8 +421,7 @@ impl System {
         if r2.hit {
             let done = base + self.cfg.cpu.l2_hit_cycles;
             if let Some(id) = self.mshr.lookup(line) {
-                self.mshr.merge(id);
-                self.promote_if_prefetch(id);
+                self.merge_into(id);
                 return (self.mshr.entry(id).done_cycle.max(done), true);
             }
             return (done, false);
@@ -360,8 +429,7 @@ impl System {
         // A tag miss on a still-in-flight line (the line was evicted while
         // outstanding): merge rather than re-request.
         if let Some(id) = self.mshr.lookup(line) {
-            self.mshr.merge(id);
-            self.promote_if_prefetch(id);
+            self.merge_into(id);
             return (self.mshr.entry(id).done_cycle, true);
         }
         if let Some(ev) = r2.evicted {
@@ -387,6 +455,26 @@ impl System {
             .expect("an MSHR slot was freed above");
         self.issue_prefetches(line, seq);
         (done, true)
+    }
+
+    /// Merges a request into an in-flight MSHR entry (promoting prefetch
+    /// entries to demand status) and emits one `mshr_merge` event.
+    fn merge_into(&mut self, id: mlpsim_mem::MshrId) {
+        self.mshr.merge(id);
+        let promoted = !self.mshr.entry(id).is_demand;
+        self.promote_if_prefetch(id);
+        if P::ENABLED {
+            let ev = {
+                let e = self.mshr.entry(id);
+                Event::MshrMerge {
+                    cycle: self.now,
+                    line: e.line.0,
+                    promoted,
+                    live: self.mshr.len() as u64,
+                }
+            };
+            self.probe.emit(ev);
+        }
     }
 
     /// Promotes a merged-into MSHR entry to demand status (a prefetch or
@@ -468,8 +556,7 @@ impl System {
             if let Some(id) = self.mshr.lookup(line) {
                 // Delayed hit on a still-in-flight I-line (possibly a
                 // prefetch, which this demand fetch promotes).
-                self.mshr.merge(id);
-                self.promote_if_prefetch(id);
+                self.merge_into(id);
                 self.ifetch_ready_at = self.ifetch_ready_at.max(self.mshr.entry(id).done_cycle);
             }
             return;
@@ -496,6 +583,12 @@ impl System {
                         memory_stall_span = true;
                         if stall >= LONG_STALL_CYCLES {
                             self.stall_episodes += 1;
+                            if P::ENABLED {
+                                self.probe.emit(Event::Stall {
+                                    cycle: self.now,
+                                    len: stall,
+                                });
+                            }
                         }
                     }
                     target = head.done;
@@ -569,11 +662,22 @@ impl System {
                 self.cost_hist.record(cost);
                 self.deltas.observe(entry.line.0, cost);
                 self.l2.record_serviced_cost(entry.line, q);
+                if P::ENABLED {
+                    self.probe.emit(Event::Serviced {
+                        line: entry.line.0,
+                        cycle: done,
+                        cost,
+                        cost_q: q,
+                    });
+                }
                 if let Some(s) = &mut self.sampler {
                     s.record_miss_cost(q);
                 }
                 if let Some(log) = &mut self.miss_log {
-                    log.push((entry.line.0, cost));
+                    // Bounded: see `MISS_LOG_CAP` in `config.rs`.
+                    if log.len() < crate::config::MISS_LOG_CAP {
+                        log.push((entry.line.0, cost));
+                    }
                 }
             }
         }
@@ -585,8 +689,29 @@ impl System {
             self.l2.on_epoch();
             self.next_epoch += self.cfg.epoch_insts.max(1);
         }
-        if let Some(s) = &mut self.sampler {
-            s.tick(self.retired, self.now, self.l2.stats().misses);
+        let misses = self.l2.stats().misses;
+        let new_samples = match &mut self.sampler {
+            Some(s) => s.tick(self.retired, self.now, misses),
+            None => 0,
+        };
+        if P::ENABLED && new_samples > 0 {
+            let fresh: Vec<crate::timeseries::Sample> = {
+                let all = self
+                    .sampler
+                    .as_ref()
+                    .expect("sampler just ticked")
+                    .samples();
+                all[all.len() - new_samples..].to_vec()
+            };
+            for sm in fresh {
+                self.probe.emit(Event::Sample {
+                    instructions: sm.instructions,
+                    cycle: self.now,
+                    ipc: sm.ipc,
+                    mpki: sm.mpki,
+                    avg_cost_q: sm.avg_cost_q,
+                });
+            }
         }
     }
 
@@ -607,7 +732,19 @@ impl System {
         }
     }
 
-    fn finalize(self) -> SimResult {
+    fn finalize(mut self) -> SimResult {
+        if P::ENABLED {
+            let ev = Event::RunEnd {
+                label: self.policy_label.clone(),
+                policy: self.l2.policy_name().to_string(),
+                cycle: self.last_retire_cycle,
+                instructions: self.retired,
+                l2_misses: self.l2.stats().misses,
+                peak_mlp: self.mshr.peak_demand() as u64,
+            };
+            self.probe.emit(ev);
+            self.probe.sink().flush();
+        }
         let policy_debug = self.l2.engine_debug_state();
         SimResult {
             policy: self.policy_label,
@@ -617,7 +754,11 @@ impl System {
             // the program ran for.
             cycles: self.last_retire_cycle,
             l1: self.l1.as_ref().map(|c| *c.stats()).unwrap_or_default(),
-            icache: self.icache.as_ref().map(|(c, _)| *c.stats()).unwrap_or_default(),
+            icache: self
+                .icache
+                .as_ref()
+                .map(|(c, _)| *c.stats())
+                .unwrap_or_default(),
             ifetch_stall_cycles: self.ifetch_stall_cycles,
             wrong_path_accesses: self.wrong_path_injected,
             wrong_path_misses: self.wrong_path_mshr_misses,
@@ -658,7 +799,11 @@ mod tests {
         // One access preceded by a huge gap: IPC should approach 8.
         let trace = Trace::from_accesses(vec![Access::load(0, 80_000)]);
         let r = run(baseline(), &trace);
-        assert!(r.ipc() > 7.0, "IPC {} should be near the 8-wide limit", r.ipc());
+        assert!(
+            r.ipc() > 7.0,
+            "IPC {} should be near the 8-wide limit",
+            r.ipc()
+        );
     }
 
     #[test]
@@ -671,7 +816,11 @@ mod tests {
         let r = run(baseline(), &trace);
         assert_eq!(r.l2.misses, 3);
         // All three missed in isolation: mean cost = 444.
-        assert!((r.mean_cost() - 444.0).abs() < 1.0, "mean {}", r.mean_cost());
+        assert!(
+            (r.mean_cost() - 444.0).abs() < 1.0,
+            "mean {}",
+            r.mean_cost()
+        );
         assert_eq!(r.cost_hist.bin(7), 3);
         assert_eq!(r.peak_mlp, 1);
         assert_eq!(r.stall_episodes, 3);
@@ -690,7 +839,11 @@ mod tests {
         assert_eq!(r.l2.misses, 4);
         assert_eq!(r.peak_mlp, 4);
         // Cost per miss ≈ 444/4 + bus staggering; firmly in bins 1-2.
-        assert!(r.mean_cost() > 80.0 && r.mean_cost() < 200.0, "mean {}", r.mean_cost());
+        assert!(
+            r.mean_cost() > 80.0 && r.mean_cost() < 200.0,
+            "mean {}",
+            r.mean_cost()
+        );
         // One long stall episode for the whole group, not four.
         assert_eq!(r.stall_episodes, 1);
     }
@@ -718,7 +871,11 @@ mod tests {
             Access::store((6 << 20) + 1, 4000),
         ]);
         let r = run(baseline(), &trace);
-        assert!(r.ipc() > 5.0, "store miss must not serialize, IPC {}", r.ipc());
+        assert!(
+            r.ipc() > 5.0,
+            "store miss must not serialize, IPC {}",
+            r.ipc()
+        );
         assert_eq!(r.l2.misses, 2);
         assert_eq!(r.stall_episodes, 0);
     }
@@ -748,8 +905,9 @@ mod tests {
     fn deltas_track_successive_misses() {
         // Make line 9 miss twice with very different parallelism: once
         // isolated, once with seven companions.
-        let evictor: Vec<Access> =
-            (0..40u64).map(|i| Access::load(9 + 1024 * (1 + i), 200)).collect();
+        let evictor: Vec<Access> = (0..40u64)
+            .map(|i| Access::load(9 + 1024 * (1 + i), 200))
+            .collect();
         let mut v = vec![Access::load(9, 300)];
         v.extend(evictor); // push line 9 out of L1 and L2 set
         v.push(Access::load(9, 300)); // second isolated miss... same cost
@@ -901,8 +1059,18 @@ mod tests {
         cfg.prefetch = Some(PrefetchConfig { degree: 2 });
         let pf = System::new(cfg).run(trace.iter());
         assert!(pf.prefetches_issued > 0);
-        assert!(pf.l2.misses < plain.l2.misses / 2, "{} vs {}", pf.l2.misses, plain.l2.misses);
-        assert!(pf.ipc() > plain.ipc() * 1.5, "{} vs {}", pf.ipc(), plain.ipc());
+        assert!(
+            pf.l2.misses < plain.l2.misses / 2,
+            "{} vs {}",
+            pf.l2.misses,
+            plain.l2.misses
+        );
+        assert!(
+            pf.ipc() > plain.ipc() * 1.5,
+            "{} vs {}",
+            pf.ipc(),
+            plain.ipc()
+        );
     }
 
     #[test]
@@ -959,8 +1127,11 @@ mod tests {
         let trace: Trace = (0..200u64).map(|i| Access::load(i % 8, 100)).collect();
         let clean = run(baseline(), &trace);
         let mut cfg = baseline();
-        cfg.wrong_path =
-            Some(WrongPathConfig { interval_insts: 500, burst: 4, resolve_cycles: 15 });
+        cfg.wrong_path = Some(WrongPathConfig {
+            interval_insts: 500,
+            burst: 4,
+            resolve_cycles: 15,
+        });
         let noisy = System::new(cfg).run(trace.iter());
         assert!(noisy.wrong_path_accesses > 0);
         assert!(noisy.wrong_path_misses > 0);
@@ -981,8 +1152,11 @@ mod tests {
         // bursts: their cost must stay near 444, because the wrong-path
         // companions stop diluting N after 15 cycles.
         let mut cfg = baseline();
-        cfg.wrong_path =
-            Some(WrongPathConfig { interval_insts: 400, burst: 8, resolve_cycles: 15 });
+        cfg.wrong_path = Some(WrongPathConfig {
+            interval_insts: 400,
+            burst: 8,
+            resolve_cycles: 15,
+        });
         let trace: Trace = (0..40u64).map(|i| Access::load(i << 13, 400)).collect();
         let r = System::new(cfg).run(trace.iter());
         // With dilution bounded to the 15-cycle resolution window, the
@@ -1002,6 +1176,9 @@ mod tests {
         let r = run(baseline(), &trace);
         assert_eq!(r.mem.dram.bank_conflicts, 1);
         // Costs: first ≈ 444/2 + tail, second ≈ 222 + 400 extra alone.
-        assert!(r.cost_hist.bin(7) >= 1, "the serialized miss lands in the top bucket");
+        assert!(
+            r.cost_hist.bin(7) >= 1,
+            "the serialized miss lands in the top bucket"
+        );
     }
 }

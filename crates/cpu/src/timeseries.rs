@@ -61,20 +61,31 @@ impl Sampler {
     }
 
     /// Called after retirement; emits a sample when the interval boundary
-    /// is crossed.
-    pub fn tick(&mut self, instructions: u64, cycles: u64, l2_misses: u64) {
+    /// is crossed. Returns how many samples this call appended (so callers
+    /// can forward exactly the new ones to a telemetry stream).
+    pub fn tick(&mut self, instructions: u64, cycles: u64, l2_misses: u64) -> usize {
+        let before = self.samples.len();
         while instructions >= self.next_at {
             let d_inst = instructions - self.last_insts;
             let d_cyc = cycles.saturating_sub(self.last_cycles).max(1);
             let d_miss = l2_misses - self.last_misses;
             let ipc = d_inst as f64 / d_cyc as f64;
-            let mpki = if d_inst == 0 { 0.0 } else { d_miss as f64 * 1000.0 / d_inst as f64 };
+            let mpki = if d_inst == 0 {
+                0.0
+            } else {
+                d_miss as f64 * 1000.0 / d_inst as f64
+            };
             let avg_cost_q = if self.cost_q_count == 0 {
                 0.0
             } else {
                 self.cost_q_sum as f64 / self.cost_q_count as f64
             };
-            self.samples.push(Sample { instructions, ipc, mpki, avg_cost_q });
+            self.samples.push(Sample {
+                instructions,
+                ipc,
+                mpki,
+                avg_cost_q,
+            });
             self.last_insts = instructions;
             self.last_cycles = cycles;
             self.last_misses = l2_misses;
@@ -82,6 +93,12 @@ impl Sampler {
             self.cost_q_count = 0;
             self.next_at += self.interval;
         }
+        self.samples.len() - before
+    }
+
+    /// Samples emitted so far.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
     }
 
     /// Consumes the sampler, returning its samples.
@@ -99,10 +116,10 @@ mod tests {
         let mut s = Sampler::new(100);
         s.record_miss_cost(7);
         s.record_miss_cost(1);
-        s.tick(50, 100, 1); // below the boundary: nothing
-        s.tick(100, 200, 2);
+        assert_eq!(s.tick(50, 100, 1), 0); // below the boundary: nothing
+        assert_eq!(s.tick(100, 200, 2), 1);
         s.record_miss_cost(3);
-        s.tick(250, 500, 5); // crosses 200: one more sample
+        assert_eq!(s.tick(250, 500, 5), 1); // crosses 200: one more sample
         let samples = s.into_samples();
         assert_eq!(samples.len(), 2);
         assert_eq!(samples[0].instructions, 100);

@@ -47,7 +47,10 @@ impl InstructionWindow {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "window capacity must be non-zero");
-        InstructionWindow { slots: VecDeque::with_capacity(capacity), capacity }
+        InstructionWindow {
+            slots: VecDeque::with_capacity(capacity),
+            capacity,
+        }
     }
 
     /// Number of occupied entries.
@@ -109,7 +112,10 @@ mod tests {
     use super::*;
 
     fn e(done: u64) -> WinEntry {
-        WinEntry { done, l2_miss: false }
+        WinEntry {
+            done,
+            l2_miss: false,
+        }
     }
 
     #[test]
@@ -156,7 +162,10 @@ mod tests {
     #[test]
     fn head_exposes_miss_flag() {
         let mut w = InstructionWindow::new(4);
-        w.push(WinEntry { done: 500, l2_miss: true });
+        w.push(WinEntry {
+            done: 500,
+            l2_miss: true,
+        });
         assert!(w.head().unwrap().l2_miss);
     }
 }

@@ -41,7 +41,11 @@ impl WrongPathConfig {
     /// wrong-path loads each, resolved after the paper's 15-cycle minimum
     /// branch-misprediction penalty.
     pub fn baseline() -> Self {
-        WrongPathConfig { interval_insts: 2_000, burst: 4, resolve_cycles: 15 }
+        WrongPathConfig {
+            interval_insts: 2_000,
+            burst: 4,
+            resolve_cycles: 15,
+        }
     }
 }
 

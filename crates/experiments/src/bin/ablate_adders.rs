@@ -15,12 +15,16 @@ use mlpsim_trace::spec::SpecBench;
 
 fn main() {
     println!("Footnote-3 ablation — per-entry adders vs 4 time-shared adders\n");
-    let mut t = Table::with_headers(&[
-        "bench", "adders", "meanCost", "iso%", "LINipc%",
-    ]);
+    let mut t = Table::with_headers(&["bench", "adders", "meanCost", "iso%", "LINipc%"]);
     for bench in [SpecBench::Art, SpecBench::Mcf, SpecBench::Sixtrack] {
-        for (label, adders) in [("per-entry", AdderMode::PerEntry), ("4-shared", AdderMode::paper_shared())] {
-            let opts = RunOptions { adders, ..RunOptions::default() };
+        for (label, adders) in [
+            ("per-entry", AdderMode::PerEntry),
+            ("4-shared", AdderMode::paper_shared()),
+        ] {
+            let opts = RunOptions {
+                adders,
+                ..RunOptions::default()
+            };
             let lru = run_bench_with(bench, PolicyKind::Lru, &opts);
             let lin = run_bench_with(bench, PolicyKind::lin4(), &opts);
             t.row(vec![

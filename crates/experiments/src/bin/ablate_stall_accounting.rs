@@ -15,9 +15,7 @@ use mlpsim_trace::spec::SpecBench;
 
 fn main() {
     println!("Footnote-4 ablation — all-cycles vs stall-cycles-only cost accounting\n");
-    let mut t = Table::with_headers(&[
-        "bench", "accounting", "meanCost", "iso%", "LINipc%",
-    ]);
+    let mut t = Table::with_headers(&["bench", "accounting", "meanCost", "iso%", "LINipc%"]);
     for bench in [SpecBench::Mcf, SpecBench::Vpr, SpecBench::Art] {
         let trace = bench.generate(200_000, 42);
         for (label, accounting) in [

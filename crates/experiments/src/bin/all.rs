@@ -8,8 +8,34 @@
 use std::process::Command;
 
 const EXPERIMENTS: &[&str] = &[
-    "fig1", "fig2", "fig3b", "table1", "table2", "table3", "fig4", "fig5", "fig6", "fig7", "fig8",
-    "fig9", "fig10", "fig11", "cbs_compare", "overhead", "ablate_adders", "ablate_lambda", "ablate_stall_accounting", "care_alternatives", "sweep_cache", "sweep_latency", "sweep_mlp_limits", "icache_effects", "wrong_path_effects", "prefetch_effects", "measure_p", "multi_seed",
+    "fig1",
+    "fig2",
+    "fig3b",
+    "table1",
+    "table2",
+    "table3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "cbs_compare",
+    "overhead",
+    "ablate_adders",
+    "ablate_lambda",
+    "ablate_stall_accounting",
+    "care_alternatives",
+    "sweep_cache",
+    "sweep_latency",
+    "sweep_mlp_limits",
+    "icache_effects",
+    "wrong_path_effects",
+    "prefetch_effects",
+    "measure_p",
+    "multi_seed",
 ];
 
 fn main() {

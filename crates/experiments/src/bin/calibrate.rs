@@ -21,7 +21,11 @@ fn main() {
     for bench in SpecBench::ALL {
         let results = run_many(
             bench,
-            &[PolicyKind::Lru, PolicyKind::lin4(), PolicyKind::sbar_default()],
+            &[
+                PolicyKind::Lru,
+                PolicyKind::lin4(),
+                PolicyKind::sbar_default(),
+            ],
             &opts,
         );
         let (lru, lin, sbar) = (&results[0], &results[1], &results[2]);

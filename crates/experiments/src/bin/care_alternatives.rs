@@ -24,8 +24,14 @@ fn main() {
             &[
                 PolicyKind::Lru,
                 PolicyKind::lin4(),
-                PolicyKind::Bcl(BclConfig { depth: 4, credit: 4 }),
-                PolicyKind::Bcl(BclConfig { depth: 8, credit: 2 }),
+                PolicyKind::Bcl(BclConfig {
+                    depth: 4,
+                    credit: 4,
+                }),
+                PolicyKind::Bcl(BclConfig {
+                    depth: 8,
+                    credit: 2,
+                }),
             ],
             &RunOptions::default(),
         );

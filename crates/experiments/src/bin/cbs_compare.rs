@@ -18,7 +18,12 @@ fn main() {
     for bench in SpecBench::ALL {
         let results = run_many(
             bench,
-            &[PolicyKind::Lru, PolicyKind::sbar_default(), PolicyKind::CbsGlobal, PolicyKind::CbsLocal],
+            &[
+                PolicyKind::Lru,
+                PolicyKind::sbar_default(),
+                PolicyKind::CbsGlobal,
+                PolicyKind::CbsLocal,
+            ],
             &RunOptions::default(),
         );
         let lru = &results[0];

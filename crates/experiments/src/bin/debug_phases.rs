@@ -10,11 +10,18 @@ use mlpsim_trace::spec::SpecBench;
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "ammp".into());
-    let interval: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(400_000);
+    let interval: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400_000);
     let bench = SpecBench::from_name(&name).expect("unknown benchmark");
     let trace = bench.generate(420_000, 42);
     let mut results = Vec::new();
-    for policy in [PolicyKind::Lru, PolicyKind::lin4(), PolicyKind::sbar_default()] {
+    for policy in [
+        PolicyKind::Lru,
+        PolicyKind::lin4(),
+        PolicyKind::sbar_default(),
+    ] {
         let mut cfg = SystemConfig::baseline(policy);
         cfg.sample_interval = Some(interval);
         let r = System::new(cfg).run(trace.iter());
@@ -33,8 +40,16 @@ fn main() {
         let s: Vec<_> = results.iter().map(|r| &r.samples[i]).collect();
         println!(
             "{:8} {:8.3} {:8.3} {:9.3} {:10.1} {:9.1} {:10.1} {:7.2} {:7.2} {:8.2}",
-            i, s[0].ipc, s[1].ipc, s[2].ipc, s[0].mpki, s[1].mpki, s[2].mpki,
-            s[0].avg_cost_q, s[1].avg_cost_q, s[2].avg_cost_q
+            i,
+            s[0].ipc,
+            s[1].ipc,
+            s[2].ipc,
+            s[0].mpki,
+            s[1].mpki,
+            s[2].mpki,
+            s[0].avg_cost_q,
+            s[1].avg_cost_q,
+            s[2].avg_cost_q
         );
     }
 }

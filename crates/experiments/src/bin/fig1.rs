@@ -32,9 +32,8 @@ fn main() {
         cfg
     };
 
-    let mut t = Table::with_headers(&[
-        "policy", "misses/iter", "(paper)", "stalls/iter", "(paper)",
-    ]);
+    let mut t =
+        Table::with_headers(&["policy", "misses/iter", "(paper)", "stalls/iter", "(paper)"]);
     let runs: Vec<(&str, (u64, u64), _)> = vec![
         ("belady-opt", paper::figure1::OPT, {
             let lines: Vec<LineAddr> = figure1_lines(ITERATIONS + WARMUP)
@@ -44,11 +43,15 @@ fn main() {
             System::with_l2_engine(base_cfg(), Box::new(BeladyEngine::from_accesses(lines)))
         }),
         ("lru", paper::figure1::LRU, System::new(base_cfg())),
-        ("lin(4)", paper::figure1::MLP_AWARE, System::new({
-            let mut cfg = base_cfg();
-            cfg.policy = PolicyKind::lin4();
-            cfg
-        })),
+        (
+            "lin(4)",
+            paper::figure1::MLP_AWARE,
+            System::new({
+                let mut cfg = base_cfg();
+                cfg.policy = PolicyKind::lin4();
+                cfg
+            }),
+        ),
     ];
     for (name, (paper_miss, paper_stall), system) in runs {
         let r = system.run(trace.iter());
@@ -65,6 +68,9 @@ fn main() {
         ]);
     }
     println!("Figure 1 — OPT vs LRU vs MLP-aware on the motivating loop");
-    println!("({} iterations, 4-entry fully-associative cache)\n", ITERATIONS + WARMUP);
+    println!(
+        "({} iterations, 4-entry fully-associative cache)\n",
+        ITERATIONS + WARMUP
+    );
     println!("{}", t.render());
 }

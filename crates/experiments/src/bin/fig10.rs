@@ -25,7 +25,14 @@ fn main() {
             ]
             .into_iter()
             .map(move |(label, selection)| {
-                (label, SbarConfig { leader_sets: k, selection, ..SbarConfig::paper_default() })
+                (
+                    label,
+                    SbarConfig {
+                        leader_sets: k,
+                        selection,
+                        ..SbarConfig::paper_default()
+                    },
+                )
             })
         })
         .collect();

@@ -8,21 +8,37 @@
 use mlpsim_analysis::table::Table;
 use mlpsim_analysis::util::percent_improvement;
 use mlpsim_cpu::policy::PolicyKind;
-use mlpsim_experiments::runner::{run_bench_with, RunOptions};
+use mlpsim_experiments::runner::{run_bench_with, telemetry_from_env, RunOptions};
 use mlpsim_trace::spec::SpecBench;
 
 fn main() {
     println!("Figure 11 — ammp over time: LRU vs LIN vs SBAR\n");
-    let opts = RunOptions { sample_interval: Some(1_000_000), ..RunOptions::default() };
+    let opts = RunOptions {
+        sample_interval: Some(1_000_000),
+        telemetry: telemetry_from_env(),
+        ..RunOptions::default()
+    };
     let lru = run_bench_with(SpecBench::Ammp, PolicyKind::Lru, &opts);
     let lin = run_bench_with(SpecBench::Ammp, PolicyKind::lin4(), &opts);
     let sbar = run_bench_with(SpecBench::Ammp, PolicyKind::sbar_default(), &opts);
 
     let mut t = Table::with_headers(&[
-        "Minsts", "lru-cq", "lin-cq", "sbar-cq", "lru-mpki", "lin-mpki", "sbar-mpki",
-        "lru-ipc", "lin-ipc", "sbar-ipc",
+        "Minsts",
+        "lru-cq",
+        "lin-cq",
+        "sbar-cq",
+        "lru-mpki",
+        "lin-mpki",
+        "sbar-mpki",
+        "lru-ipc",
+        "lin-ipc",
+        "sbar-ipc",
     ]);
-    let n = lru.samples.len().min(lin.samples.len()).min(sbar.samples.len());
+    let n = lru
+        .samples
+        .len()
+        .min(lin.samples.len())
+        .min(sbar.samples.len());
     for i in 0..n {
         let (a, b, c) = (&lru.samples[i], &lin.samples[i], &sbar.samples[i]);
         t.row(vec![

@@ -20,5 +20,8 @@ fn main() {
     for (cost, expect) in [(0.0, 0u8), (59.0, 0), (60.0, 1), (444.0, 7)] {
         assert_eq!(quantize(cost), expect);
     }
-    println!("An isolated miss (444 cycles) quantizes to cost_q = {}.", quantize(444.0));
+    println!(
+        "An isolated miss (444 cycles) quantizes to cost_q = {}.",
+        quantize(444.0)
+    );
 }

@@ -15,7 +15,12 @@ use mlpsim_trace::spec::SpecBench;
 fn main() {
     println!("Figure 4 — IPC improvement (%) over LRU for LIN(lambda), lambda = 1..4\n");
     let mut t = Table::with_headers(&[
-        "bench", "LIN(1)", "LIN(2)", "LIN(3)", "LIN(4)", "paperLIN(4)",
+        "bench",
+        "LIN(1)",
+        "LIN(2)",
+        "LIN(3)",
+        "LIN(4)",
+        "paperLIN(4)",
     ]);
     let policies = [
         PolicyKind::Lru,

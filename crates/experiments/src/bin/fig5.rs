@@ -17,18 +17,23 @@ use mlpsim_trace::spec::SpecBench;
 fn main() {
     println!("Figure 5 — mlp-cost distribution: LRU vs LIN(4), with inset deltas\n");
     let mut t = Table::with_headers(&[
-        "bench", "policy", "0", "60", "120", "180", "240", "300", "360", "420+", "mean",
-        "dMISS%", "(paper)", "dIPC%", "(paper)",
+        "bench", "policy", "0", "60", "120", "180", "240", "300", "360", "420+", "mean", "dMISS%",
+        "(paper)", "dIPC%", "(paper)",
     ]);
     for bench in SpecBench::ALL {
-        let results = run_many(bench, &[PolicyKind::Lru, PolicyKind::lin4()], &RunOptions::default());
+        let results = run_many(
+            bench,
+            &[PolicyKind::Lru, PolicyKind::lin4()],
+            &RunOptions::default(),
+        );
         let (lru, lin) = (results[0].clone(), results[1].clone());
         let p = paper_row(bench);
         let miss_delta = percent_improvement(lin.l2.misses as f64, lru.l2.misses as f64);
         let ipc_delta = percent_improvement(lin.ipc(), lru.ipc());
-        for (label, r, insets) in
-            [("lru", &lru, None), ("lin", &lin, Some((miss_delta, ipc_delta)))]
-        {
+        for (label, r, insets) in [
+            ("lru", &lru, None),
+            ("lin", &lin, Some((miss_delta, ipc_delta))),
+        ] {
             let mut row = vec![bench.name().to_string(), label.to_string()];
             row.extend(r.cost_hist.percents().iter().map(|x| format!("{x:.1}")));
             row.push(format!("{:.0}", r.cost_hist.mean()));

@@ -7,8 +7,8 @@
 //! unchanged. Updates use saturating arithmetic and the MSB selects LIN.
 
 use mlpsim_cache::addr::{Geometry, LineAddr};
-use mlpsim_core::cbs::{CbsConfig, CbsEngine};
 use mlpsim_cache::policy::ReplacementEngine;
+use mlpsim_core::cbs::{CbsConfig, CbsEngine};
 
 fn main() {
     println!("Figure 6 — Contest Based Selection for a single set (mechanism demo)\n");
@@ -16,7 +16,12 @@ fn main() {
     let mut cbs = CbsEngine::new(g, CbsConfig::global());
     let show = |cbs: &CbsEngine, what: &str| {
         let p = cbs.psel_for(0);
-        println!("{:52} PSEL = {:3} (MSB {})", what, p.value(), if p.msb_set() { "1 -> LIN" } else { "0 -> LRU" });
+        println!(
+            "{:52} PSEL = {:3} (MSB {})",
+            what,
+            p.value(),
+            if p.msb_set() { "1 -> LIN" } else { "0 -> LRU" }
+        );
     };
     show(&cbs, "initial state");
 

@@ -20,7 +20,13 @@ use mlpsim_trace::spec::SpecBench;
 fn main() {
     println!("Instruction-fetch effects — code footprint vs IPC and cost profile\n");
     let mut t = Table::with_headers(&[
-        "bench", "code", "I-miss", "fetch-stall%", "ipc", "meanCost", "LINipc%",
+        "bench",
+        "code",
+        "I-miss",
+        "fetch-stall%",
+        "ipc",
+        "meanCost",
+        "LINipc%",
     ]);
     for bench in [SpecBench::Mcf, SpecBench::Sixtrack] {
         let trace = bench.generate(150_000, 42);
@@ -36,9 +42,16 @@ fn main() {
             let lin = run(PolicyKind::lin4());
             t.row(vec![
                 bench.name().into(),
-                if code_lines == 0 { "perfect".into() } else { format!("{code_lines} lines") },
+                if code_lines == 0 {
+                    "perfect".into()
+                } else {
+                    format!("{code_lines} lines")
+                },
                 format!("{}", lru.icache.misses),
-                format!("{:.1}", lru.ifetch_stall_cycles as f64 * 100.0 / lru.cycles.max(1) as f64),
+                format!(
+                    "{:.1}",
+                    lru.ifetch_stall_cycles as f64 * 100.0 / lru.cycles.max(1) as f64
+                ),
                 format!("{:.3}", lru.ipc()),
                 format!("{:.0}", lru.cost_hist.mean()),
                 format!("{:+.1}", percent_improvement(lin.ipc(), lru.ipc())),

@@ -18,7 +18,13 @@ use mlpsim_trace::spec::SpecBench;
 fn main() {
     println!("Measured per-set policy preference p (via CBS-local PSEL census)\n");
     let mut t = Table::with_headers(&[
-        "bench", "best", "lin-sets", "p", "P(Best) k=8", "k=16", "k=32",
+        "bench",
+        "best",
+        "lin-sets",
+        "p",
+        "P(Best) k=8",
+        "k=16",
+        "k=32",
     ]);
     let mut ps = Vec::new();
     for bench in SpecBench::ALL {
@@ -54,7 +60,9 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
-    let (lo, hi) = ps.iter().fold((1.0f64, 0.0f64), |(lo, hi), &p| (lo.min(p), hi.max(p)));
+    let (lo, hi) = ps
+        .iter()
+        .fold((1.0f64, 0.0f64), |(lo, hi), &p| (lo.min(p), hi.max(p)));
     println!(
         "Measured p ranges over [{lo:.2}, {hi:.2}] (paper: [0.74, 0.99]); plugging each\n\
          benchmark's p into Eqs. 4-5 gives the per-benchmark probability that SBAR's 32\n\

@@ -12,7 +12,10 @@ use mlpsim_trace::spec::SpecBench;
 const SEEDS: [u64; 5] = [42, 7, 1234, 90210, 31337];
 
 fn main() {
-    println!("Multi-seed robustness — IPC improvement (%) over LRU, mean ± 95% CI over {} seeds\n", SEEDS.len());
+    println!(
+        "Multi-seed robustness — IPC improvement (%) over LRU, mean ± 95% CI over {} seeds\n",
+        SEEDS.len()
+    );
     let benches = [
         SpecBench::Mcf,
         SpecBench::Vpr,
@@ -25,10 +28,17 @@ fn main() {
         let mut lin_deltas = Vec::new();
         let mut sbar_deltas = Vec::new();
         for seed in SEEDS {
-            let opts = RunOptions { seed, ..RunOptions::default() };
+            let opts = RunOptions {
+                seed,
+                ..RunOptions::default()
+            };
             let results = run_many(
                 bench,
-                &[PolicyKind::Lru, PolicyKind::lin4(), PolicyKind::sbar_default()],
+                &[
+                    PolicyKind::Lru,
+                    PolicyKind::lin4(),
+                    PolicyKind::sbar_default(),
+                ],
                 &opts,
             );
             lin_deltas.push(percent_improvement(results[1].ipc(), results[0].ipc()));

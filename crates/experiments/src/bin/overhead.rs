@@ -9,8 +9,19 @@ use mlpsim_core::overhead::{cbs_overhead, lin_overhead, sbar_overhead, OverheadP
 
 fn main() {
     let p = OverheadParams::paper_baseline();
-    println!("Hardware overhead model (40-bit physical addresses, {} tag bits)\n", p.tag_bits());
-    let mut t = Table::with_headers(&["mechanism", "ATD bits", "PSEL bits", "cost_q bits", "MSHR bits", "total B", "% of 1MB"]);
+    println!(
+        "Hardware overhead model (40-bit physical addresses, {} tag bits)\n",
+        p.tag_bits()
+    );
+    let mut t = Table::with_headers(&[
+        "mechanism",
+        "ATD bits",
+        "PSEL bits",
+        "cost_q bits",
+        "MSHR bits",
+        "total B",
+        "% of 1MB",
+    ]);
     let rows = [
         ("LIN cost tracking", lin_overhead(&p)),
         ("SBAR adaptation", sbar_overhead(&p)),

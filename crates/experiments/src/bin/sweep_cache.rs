@@ -17,7 +17,12 @@ use mlpsim_trace::spec::SpecBench;
 
 fn main() {
     println!("Cache-capacity sweep — LIN / SBAR IPC improvement (%) over same-size LRU\n");
-    let benches = [SpecBench::Mcf, SpecBench::Vpr, SpecBench::Parser, SpecBench::Art];
+    let benches = [
+        SpecBench::Mcf,
+        SpecBench::Vpr,
+        SpecBench::Parser,
+        SpecBench::Art,
+    ];
     let sizes = [(512u64 << 10, "512K"), (1 << 20, "1M"), (2 << 20, "2M")];
     let mut headers = vec!["bench".to_string()];
     for (_, label) in sizes {
@@ -39,7 +44,10 @@ fn main() {
             let lin = run(PolicyKind::lin4());
             let sbar = run(PolicyKind::sbar_default());
             row.push(format!("{:+.1}", percent_improvement(lin.ipc(), lru.ipc())));
-            row.push(format!("{:+.1}", percent_improvement(sbar.ipc(), lru.ipc())));
+            row.push(format!(
+                "{:+.1}",
+                percent_improvement(sbar.ipc(), lru.ipc())
+            ));
         }
         t.row(row);
     }

@@ -36,7 +36,10 @@ fn main() {
             let lin = run(PolicyKind::lin4());
             let sbar = run(PolicyKind::sbar_default());
             row.push(format!("{:+.1}", percent_improvement(lin.ipc(), lru.ipc())));
-            row.push(format!("{:+.1}", percent_improvement(sbar.ipc(), lru.ipc())));
+            row.push(format!(
+                "{:+.1}",
+                percent_improvement(sbar.ipc(), lru.ipc())
+            ));
         }
         t.row(row);
     }

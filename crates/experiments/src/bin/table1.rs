@@ -11,7 +11,13 @@ use mlpsim_trace::spec::SpecBench;
 fn main() {
     println!("Table 1 — delta distribution (successive-miss cost difference)\n");
     let mut t = Table::with_headers(&[
-        "bench", "delta<60%", "(paper)", "60<=d<120%", "d>=120%", "avg", "(paper)",
+        "bench",
+        "delta<60%",
+        "(paper)",
+        "60<=d<120%",
+        "d>=120%",
+        "avg",
+        "(paper)",
     ]);
     for bench in SpecBench::ALL {
         let r = run_bench(bench, PolicyKind::Lru);

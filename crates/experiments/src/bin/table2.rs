@@ -8,8 +8,14 @@ fn main() {
     let c = SystemConfig::baseline(PolicyKind::Lru);
     let l1 = c.l1.expect("baseline has an L1");
     println!("Table 2 — baseline processor configuration\n");
-    println!("Decode/Issue      : {}-wide, {}-entry instruction window", c.cpu.width, c.cpu.window);
-    println!("Data Cache        : {} ({}-cycle hit)", l1, c.cpu.l1_hit_cycles);
+    println!(
+        "Decode/Issue      : {}-wide, {}-entry instruction window",
+        c.cpu.width, c.cpu.window
+    );
+    println!(
+        "Data Cache        : {} ({}-cycle hit)",
+        l1, c.cpu.l1_hit_cycles
+    );
     println!(
         "Unified L2 Cache  : {} ({}-cycle hit), {}-entry MSHR, {}-entry store buffer",
         c.l2, c.cpu.l2_hit_cycles, c.mem.mshr_entries, c.cpu.store_buffer
@@ -24,7 +30,10 @@ fn main() {
         c.mem.bus_fixed_cycles,
         c.mem.bus_transfer_cycles
     );
-    println!("Isolated miss     : {} cycles end to end", c.mem.isolated_miss_cycles());
+    println!(
+        "Isolated miss     : {} cycles end to end",
+        c.mem.isolated_miss_cycles()
+    );
     println!("\nDefault deviations from the paper (see DESIGN.md): trace-driven core with");
     println!("a perfect branch predictor and perfect I-cache (both can be enabled — see");
     println!("the wrong_path_effects / icache_effects experiments); L1 victim writebacks");

@@ -15,14 +15,24 @@ use mlpsim_trace::spec::SpecBench;
 fn main() {
     println!("Table 3 — benchmark summary (baseline LRU)\n");
     let mut t = Table::with_headers(&[
-        "bench", "type", "insts(M)", "L2miss(K)", "(paperK)", "comp%", "(paper)",
+        "bench",
+        "type",
+        "insts(M)",
+        "L2miss(K)",
+        "(paperK)",
+        "comp%",
+        "(paper)",
     ]);
     for bench in SpecBench::ALL {
         let r = run_bench(bench, PolicyKind::Lru);
         let p = paper_row(bench);
         t.row(vec![
             bench.name().into(),
-            if bench.is_fp() { "FP".into() } else { "INT".into() },
+            if bench.is_fp() {
+                "FP".into()
+            } else {
+                "INT".into()
+            },
             format!("{:.1}", r.instructions as f64 / 1e6),
             format!("{:.0}", r.l2.misses as f64 / 1e3),
             format!("{}", p.table3_misses_k),

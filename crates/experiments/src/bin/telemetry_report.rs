@@ -1,0 +1,286 @@
+//! `telemetry-report` — fold an NDJSON telemetry stream into human tables.
+//!
+//! ```text
+//! telemetry-report <events.ndjson>
+//! ```
+//!
+//! Produces, from a stream written by any `--telemetry`-enabled binary:
+//!
+//! * a per-run overview (policy, instructions, misses, peak MLP),
+//! * PSEL activity per dueling unit: update/flip counts, saturation
+//!   fraction, and dwell times between MSB flips (how long the follower
+//!   sets stay on one policy before switching),
+//! * a time-weighted MSHR occupancy histogram — the observed distribution
+//!   of outstanding misses, i.e. the MLP the cost model is measuring,
+//! * per-set L2 miss skew (are misses concentrated in a few hot sets?),
+//! * the cost_q transition matrix: for consecutive misses to the *same
+//!   line*, how the quantized MLP-based cost moved between buckets
+//!   (the paper's §4 stability argument: most mass near the diagonal).
+
+use mlpsim_analysis::stats::percentile;
+use mlpsim_analysis::table::Table;
+use mlpsim_telemetry::{read_ndjson, Event};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+/// Per-(run, unit, index) flip tracking for dwell times.
+#[derive(Default)]
+struct FlipTrack {
+    last_flip_seq: Option<u64>,
+}
+
+#[derive(Default)]
+struct UnitStats {
+    updates: u64,
+    saturated_updates: u64,
+    flips: u64,
+    dwells: Vec<f64>,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.first() else {
+        eprintln!("usage: telemetry-report <events.ndjson>");
+        return ExitCode::FAILURE;
+    };
+    let events = match read_ndjson(path) {
+        Ok(evs) => evs,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if events.is_empty() {
+        println!("{path}: no events");
+        return ExitCode::SUCCESS;
+    }
+    println!("{path}: {} events\n", events.len());
+
+    // ---- Pass over the stream, segmented by run_start markers. ----
+    let mut runs = Table::with_headers(&[
+        "run",
+        "label",
+        "policy",
+        "insts",
+        "cycles",
+        "l2 misses",
+        "peak MLP",
+    ]);
+    let mut run_idx: u64 = 0;
+    let mut units: HashMap<String, UnitStats> = HashMap::new();
+    let mut flip_tracks: HashMap<(u64, String, u64), FlipTrack> = HashMap::new();
+    // Time-weighted MSHR occupancy: (last_cycle, last_live) per run.
+    let mut occ_cycles: HashMap<u64, u64> = HashMap::new();
+    let mut occ_prev: Option<(u64, u64)> = None;
+    let mut peak_demand_live: u64 = 0;
+    let mut set_misses: HashMap<u64, u64> = HashMap::new();
+    // cost_q transitions keyed by line (within a run).
+    let mut last_cost_q: HashMap<(u64, u64), u8> = HashMap::new();
+    let mut transitions = [[0u64; 8]; 8];
+
+    for ev in &events {
+        match ev {
+            Event::RunStart { label, policy, .. } => {
+                run_idx += 1;
+                occ_prev = None;
+                runs.row(vec![
+                    run_idx.to_string(),
+                    label.clone(),
+                    policy.clone(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
+            }
+            Event::RunEnd {
+                label,
+                policy,
+                cycle,
+                instructions,
+                l2_misses,
+                peak_mlp,
+            } => {
+                // Rewrite the run's row with its final numbers (or add one
+                // if the stream started mid-run).
+                let row = vec![
+                    run_idx.max(1).to_string(),
+                    label.clone(),
+                    policy.clone(),
+                    instructions.to_string(),
+                    cycle.to_string(),
+                    l2_misses.to_string(),
+                    peak_mlp.to_string(),
+                ];
+                if runs.is_empty() {
+                    runs.row(row);
+                } else {
+                    runs.replace_last(row);
+                }
+            }
+            Event::PselUpdate {
+                unit, saturated, ..
+            } => {
+                let u = units.entry(unit.clone()).or_default();
+                u.updates += 1;
+                if *saturated {
+                    u.saturated_updates += 1;
+                }
+            }
+            Event::PselFlip {
+                unit, index, seq, ..
+            } => {
+                let u = units.entry(unit.clone()).or_default();
+                u.flips += 1;
+                let track = flip_tracks
+                    .entry((run_idx, unit.clone(), *index))
+                    .or_default();
+                if let Some(prev) = track.last_flip_seq {
+                    u.dwells.push(seq.saturating_sub(prev) as f64);
+                }
+                track.last_flip_seq = Some(*seq);
+            }
+            Event::MshrAlloc {
+                cycle,
+                live,
+                demand_live,
+                ..
+            } => {
+                if let Some((pc, pl)) = occ_prev {
+                    *occ_cycles.entry(pl).or_default() += cycle.saturating_sub(pc);
+                }
+                occ_prev = Some((*cycle, *live));
+                peak_demand_live = peak_demand_live.max(*demand_live);
+            }
+            Event::MshrRelease { cycle, live, .. } => {
+                if let Some((pc, pl)) = occ_prev {
+                    *occ_cycles.entry(pl).or_default() += cycle.saturating_sub(pc);
+                }
+                occ_prev = Some((*cycle, *live));
+            }
+            Event::CacheMiss { level: 2, set, .. } => {
+                *set_misses.entry(*set).or_default() += 1;
+            }
+            Event::Serviced { line, cost_q, .. } => {
+                let q = (*cost_q).min(7) as usize;
+                if let Some(prev) = last_cost_q.insert((run_idx, *line), *cost_q) {
+                    transitions[prev.min(7) as usize][q] += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    println!("== Runs ==\n{}", runs.render());
+
+    // ---- PSEL flips & dwell times. ----
+    if units.is_empty() {
+        println!("== PSEL activity ==\n(no dueling-policy events in stream)\n");
+    } else {
+        let mut t = Table::with_headers(&[
+            "unit",
+            "updates",
+            "saturated%",
+            "flips",
+            "dwell p50",
+            "dwell p95",
+        ]);
+        let mut names: Vec<&String> = units.keys().collect();
+        names.sort();
+        for name in names {
+            let u = &units[name];
+            let sat = if u.updates == 0 {
+                0.0
+            } else {
+                100.0 * u.saturated_updates as f64 / u.updates as f64
+            };
+            t.row(vec![
+                name.clone(),
+                u.updates.to_string(),
+                format!("{sat:.1}"),
+                u.flips.to_string(),
+                format!("{:.0}", percentile(&u.dwells, 50.0)),
+                format!("{:.0}", percentile(&u.dwells, 95.0)),
+            ]);
+        }
+        println!(
+            "== PSEL activity (dwell = accesses between MSB flips) ==\n{}",
+            t.render()
+        );
+    }
+
+    // ---- MSHR occupancy histogram. ----
+    if occ_cycles.is_empty() {
+        println!("== MSHR occupancy ==\n(no MSHR events in stream)\n");
+    } else {
+        let total: u64 = occ_cycles.values().sum();
+        let max_occ = *occ_cycles.keys().max().unwrap();
+        let mut t = Table::with_headers(&["outstanding", "cycles", "%", ""]);
+        for occ in 0..=max_occ {
+            let c = occ_cycles.get(&occ).copied().unwrap_or(0);
+            let pct = 100.0 * c as f64 / total.max(1) as f64;
+            let bar = "#".repeat((pct / 2.0).round() as usize);
+            t.row(vec![
+                occ.to_string(),
+                c.to_string(),
+                format!("{pct:.1}"),
+                bar,
+            ]);
+        }
+        println!(
+            "== MSHR occupancy (time-weighted; peak demand MLP observed: {peak_demand_live}) ==\n{}",
+            t.render()
+        );
+    }
+
+    // ---- Per-set miss skew. ----
+    if set_misses.is_empty() {
+        println!("== L2 per-set miss skew ==\n(no L2 miss events in stream)\n");
+    } else {
+        let total: u64 = set_misses.values().sum();
+        let sets = set_misses.len() as u64;
+        let mean = total as f64 / sets as f64;
+        let mut hot: Vec<(u64, u64)> = set_misses.iter().map(|(&s, &c)| (s, c)).collect();
+        hot.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut t = Table::with_headers(&["set", "misses", "x mean"]);
+        for &(set, count) in hot.iter().take(8) {
+            t.row(vec![
+                set.to_string(),
+                count.to_string(),
+                format!("{:.2}", count as f64 / mean),
+            ]);
+        }
+        println!(
+            "== L2 per-set miss skew ({total} misses over {sets} sets, mean {mean:.1}/set) ==\n{}",
+            t.render()
+        );
+    }
+
+    // ---- cost_q transition matrix. ----
+    let trans_total: u64 = transitions.iter().flatten().sum();
+    if trans_total == 0 {
+        println!("== cost_q transitions ==\n(no repeat-miss serviced events in stream)");
+    } else {
+        let mut headers = vec!["from\\to".to_string()];
+        headers.extend((0..8).map(|q| q.to_string()));
+        let mut t = Table::new(headers);
+        let mut diagonal = 0u64;
+        for (from, row) in transitions.iter().enumerate() {
+            let mut cells = vec![from.to_string()];
+            for (to, &n) in row.iter().enumerate() {
+                if from == to {
+                    diagonal += n;
+                }
+                cells.push(if n == 0 { ".".into() } else { n.to_string() });
+            }
+            t.row(cells);
+        }
+        println!(
+            "== cost_q transitions (same line, consecutive misses; {trans_total} pairs, \
+             {:.1}% on the diagonal) ==\n{}",
+            100.0 * diagonal as f64 / trans_total as f64,
+            t.render()
+        );
+    }
+    ExitCode::SUCCESS
+}

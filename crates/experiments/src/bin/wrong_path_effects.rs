@@ -18,7 +18,13 @@ use mlpsim_trace::spec::SpecBench;
 fn main() {
     println!("Wrong-path effects — misprediction rate vs pollution and cost accounting\n");
     let mut t = Table::with_headers(&[
-        "bench", "mispred/kinst", "wp-misses", "ipc", "meanCost", "iso%", "LINipc%",
+        "bench",
+        "mispred/kinst",
+        "wp-misses",
+        "ipc",
+        "meanCost",
+        "iso%",
+        "LINipc%",
     ]);
     for bench in [SpecBench::Mcf, SpecBench::Vpr] {
         let trace = bench.generate(150_000, 42);
@@ -38,7 +44,11 @@ fn main() {
             let lin = run(PolicyKind::lin4());
             t.row(vec![
                 bench.name().into(),
-                if interval == 0 { "perfect".into() } else { format!("{:.1}", 1000.0 / interval as f64) },
+                if interval == 0 {
+                    "perfect".into()
+                } else {
+                    format!("{:.1}", 1000.0 / interval as f64)
+                },
                 format!("{}", lru.wrong_path_misses),
                 format!("{:.3}", lru.ipc()),
                 format!("{:.0}", lru.cost_hist.mean()),

@@ -35,20 +35,146 @@ pub struct PaperRow {
 /// provided by LIN" reuse the LIN number; the LIN-hostile trio is ≈ 0 with
 /// a marginal loss). Table 1 and Table 3 values are verbatim.
 pub const PAPER_ROWS: [PaperRow; 14] = [
-    PaperRow { bench: SpecBench::Art, lin_ipc_pct: 19.0, lin_miss_pct: -31.0, sbar_ipc_pct: 16.0, delta_lt60_pct: 86.0, delta_avg: 27.0, table3_misses_k: 968, compulsory_pct: 0.5 },
-    PaperRow { bench: SpecBench::Mcf, lin_ipc_pct: 22.0, lin_miss_pct: -11.0, sbar_ipc_pct: 22.0, delta_lt60_pct: 86.0, delta_avg: 36.0, table3_misses_k: 23_123, compulsory_pct: 2.2 },
-    PaperRow { bench: SpecBench::Twolf, lin_ipc_pct: 1.5, lin_miss_pct: 7.0, sbar_ipc_pct: 1.5, delta_lt60_pct: 52.0, delta_avg: 99.0, table3_misses_k: 859, compulsory_pct: 2.9 },
-    PaperRow { bench: SpecBench::Vpr, lin_ipc_pct: 15.0, lin_miss_pct: -9.0, sbar_ipc_pct: 15.0, delta_lt60_pct: 50.0, delta_avg: 96.0, table3_misses_k: 541, compulsory_pct: 4.3 },
-    PaperRow { bench: SpecBench::Facerec, lin_ipc_pct: 4.4, lin_miss_pct: -3.0, sbar_ipc_pct: 4.4, delta_lt60_pct: 96.0, delta_avg: 18.0, table3_misses_k: 1_190, compulsory_pct: 18.0 },
-    PaperRow { bench: SpecBench::Ammp, lin_ipc_pct: 4.2, lin_miss_pct: 4.0, sbar_ipc_pct: 18.3, delta_lt60_pct: 82.0, delta_avg: 43.0, table3_misses_k: 740, compulsory_pct: 5.1 },
-    PaperRow { bench: SpecBench::Galgel, lin_ipc_pct: 5.1, lin_miss_pct: -6.0, sbar_ipc_pct: 7.0, delta_lt60_pct: 71.0, delta_avg: 63.0, table3_misses_k: 1_333, compulsory_pct: 5.9 },
-    PaperRow { bench: SpecBench::Equake, lin_ipc_pct: 0.2, lin_miss_pct: 1.0, sbar_ipc_pct: 0.2, delta_lt60_pct: 78.0, delta_avg: 53.0, table3_misses_k: 464, compulsory_pct: 14.2 },
-    PaperRow { bench: SpecBench::Bzip2, lin_ipc_pct: -3.3, lin_miss_pct: 6.0, sbar_ipc_pct: -0.5, delta_lt60_pct: 43.0, delta_avg: 126.0, table3_misses_k: 572, compulsory_pct: 15.5 },
-    PaperRow { bench: SpecBench::Parser, lin_ipc_pct: -16.0, lin_miss_pct: 35.0, sbar_ipc_pct: -0.5, delta_lt60_pct: 43.0, delta_avg: 190.0, table3_misses_k: 382, compulsory_pct: 20.3 },
-    PaperRow { bench: SpecBench::Sixtrack, lin_ipc_pct: 10.0, lin_miss_pct: -3.0, sbar_ipc_pct: 10.0, delta_lt60_pct: 100.0, delta_avg: 0.0, table3_misses_k: 150, compulsory_pct: 20.6 },
-    PaperRow { bench: SpecBench::Apsi, lin_ipc_pct: 4.7, lin_miss_pct: -32.0, sbar_ipc_pct: 4.7, delta_lt60_pct: 85.0, delta_avg: 34.0, table3_misses_k: 740, compulsory_pct: 22.8 },
-    PaperRow { bench: SpecBench::Lucas, lin_ipc_pct: 1.3, lin_miss_pct: 0.0, sbar_ipc_pct: 1.3, delta_lt60_pct: 84.0, delta_avg: 31.0, table3_misses_k: 441, compulsory_pct: 41.6 },
-    PaperRow { bench: SpecBench::Mgrid, lin_ipc_pct: -33.0, lin_miss_pct: 3.0, sbar_ipc_pct: -0.5, delta_lt60_pct: 18.0, delta_avg: 187.0, table3_misses_k: 1_932, compulsory_pct: 46.6 },
+    PaperRow {
+        bench: SpecBench::Art,
+        lin_ipc_pct: 19.0,
+        lin_miss_pct: -31.0,
+        sbar_ipc_pct: 16.0,
+        delta_lt60_pct: 86.0,
+        delta_avg: 27.0,
+        table3_misses_k: 968,
+        compulsory_pct: 0.5,
+    },
+    PaperRow {
+        bench: SpecBench::Mcf,
+        lin_ipc_pct: 22.0,
+        lin_miss_pct: -11.0,
+        sbar_ipc_pct: 22.0,
+        delta_lt60_pct: 86.0,
+        delta_avg: 36.0,
+        table3_misses_k: 23_123,
+        compulsory_pct: 2.2,
+    },
+    PaperRow {
+        bench: SpecBench::Twolf,
+        lin_ipc_pct: 1.5,
+        lin_miss_pct: 7.0,
+        sbar_ipc_pct: 1.5,
+        delta_lt60_pct: 52.0,
+        delta_avg: 99.0,
+        table3_misses_k: 859,
+        compulsory_pct: 2.9,
+    },
+    PaperRow {
+        bench: SpecBench::Vpr,
+        lin_ipc_pct: 15.0,
+        lin_miss_pct: -9.0,
+        sbar_ipc_pct: 15.0,
+        delta_lt60_pct: 50.0,
+        delta_avg: 96.0,
+        table3_misses_k: 541,
+        compulsory_pct: 4.3,
+    },
+    PaperRow {
+        bench: SpecBench::Facerec,
+        lin_ipc_pct: 4.4,
+        lin_miss_pct: -3.0,
+        sbar_ipc_pct: 4.4,
+        delta_lt60_pct: 96.0,
+        delta_avg: 18.0,
+        table3_misses_k: 1_190,
+        compulsory_pct: 18.0,
+    },
+    PaperRow {
+        bench: SpecBench::Ammp,
+        lin_ipc_pct: 4.2,
+        lin_miss_pct: 4.0,
+        sbar_ipc_pct: 18.3,
+        delta_lt60_pct: 82.0,
+        delta_avg: 43.0,
+        table3_misses_k: 740,
+        compulsory_pct: 5.1,
+    },
+    PaperRow {
+        bench: SpecBench::Galgel,
+        lin_ipc_pct: 5.1,
+        lin_miss_pct: -6.0,
+        sbar_ipc_pct: 7.0,
+        delta_lt60_pct: 71.0,
+        delta_avg: 63.0,
+        table3_misses_k: 1_333,
+        compulsory_pct: 5.9,
+    },
+    PaperRow {
+        bench: SpecBench::Equake,
+        lin_ipc_pct: 0.2,
+        lin_miss_pct: 1.0,
+        sbar_ipc_pct: 0.2,
+        delta_lt60_pct: 78.0,
+        delta_avg: 53.0,
+        table3_misses_k: 464,
+        compulsory_pct: 14.2,
+    },
+    PaperRow {
+        bench: SpecBench::Bzip2,
+        lin_ipc_pct: -3.3,
+        lin_miss_pct: 6.0,
+        sbar_ipc_pct: -0.5,
+        delta_lt60_pct: 43.0,
+        delta_avg: 126.0,
+        table3_misses_k: 572,
+        compulsory_pct: 15.5,
+    },
+    PaperRow {
+        bench: SpecBench::Parser,
+        lin_ipc_pct: -16.0,
+        lin_miss_pct: 35.0,
+        sbar_ipc_pct: -0.5,
+        delta_lt60_pct: 43.0,
+        delta_avg: 190.0,
+        table3_misses_k: 382,
+        compulsory_pct: 20.3,
+    },
+    PaperRow {
+        bench: SpecBench::Sixtrack,
+        lin_ipc_pct: 10.0,
+        lin_miss_pct: -3.0,
+        sbar_ipc_pct: 10.0,
+        delta_lt60_pct: 100.0,
+        delta_avg: 0.0,
+        table3_misses_k: 150,
+        compulsory_pct: 20.6,
+    },
+    PaperRow {
+        bench: SpecBench::Apsi,
+        lin_ipc_pct: 4.7,
+        lin_miss_pct: -32.0,
+        sbar_ipc_pct: 4.7,
+        delta_lt60_pct: 85.0,
+        delta_avg: 34.0,
+        table3_misses_k: 740,
+        compulsory_pct: 22.8,
+    },
+    PaperRow {
+        bench: SpecBench::Lucas,
+        lin_ipc_pct: 1.3,
+        lin_miss_pct: 0.0,
+        sbar_ipc_pct: 1.3,
+        delta_lt60_pct: 84.0,
+        delta_avg: 31.0,
+        table3_misses_k: 441,
+        compulsory_pct: 41.6,
+    },
+    PaperRow {
+        bench: SpecBench::Mgrid,
+        lin_ipc_pct: -33.0,
+        lin_miss_pct: 3.0,
+        sbar_ipc_pct: -0.5,
+        delta_lt60_pct: 18.0,
+        delta_avg: 187.0,
+        table3_misses_k: 1_932,
+        compulsory_pct: 46.6,
+    },
 ];
 
 /// Looks up the paper row for a benchmark.

@@ -5,6 +5,7 @@ use mlpsim_cpu::config::SystemConfig;
 use mlpsim_cpu::policy::PolicyKind;
 use mlpsim_cpu::stats::SimResult;
 use mlpsim_cpu::system::System;
+use mlpsim_telemetry::{NdjsonSink, SinkHandle, SinkProbe};
 use mlpsim_trace::record::Trace;
 use mlpsim_trace::spec::SpecBench;
 
@@ -28,6 +29,10 @@ pub struct RunOptions {
     pub sample_interval: Option<u64>,
     /// CCL adder configuration (paper footnote 3).
     pub adders: AdderMode,
+    /// Telemetry sink. Disabled by default; when enabled every run streams
+    /// its events into the shared sink (runs from one sweep interleave in
+    /// one file, separated by `run_start`/`run_end` markers).
+    pub telemetry: SinkHandle,
 }
 
 impl Default for RunOptions {
@@ -37,8 +42,48 @@ impl Default for RunOptions {
             seed: DEFAULT_SEED,
             sample_interval: None,
             adders: AdderMode::PerEntry,
+            telemetry: SinkHandle::disabled(),
         }
     }
+}
+
+/// Builds [`RunOptions::telemetry`] from a command line: scans `args` for
+/// `--telemetry <path>` (or `--telemetry=<path>`) and opens an NDJSON sink
+/// there. Returns a disabled handle when the flag is absent; exits with a
+/// message when the file cannot be created (an experiment run whose
+/// requested telemetry silently vanishes is worse than no run).
+pub fn telemetry_from_args(args: &[String]) -> SinkHandle {
+    let mut path: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--telemetry" {
+            match it.next() {
+                Some(p) => path = Some(p),
+                None => {
+                    eprintln!("--telemetry requires a path argument");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Some(p) = a.strip_prefix("--telemetry=") {
+            path = Some(p);
+        }
+    }
+    match path {
+        None => SinkHandle::disabled(),
+        Some(p) => match NdjsonSink::create(p) {
+            Ok(sink) => SinkHandle::of(sink),
+            Err(e) => {
+                eprintln!("cannot create telemetry file {p}: {e}");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+/// [`telemetry_from_args`] over the process's own command line.
+pub fn telemetry_from_env() -> SinkHandle {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    telemetry_from_args(&args)
 }
 
 /// Runs `bench` under `policy` on the baseline machine with default
@@ -58,7 +103,10 @@ pub fn run_bench_with(bench: SpecBench, policy: PolicyKind, opts: &RunOptions) -
 /// deterministic, so regenerating it per policy is pure waste).
 pub fn run_many(bench: SpecBench, policies: &[PolicyKind], opts: &RunOptions) -> Vec<SimResult> {
     let trace = bench.generate(opts.accesses, opts.seed);
-    policies.iter().map(|&p| run_trace(&trace, p, opts)).collect()
+    policies
+        .iter()
+        .map(|&p| run_trace(&trace, p, opts))
+        .collect()
 }
 
 /// Runs a pre-generated trace under `policy` on the baseline machine.
@@ -66,7 +114,11 @@ pub fn run_trace(trace: &Trace, policy: PolicyKind, opts: &RunOptions) -> SimRes
     let mut cfg = SystemConfig::baseline(policy);
     cfg.sample_interval = opts.sample_interval;
     cfg.adders = opts.adders;
-    System::new(cfg).run(trace.iter())
+    if opts.telemetry.enabled() {
+        System::with_probe(cfg, SinkProbe::new(opts.telemetry.clone())).run(trace.iter())
+    } else {
+        System::new(cfg).run(trace.iter())
+    }
 }
 
 #[cfg(test)]
@@ -74,8 +126,50 @@ mod tests {
     use super::*;
 
     #[test]
+    fn telemetry_flag_parsing() {
+        let none = telemetry_from_args(&["--accesses".into(), "5".into()]);
+        assert!(!none.enabled());
+        let dir = std::env::temp_dir().join("mlpsim-telemetry-flag-test.ndjson");
+        let eq_form = telemetry_from_args(&[format!("--telemetry={}", dir.display())]);
+        assert!(eq_form.enabled());
+        let two_form = telemetry_from_args(&["--telemetry".into(), dir.display().to_string()]);
+        assert!(two_form.enabled());
+        drop((eq_form, two_form));
+        let _ = std::fs::remove_file(dir);
+    }
+
+    #[test]
+    fn telemetry_run_streams_parseable_events() {
+        let path = std::env::temp_dir().join("mlpsim-runner-telemetry-test.ndjson");
+        let opts = RunOptions {
+            accesses: 2_000,
+            telemetry: SinkHandle::of(mlpsim_telemetry::NdjsonSink::create(&path).unwrap()),
+            ..RunOptions::default()
+        };
+        let r = run_bench_with(SpecBench::Mcf, PolicyKind::sbar_default(), &opts);
+        drop(opts); // last handle: final snapshot + flush
+        let events = mlpsim_telemetry::read_ndjson(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(events.iter().any(|e| e.kind() == "run_start"));
+        assert!(events.iter().any(|e| e.kind() == "run_end"));
+        let serviced = events.iter().filter(|e| e.kind() == "serviced").count() as u64;
+        // Every serviced event is a demand miss; merged re-misses count in
+        // l2.misses but service as one fill, so serviced <= misses.
+        assert!(
+            serviced > 0 && serviced <= r.l2.misses,
+            "{serviced} vs {}",
+            r.l2.misses
+        );
+        let misses = events.iter().filter(|e| e.kind() == "cache_miss").count() as u64;
+        assert_eq!(misses, r.l2.misses);
+    }
+
+    #[test]
     fn runner_produces_sane_results() {
-        let opts = RunOptions { accesses: 3_000, ..RunOptions::default() };
+        let opts = RunOptions {
+            accesses: 3_000,
+            ..RunOptions::default()
+        };
         let r = run_bench_with(SpecBench::Mcf, PolicyKind::Lru, &opts);
         assert!(r.instructions > 3_000);
         assert!(r.cycles > 0);

@@ -31,7 +31,12 @@ impl Bus {
     /// Creates a bus with the given fixed latency and per-transfer
     /// occupancy.
     pub fn new(fixed_cycles: u64, transfer_cycles: u64) -> Self {
-        Bus { fixed_cycles, transfer_cycles, free_at: 0, stats: BusStats::default() }
+        Bus {
+            fixed_cycles,
+            transfer_cycles,
+            free_at: 0,
+            stats: BusStats::default(),
+        }
     }
 
     /// Schedules the response transfer for data that becomes available at

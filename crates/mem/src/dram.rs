@@ -36,7 +36,11 @@ impl DramBanks {
     /// Panics if `banks` is zero.
     pub fn new(banks: u32, access_cycles: u64) -> Self {
         assert!(banks > 0, "bank count must be non-zero");
-        DramBanks { access_cycles, bank_free_at: vec![0; banks as usize], stats: DramStats::default() }
+        DramBanks {
+            access_cycles,
+            bank_free_at: vec![0; banks as usize],
+            stats: DramStats::default(),
+        }
     }
 
     /// Number of banks.

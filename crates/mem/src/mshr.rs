@@ -7,6 +7,7 @@
 //! `mlpsim-core`.
 
 use mlpsim_cache::addr::LineAddr;
+use mlpsim_telemetry::{Event, SinkHandle};
 use std::fmt;
 
 /// Identifier of an allocated MSHR entry (a stable slot index).
@@ -71,6 +72,8 @@ pub struct Mshr {
     /// High-water mark of simultaneously live demand entries (instantaneous
     /// MLP observability, cf. Chou et al.'s definition cited in §2).
     peak_demand: usize,
+    /// Telemetry sink; disabled (a null check) unless attached.
+    sink: SinkHandle,
 }
 
 impl Mshr {
@@ -81,7 +84,20 @@ impl Mshr {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR capacity must be non-zero");
-        Mshr { slots: vec![None; capacity], live: 0, demand_live: 0, peak_demand: 0 }
+        Mshr {
+            slots: vec![None; capacity],
+            live: 0,
+            demand_live: 0,
+            peak_demand: 0,
+            sink: SinkHandle::disabled(),
+        }
+    }
+
+    /// Stream `mshr_alloc`/`mshr_release` events (with live occupancy)
+    /// into `sink`. Occupancy over time is exactly reconstructible from
+    /// these two event kinds.
+    pub fn attach_sink(&mut self, sink: SinkHandle) {
+        self.sink = sink;
     }
 
     /// Total capacity.
@@ -135,8 +151,15 @@ impl Mshr {
         done_cycle: u64,
         is_demand: bool,
     ) -> Result<MshrId, MshrFull> {
-        debug_assert!(self.lookup(line).is_none(), "caller must merge duplicate misses");
-        let idx = self.slots.iter().position(Option::is_none).ok_or(MshrFull)?;
+        debug_assert!(
+            self.lookup(line).is_none(),
+            "caller must merge duplicate misses"
+        );
+        let idx = self
+            .slots
+            .iter()
+            .position(Option::is_none)
+            .ok_or(MshrFull)?;
         self.slots[idx] = Some(MshrEntry {
             line,
             alloc_cycle,
@@ -150,6 +173,13 @@ impl Mshr {
             self.demand_live += 1;
             self.peak_demand = self.peak_demand.max(self.demand_live);
         }
+        self.sink.emit_with(|| Event::MshrAlloc {
+            cycle: alloc_cycle,
+            line: line.0,
+            demand: is_demand,
+            live: self.live as u64,
+            demand_live: self.demand_live as u64,
+        });
         Ok(MshrId(idx))
     }
 
@@ -220,6 +250,13 @@ impl Mshr {
         if e.is_demand {
             self.demand_live -= 1;
         }
+        self.sink.emit_with(|| Event::MshrRelease {
+            cycle: e.done_cycle,
+            line: e.line.0,
+            demand: e.is_demand,
+            live: self.live as u64,
+            cost: e.mlp_cost,
+        });
         e
     }
 

@@ -1,0 +1,135 @@
+//! Counter/gauge registry: folds an event stream into running totals.
+
+use crate::event::Event;
+use std::collections::BTreeMap;
+
+/// Named monotonic counters plus last-value gauges.
+///
+/// Counters only move forward — `incr` takes an unsigned delta and there is
+/// no reset short of dropping the registry. That monotonicity is a tested
+/// invariant: snapshot N+1 of any counter is ≥ snapshot N, which is what
+/// makes interleaved `snapshot` events in an NDJSON stream meaningful as
+/// cumulative totals.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    events_seen: u64,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `by` to counter `name`, creating it at zero first.
+    pub fn incr(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Set gauge `name` to its latest observation.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Total events observed via [`Registry::observe`].
+    pub fn events_seen(&self) -> u64 {
+        self.events_seen
+    }
+
+    /// Fold one event in: bump its per-kind counter and any derived
+    /// gauges (MSHR occupancy, latest IPC).
+    pub fn observe(&mut self, ev: &Event) {
+        self.events_seen += 1;
+        self.incr(ev.kind(), 1);
+        match ev {
+            Event::MshrAlloc { live, .. } | Event::MshrRelease { live, .. } => {
+                self.set_gauge("mshr_live", *live as f64);
+            }
+            Event::Sample { ipc, mpki, .. } => {
+                self.set_gauge("ipc", *ipc);
+                self.set_gauge("mpki", *mpki);
+            }
+            _ => {}
+        }
+    }
+
+    /// Materialize the per-kind counters as a `snapshot` event.
+    pub fn snapshot(&self) -> Event {
+        Event::Snapshot {
+            events: self.events_seen,
+            counts: self.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Registry;
+    use crate::event::Event;
+
+    #[test]
+    fn counters_are_monotonic_under_observation() {
+        let mut r = Registry::new();
+        let mut last = 0;
+        for i in 0..100u64 {
+            r.observe(&Event::Stall { cycle: i, len: 150 });
+            let now = r.counter("stall");
+            assert!(now > last);
+            last = now;
+        }
+        assert_eq!(r.counter("stall"), 100);
+        assert_eq!(r.events_seen(), 100);
+    }
+
+    #[test]
+    fn gauges_track_latest_value() {
+        let mut r = Registry::new();
+        r.observe(&Event::MshrAlloc {
+            cycle: 1,
+            line: 1,
+            demand: true,
+            live: 5,
+            demand_live: 5,
+        });
+        assert_eq!(r.gauge("mshr_live"), Some(5.0));
+        r.observe(&Event::MshrRelease {
+            cycle: 2,
+            line: 1,
+            demand: true,
+            live: 4,
+            cost: 1.0,
+        });
+        assert_eq!(r.gauge("mshr_live"), Some(4.0));
+    }
+
+    #[test]
+    fn snapshot_carries_all_counts() {
+        let mut r = Registry::new();
+        r.observe(&Event::Stall { cycle: 1, len: 200 });
+        r.observe(&Event::Stall { cycle: 2, len: 200 });
+        match r.snapshot() {
+            Event::Snapshot { events, counts } => {
+                assert_eq!(events, 2);
+                assert_eq!(counts, vec![("stall".to_string(), 2)]);
+            }
+            other => panic!("expected snapshot, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Event sinks: where emitted events go, and the cloneable runtime handle
+//! subsystems hold.
+
+use crate::event::{Event, EventParseError};
+use crate::registry::Registry;
+use std::cell::RefCell;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+use std::rc::Rc;
+
+/// Consumer of telemetry events.
+pub trait EventSink {
+    fn record(&mut self, ev: Event);
+    fn flush(&mut self) {}
+}
+
+/// Cloneable, possibly-disabled reference to a shared sink.
+///
+/// This is the *runtime* half of the telemetry design: subsystems that live
+/// behind `Box<dyn ReplacementEngine>` (or are plain structs, like `Mshr`)
+/// can't be generic over a [`crate::Probe`], so they hold one of these.
+/// When telemetry is off the handle is `None` and `emit`/`emit_with` cost a
+/// single null-check — and the call sites are miss/update paths, never the
+/// hit fast path. The shared sink is `Rc<RefCell<..>>` because the
+/// simulator is single-threaded by design (see DESIGN.md).
+#[derive(Clone, Default)]
+pub struct SinkHandle(Option<Rc<RefCell<dyn EventSink>>>);
+
+// `Rc<RefCell<dyn ..>>` has no `Debug`; show only enablement, which is the
+// part that matters when a containing struct (e.g. `Mshr`) is dumped.
+impl fmt::Debug for SinkHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "SinkHandle(enabled)"
+        } else {
+            "SinkHandle(disabled)"
+        })
+    }
+}
+
+impl SinkHandle {
+    /// A handle that drops everything (telemetry off).
+    pub fn disabled() -> Self {
+        SinkHandle(None)
+    }
+
+    /// Wrap an owned sink.
+    pub fn of(sink: impl EventSink + 'static) -> Self {
+        SinkHandle(Some(Rc::new(RefCell::new(sink))))
+    }
+
+    /// Share an existing sink.
+    pub fn shared(sink: Rc<RefCell<dyn EventSink>>) -> Self {
+        SinkHandle(Some(sink))
+    }
+
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Deliver an already-built event.
+    #[inline]
+    pub fn emit(&self, ev: Event) {
+        if let Some(sink) = &self.0 {
+            sink.borrow_mut().record(ev);
+        }
+    }
+
+    /// Build the event only if a sink is attached — use this on paths
+    /// where constructing the event itself does measurable work.
+    #[inline]
+    pub fn emit_with(&self, build: impl FnOnce() -> Event) {
+        if let Some(sink) = &self.0 {
+            sink.borrow_mut().record(build());
+        }
+    }
+
+    pub fn flush(&self) {
+        if let Some(sink) = &self.0 {
+            sink.borrow_mut().flush();
+        }
+    }
+}
+
+/// In-memory sink for tests and report tooling.
+#[derive(Default)]
+pub struct VecSink {
+    pub events: Vec<Event>,
+}
+
+impl VecSink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl EventSink for VecSink {
+    fn record(&mut self, ev: Event) {
+        self.events.push(ev);
+    }
+}
+
+/// Streaming NDJSON writer with interval snapshotting.
+///
+/// Every event becomes one line. Every `snapshot_every` events a
+/// `snapshot` line with cumulative per-kind counts is interleaved, so a
+/// partially-read (or truncated) stream still carries running totals.
+pub struct NdjsonSink<W: Write> {
+    out: BufWriter<W>,
+    registry: Registry,
+    snapshot_every: u64,
+    io_error: bool,
+}
+
+/// Default snapshot interval: frequent enough that a truncated multi-
+/// megabyte stream has recent totals, rare enough to be noise in volume.
+pub const DEFAULT_SNAPSHOT_EVERY: u64 = 100_000;
+
+impl NdjsonSink<File> {
+    /// Create/truncate `path` and stream events into it.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self::new(File::create(path)?))
+    }
+}
+
+impl<W: Write> NdjsonSink<W> {
+    pub fn new(writer: W) -> Self {
+        NdjsonSink {
+            out: BufWriter::new(writer),
+            registry: Registry::new(),
+            snapshot_every: DEFAULT_SNAPSHOT_EVERY,
+            io_error: false,
+        }
+    }
+
+    pub fn with_snapshot_every(mut self, every: u64) -> Self {
+        self.snapshot_every = every.max(1);
+        self
+    }
+
+    /// Running totals accumulated so far.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    fn write_line(&mut self, ev: &Event) {
+        if self.io_error {
+            return;
+        }
+        let line = ev.to_ndjson_line();
+        if writeln!(self.out, "{line}").is_err() {
+            // Telemetry must never take the simulation down; drop the
+            // stream on the first I/O failure and keep simulating.
+            self.io_error = true;
+        }
+    }
+}
+
+impl<W: Write> EventSink for NdjsonSink<W> {
+    fn record(&mut self, ev: Event) {
+        self.write_line(&ev);
+        self.registry.observe(&ev);
+        if self
+            .registry
+            .events_seen()
+            .is_multiple_of(self.snapshot_every)
+        {
+            let snap = self.registry.snapshot();
+            self.write_line(&snap);
+        }
+    }
+
+    fn flush(&mut self) {
+        if !self.io_error {
+            let _ = self.out.flush();
+        }
+    }
+}
+
+impl<W: Write> Drop for NdjsonSink<W> {
+    fn drop(&mut self) {
+        // Final snapshot so every complete stream ends with its totals.
+        if self.registry.events_seen() > 0 {
+            let snap = self.registry.snapshot();
+            self.write_line(&snap);
+        }
+        EventSink::flush(self);
+    }
+}
+
+/// Read a whole NDJSON file back into events. Blank lines are skipped;
+/// the first malformed line aborts with its line number in the error.
+pub fn read_ndjson(path: impl AsRef<Path>) -> io::Result<Vec<Event>> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut events = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev = Event::parse_line(&line).map_err(|e: EventParseError| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: {}", idx + 1, e),
+            )
+        })?;
+        events.push(ev);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_drops_events() {
+        let h = SinkHandle::disabled();
+        assert!(!h.enabled());
+        h.emit(Event::Stall { cycle: 1, len: 2 });
+        h.emit_with(|| unreachable!("emit_with must not build when disabled"));
+        h.flush();
+    }
+
+    #[test]
+    fn vec_sink_collects_in_order() {
+        let h = SinkHandle::of(VecSink::new());
+        h.emit(Event::Stall { cycle: 1, len: 150 });
+        h.emit(Event::Stall { cycle: 9, len: 400 });
+        // The handle owns the only reference; rebuild access via clone
+        // semantics is exercised in the integration tests — here we just
+        // check enablement.
+        assert!(h.enabled());
+    }
+
+    #[test]
+    fn ndjson_sink_writes_lines_and_snapshots() {
+        let mut buf: Vec<u8> = Vec::new();
+        {
+            let mut sink = NdjsonSink::new(&mut buf).with_snapshot_every(2);
+            sink.record(Event::Stall { cycle: 1, len: 150 });
+            sink.record(Event::Stall { cycle: 2, len: 151 });
+            sink.record(Event::Stall { cycle: 3, len: 152 });
+        }
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // 3 events + interval snapshot after #2 + final snapshot on drop.
+        assert_eq!(lines.len(), 5, "{text}");
+        let snap = Event::parse_line(lines[2]).unwrap();
+        match snap {
+            Event::Snapshot { events, counts } => {
+                assert_eq!(events, 2);
+                assert_eq!(counts, vec![("stall".to_string(), 2)]);
+            }
+            other => panic!("expected interval snapshot, got {other:?}"),
+        }
+        for line in lines {
+            Event::parse_line(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn shared_handle_clones_reach_one_sink() {
+        let sink: Rc<RefCell<dyn EventSink>> = Rc::new(RefCell::new(VecSink::new()));
+        let a = SinkHandle::shared(Rc::clone(&sink));
+        let b = a.clone();
+        a.emit(Event::Stall { cycle: 1, len: 1 });
+        b.emit(Event::Stall { cycle: 2, len: 2 });
+        drop((a, b));
+        assert_eq!(Rc::strong_count(&sink), 1, "clones must not leak refs");
+    }
+}

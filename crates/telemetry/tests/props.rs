@@ -1,0 +1,139 @@
+//! Property tests: NDJSON round-trips for randomized field values, and
+//! counter-registry monotonicity over arbitrary event sequences.
+
+use mlpsim_telemetry::{Event, EventSink, NdjsonSink, Registry};
+use proptest::prelude::*;
+
+/// Builds one event of each shape class from randomized scalars: unsigned,
+/// signed, boolean, float, and string fields all get exercised.
+fn sample_events(
+    cycle: u64,
+    line: u64,
+    live: u64,
+    delta: i64,
+    cost: f64,
+    flag: bool,
+    name: String,
+) -> Vec<Event> {
+    vec![
+        Event::MshrAlloc {
+            cycle,
+            line,
+            demand: flag,
+            live,
+            demand_live: live / 2,
+        },
+        Event::MshrRelease {
+            cycle,
+            line,
+            demand: flag,
+            live,
+            cost,
+        },
+        Event::Stall { cycle, len: live },
+        Event::Serviced {
+            line,
+            cycle,
+            cost,
+            cost_q: (live % 8) as u8,
+        },
+        Event::PselUpdate {
+            unit: name.clone(),
+            index: line % 1024,
+            delta,
+            value: live,
+            msb: flag,
+            saturated: !flag,
+            seq: cycle,
+        },
+        Event::RunStart {
+            label: name.clone(),
+            policy: name,
+            cycle,
+        },
+        Event::Sample {
+            instructions: cycle,
+            cycle,
+            ipc: cost,
+            mpki: cost / 2.0,
+            avg_cost_q: cost / 3.0,
+        },
+    ]
+}
+
+proptest! {
+    #[test]
+    fn ndjson_round_trip_preserves_every_field(
+        // Numbers ride in JSON as f64, exact up to 2^53 (see json.rs);
+        // cycles and line addresses in this simulator stay far below that.
+        cycle in 0u64..(1u64 << 53),
+        line in 0u64..(1u64 << 53),
+        live in 0u64..1024,
+        delta in -7i64..8,
+        // Costs are cycle counts: finite, non-negative, representable.
+        cost in 0.0f64..1e9,
+        flag in prop::bool::ANY,
+        name in "[a-z0-9-]{1,12}",
+    ) {
+        for ev in sample_events(cycle, line, live, delta, cost, flag, name) {
+            let line_text = ev.to_ndjson_line();
+            let back = Event::parse_line(&line_text)
+                .unwrap_or_else(|e| panic!("{line_text}: {e}"));
+            prop_assert_eq!(&back, &ev, "round trip changed the event");
+        }
+    }
+
+    #[test]
+    fn registry_counters_grow_monotonically(
+        cycles in prop::collection::vec(0u64..1_000_000, 1..60),
+    ) {
+        let mut reg = Registry::new();
+        let mut last_seen = 0u64;
+        let mut last_total = 0u64;
+        for (i, &c) in cycles.iter().enumerate() {
+            // Alternate kinds so several counters are in play.
+            let ev = if i % 3 == 0 {
+                Event::Stall { cycle: c, len: 200 }
+            } else if i % 3 == 1 {
+                Event::MshrAlloc { cycle: c, line: c, demand: true, live: 1, demand_live: 1 }
+            } else {
+                Event::MshrRelease { cycle: c, line: c, demand: true, live: 0, cost: 4.0 }
+            };
+            reg.observe(&ev);
+            prop_assert!(reg.events_seen() > last_seen, "events_seen must strictly grow");
+            last_seen = reg.events_seen();
+            let total: u64 = reg.counters().map(|(_, v)| v).sum();
+            prop_assert!(total >= last_total, "per-kind counters must never decrease");
+            last_total = total;
+        }
+        prop_assert_eq!(reg.events_seen(), cycles.len() as u64);
+    }
+
+    #[test]
+    fn ndjson_sink_output_is_parseable_with_any_snapshot_interval(
+        n_events in 1usize..40,
+        every in 1u64..10,
+    ) {
+        let mut buf: Vec<u8> = Vec::new();
+        {
+            let mut sink = NdjsonSink::new(&mut buf).with_snapshot_every(every);
+            for i in 0..n_events {
+                sink.record(Event::Stall { cycle: i as u64, len: 150 + i as u64 });
+            }
+        }
+        let text = String::from_utf8(buf).expect("NDJSON is UTF-8");
+        let mut stalls = 0u64;
+        let mut final_snapshot_total = None;
+        for line in text.lines() {
+            let ev = Event::parse_line(line).expect("every line parses");
+            match ev {
+                Event::Stall { .. } => stalls += 1,
+                Event::Snapshot { events, .. } => final_snapshot_total = Some(events),
+            _ => {}
+            }
+        }
+        prop_assert_eq!(stalls as usize, n_events);
+        // The drop-time snapshot always reports the exact event total.
+        prop_assert_eq!(final_snapshot_total, Some(n_events as u64));
+    }
+}

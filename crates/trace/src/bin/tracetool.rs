@@ -7,7 +7,12 @@
 //! tracetool head <file.trace> [n]                       # first n records
 //! tracetool benches                                     # list benchmarks
 //! ```
+//!
+//! `--telemetry <path.ndjson>` (anywhere on the command line) additionally
+//! streams `trace_gen`/`trace_summary` events describing what was done, in
+//! the same NDJSON dialect the simulator's `--telemetry` produces.
 
+use mlpsim_telemetry::{Event, NdjsonSink, SinkHandle};
 use mlpsim_trace::io::{read_trace, write_trace};
 use mlpsim_trace::record::AccessKind;
 use mlpsim_trace::spec::SpecBench;
@@ -20,13 +25,52 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  tracetool gen <bench> <accesses> <seed> [out.trace]\n  \
          tracetool summarize <file.trace>\n  tracetool head <file.trace> [n]\n  \
-         tracetool benches"
+         tracetool benches\n\
+         options:\n  --telemetry <path.ndjson>   stream tool events"
     );
     ExitCode::FAILURE
 }
 
+/// Splits `--telemetry <path>` / `--telemetry=<path>` out of the raw
+/// arguments, returning the remaining positional args and the sink handle.
+fn split_telemetry(raw: Vec<String>) -> Result<(Vec<String>, SinkHandle), ExitCode> {
+    let mut args = Vec::new();
+    let mut path: Option<String> = None;
+    let mut it = raw.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--telemetry" {
+            match it.next() {
+                Some(p) => path = Some(p),
+                None => {
+                    eprintln!("--telemetry requires a path argument");
+                    return Err(ExitCode::FAILURE);
+                }
+            }
+        } else if let Some(p) = a.strip_prefix("--telemetry=") {
+            path = Some(p.to_string());
+        } else {
+            args.push(a);
+        }
+    }
+    let sink = match path {
+        None => SinkHandle::disabled(),
+        Some(p) => match NdjsonSink::create(&p) {
+            Ok(s) => SinkHandle::of(s),
+            Err(e) => {
+                eprintln!("cannot create telemetry file {p}: {e}");
+                return Err(ExitCode::FAILURE);
+            }
+        },
+    };
+    Ok((args, sink))
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let (args, sink) = match split_telemetry(raw) {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
     match args.first().map(String::as_str) {
         Some("benches") => {
             for b in SpecBench::ALL {
@@ -46,6 +90,11 @@ fn main() -> ExitCode {
                 return usage();
             };
             let trace = bench.generate(n, seed);
+            sink.emit_with(|| Event::TraceGen {
+                bench: bench.name().to_string(),
+                accesses: n as u64,
+                seed,
+            });
             let result = match args.get(4) {
                 Some(path) => {
                     let file = match File::create(path) {
@@ -66,7 +115,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("summarize") => {
-            let Some(path) = args.get(1) else { return usage() };
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
             let trace = match File::open(path).map_err(Into::into).and_then(read_trace) {
                 Ok(t) => t,
                 Err(e) => {
@@ -75,6 +126,11 @@ fn main() -> ExitCode {
                 }
             };
             let s = TraceSummary::of(&trace);
+            sink.emit_with(|| Event::TraceSummary {
+                bench: path.clone(),
+                accesses: s.accesses,
+                unique_lines: s.unique_lines,
+            });
             println!("accesses        {}", s.accesses);
             println!("  loads         {}", s.loads);
             println!("  stores        {}", s.stores);
@@ -86,7 +142,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("head") => {
-            let Some(path) = args.get(1) else { return usage() };
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
             let n: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(10);
             let trace = match File::open(path).map_err(Into::into).and_then(read_trace) {
                 Ok(t) => t,

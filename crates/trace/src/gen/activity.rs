@@ -84,21 +84,37 @@ impl Activity {
     /// appended.
     pub fn emit(&mut self, out: &mut Vec<Access>, rng: &mut SmallRng) -> usize {
         match self {
-            Activity::Burst { region, width, spacing } => {
+            Activity::Burst {
+                region,
+                width,
+                spacing,
+            } => {
                 let n = *width;
                 for i in 0..n {
                     let line = region.next_line(rng);
                     let gap = if i == 0 { *spacing } else { TIGHT_GAP };
-                    out.push(Access { line, kind: AccessKind::Load, gap });
+                    out.push(Access {
+                        line,
+                        kind: AccessKind::Load,
+                        gap,
+                    });
                 }
                 n
             }
-            Activity::StoreBurst { region, width, spacing } => {
+            Activity::StoreBurst {
+                region,
+                width,
+                spacing,
+            } => {
                 let n = *width;
                 for i in 0..n {
                     let line = region.next_line(rng);
                     let gap = if i == 0 { *spacing } else { TIGHT_GAP };
-                    out.push(Access { line, kind: AccessKind::Store, gap });
+                    out.push(Access {
+                        line,
+                        kind: AccessKind::Store,
+                        gap,
+                    });
                 }
                 n
             }
@@ -114,7 +130,12 @@ impl Activity {
                 out.push(Access::load(line, ISOLATING_GAP));
                 1
             }
-            Activity::Hot { region, run, gap, store_pct } => {
+            Activity::Hot {
+                region,
+                run,
+                gap,
+                store_pct,
+            } => {
                 let n = *run;
                 for _ in 0..n {
                     let line = region.next_line(rng);
@@ -123,7 +144,11 @@ impl Activity {
                     } else {
                         AccessKind::Load
                     };
-                    out.push(Access { line, kind, gap: *gap });
+                    out.push(Access {
+                        line,
+                        kind,
+                        gap: *gap,
+                    });
                 }
                 n
             }
@@ -162,7 +187,10 @@ mod tests {
         let mut out = Vec::new();
         assert_eq!(a.emit(&mut out, &mut rng()), 8);
         assert_eq!(out.len(), 8);
-        assert!(out[0].gap >= ISOLATING_GAP, "burst opens with its spacing gap");
+        assert!(
+            out[0].gap >= ISOLATING_GAP,
+            "burst opens with its spacing gap"
+        );
         for acc in &out[1..] {
             assert!(acc.gap <= 4, "intra-burst gaps keep accesses in one window");
         }
@@ -170,7 +198,9 @@ mod tests {
 
     #[test]
     fn isolated_uses_isolating_gap() {
-        let mut a = Activity::Isolated { region: Region::new(0, 10, Order::Sequential) };
+        let mut a = Activity::Isolated {
+            region: Region::new(0, 10, Order::Sequential),
+        };
         let mut out = Vec::new();
         a.emit(&mut out, &mut rng());
         assert_eq!(out.len(), 1);
@@ -179,7 +209,9 @@ mod tests {
 
     #[test]
     fn pair_keeps_two_accesses_in_one_window() {
-        let mut a = Activity::Pair { region: Region::new(0, 10, Order::Sequential) };
+        let mut a = Activity::Pair {
+            region: Region::new(0, 10, Order::Sequential),
+        };
         let mut out = Vec::new();
         a.emit(&mut out, &mut rng());
         assert_eq!(out.len(), 2);

@@ -52,7 +52,12 @@ impl Region {
     /// Panics if `lines` is zero.
     pub fn new(base: u64, lines: u64, order: Order) -> Self {
         assert!(lines > 0, "a region must contain at least one line");
-        Region { base, lines, order, cursor: 0 }
+        Region {
+            base,
+            lines,
+            order,
+            cursor: 0,
+        }
     }
 
     /// First line of the region.

@@ -23,14 +23,21 @@ impl Phase {
     /// Panics if no activity is given, any weight is zero, or `accesses`
     /// is zero.
     pub fn new(activities: Vec<(Activity, u32)>, accesses: usize) -> Self {
-        assert!(!activities.is_empty(), "a phase needs at least one activity");
+        assert!(
+            !activities.is_empty(),
+            "a phase needs at least one activity"
+        );
         assert!(accesses > 0, "a phase must emit at least one access");
         let total_weight = activities.iter().map(|(_, w)| *w).sum();
         assert!(
             activities.iter().all(|(_, w)| *w > 0),
             "activity weights must be positive"
         );
-        Phase { activities, total_weight, accesses }
+        Phase {
+            activities,
+            total_weight,
+            accesses,
+        }
     }
 
     /// Number of accesses this phase emits per visit.
@@ -104,11 +111,18 @@ mod tests {
     use crate::gen::region::{Order, Region};
 
     fn hot(base: u64, lines: u64) -> Activity {
-        Activity::Hot { region: Region::new(base, lines, Order::Sequential), run: 4, gap: 1, store_pct: 0 }
+        Activity::Hot {
+            region: Region::new(base, lines, Order::Sequential),
+            run: 4,
+            gap: 1,
+            store_pct: 0,
+        }
     }
 
     fn isolated(base: u64, lines: u64) -> Activity {
-        Activity::Isolated { region: Region::new(base, lines, Order::Sequential) }
+        Activity::Isolated {
+            region: Region::new(base, lines, Order::Sequential),
+        }
     }
 
     #[test]

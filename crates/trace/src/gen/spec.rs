@@ -174,7 +174,11 @@ fn fresh(slot: u64) -> Region {
 }
 
 fn burst(region: Region, width: usize) -> Activity {
-    Activity::Burst { region, width, spacing: crate::gen::activity::ISOLATING_GAP }
+    Activity::Burst {
+        region,
+        width,
+        spacing: crate::gen::activity::ISOLATING_GAP,
+    }
 }
 
 fn pair(region: Region) -> Activity {
@@ -186,7 +190,11 @@ fn isolated(region: Region) -> Activity {
 }
 
 fn store_burst(region: Region, width: usize, spacing: u32) -> Activity {
-    Activity::StoreBurst { region, width, spacing }
+    Activity::StoreBurst {
+        region,
+        width,
+        spacing,
+    }
 }
 
 fn hot(region: Region, run: usize, store_pct: u8) -> Activity {
@@ -194,7 +202,12 @@ fn hot(region: Region, run: usize, store_pct: u8) -> Activity {
 }
 
 fn hot_gap(region: Region, run: usize, gap: u32, store_pct: u8) -> Activity {
-    Activity::Hot { region, run, gap, store_pct }
+    Activity::Hot {
+        region,
+        run,
+        gap,
+        store_pct,
+    }
 }
 
 /// art: parallel streaming over 2.2× the cache, plus a pinnable pair/
@@ -297,7 +310,10 @@ fn galgel() -> Schedule {
         70_000,
     );
     let friendly = Phase::new(
-        vec![(hot_gap(seq(2, 8_000), 24, 6, 10), 5), (burst(seq(0, 30_000), 8), 2)],
+        vec![
+            (hot_gap(seq(2, 8_000), 24, 6, 10), 5),
+            (burst(seq(0, 30_000), 8), 2),
+        ],
         70_000,
     );
     Schedule::new(vec![thrash, friendly])
@@ -438,8 +454,17 @@ mod tests {
 
     #[test]
     fn fp_int_split_matches_table3() {
-        let fp: Vec<&str> = SpecBench::ALL.iter().filter(|b| b.is_fp()).map(|b| b.name()).collect();
-        assert_eq!(fp, vec!["art", "facerec", "ammp", "galgel", "equake", "sixtrack", "apsi", "lucas", "mgrid"]);
+        let fp: Vec<&str> = SpecBench::ALL
+            .iter()
+            .filter(|b| b.is_fp())
+            .map(|b| b.name())
+            .collect();
+        assert_eq!(
+            fp,
+            vec![
+                "art", "facerec", "ammp", "galgel", "equake", "sixtrack", "apsi", "lucas", "mgrid"
+            ]
+        );
     }
 
     #[test]
@@ -451,7 +476,10 @@ mod tests {
         let mgrid = SpecBench::Mgrid.generate(n, 3);
         let art_ratio = art.unique_lines() as f64 / art.len() as f64;
         let mgrid_ratio = mgrid.unique_lines() as f64 / mgrid.len() as f64;
-        assert!(art_ratio < mgrid_ratio, "art {art_ratio} vs mgrid {mgrid_ratio}");
+        assert!(
+            art_ratio < mgrid_ratio,
+            "art {art_ratio} vs mgrid {mgrid_ratio}"
+        );
     }
 
     #[test]
@@ -467,7 +495,9 @@ mod tests {
         // Phase 2 uses slots 3..6; phase 1 slots 0..3. Check both appear.
         let phase2_slot_base = 3 * SLOT;
         let has_p1 = t.iter().any(|a| a.line < phase2_slot_base);
-        let has_p2 = t.iter().any(|a| a.line >= phase2_slot_base && a.line < 6 * SLOT);
+        let has_p2 = t
+            .iter()
+            .any(|a| a.line >= phase2_slot_base && a.line < 6 * SLOT);
         assert!(has_p1 && has_p2);
     }
 
@@ -490,8 +520,11 @@ mod tests {
         // that region is touched at most... exactly twice would mean reuse;
         // Fresh order guarantees each line appears once.
         let t = SpecBench::Facerec.generate(30_000, 2);
-        let mut fresh_lines: Vec<u64> =
-            t.iter().map(|a| a.line).filter(|&l| (SLOT..2 * SLOT).contains(&l)).collect();
+        let mut fresh_lines: Vec<u64> = t
+            .iter()
+            .map(|a| a.line)
+            .filter(|&l| (SLOT..2 * SLOT).contains(&l))
+            .collect();
         let total = fresh_lines.len();
         fresh_lines.sort_unstable();
         fresh_lines.dedup();
@@ -518,6 +551,9 @@ mod tests {
             .map(|a| a.line)
             .collect::<std::collections::HashSet<_>>()
             .len() as u64;
-        assert!(hot_lines > L2_LINES / 2 && hot_lines < L2_LINES, "hot = {hot_lines}");
+        assert!(
+            hot_lines > L2_LINES / 2 && hot_lines < L2_LINES,
+            "hot = {hot_lines}"
+        );
     }
 }

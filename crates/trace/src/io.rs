@@ -90,15 +90,19 @@ pub fn read_trace<R: Read>(r: R) -> Result<Trace, TraceIoError> {
         }
         let mut parts = line.split_ascii_whitespace();
         let parse = |field: Option<&str>, what: &str| -> Result<String, TraceIoError> {
-            field.map(str::to_string).ok_or_else(|| TraceIoError::Parse {
-                line_no,
-                reason: format!("missing {what}"),
-            })
+            field
+                .map(str::to_string)
+                .ok_or_else(|| TraceIoError::Parse {
+                    line_no,
+                    reason: format!("missing {what}"),
+                })
         };
-        let gap: u32 = parse(parts.next(), "gap")?.parse().map_err(|e| TraceIoError::Parse {
-            line_no,
-            reason: format!("bad gap: {e}"),
-        })?;
+        let gap: u32 = parse(parts.next(), "gap")?
+            .parse()
+            .map_err(|e| TraceIoError::Parse {
+                line_no,
+                reason: format!("bad gap: {e}"),
+            })?;
         let kind = match parse(parts.next(), "kind")?.as_str() {
             "L" => AccessKind::Load,
             "S" => AccessKind::Store,
@@ -109,10 +113,18 @@ pub fn read_trace<R: Read>(r: R) -> Result<Trace, TraceIoError> {
                 })
             }
         };
-        let addr: u64 = parse(parts.next(), "line address")?.parse().map_err(|e| {
-            TraceIoError::Parse { line_no, reason: format!("bad line address: {e}") }
-        })?;
-        trace.push(Access { line: addr, kind, gap });
+        let addr: u64 =
+            parse(parts.next(), "line address")?
+                .parse()
+                .map_err(|e| TraceIoError::Parse {
+                    line_no,
+                    reason: format!("bad line address: {e}"),
+                })?;
+        trace.push(Access {
+            line: addr,
+            kind,
+            gap,
+        });
     }
     Ok(trace)
 }

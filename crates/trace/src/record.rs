@@ -28,12 +28,20 @@ pub struct Access {
 impl Access {
     /// A load with the given line and gap.
     pub fn load(line: u64, gap: u32) -> Self {
-        Access { line, kind: AccessKind::Load, gap }
+        Access {
+            line,
+            kind: AccessKind::Load,
+            gap,
+        }
     }
 
     /// A store with the given line and gap.
     pub fn store(line: u64, gap: u32) -> Self {
-        Access { line, kind: AccessKind::Store, gap }
+        Access {
+            line,
+            kind: AccessKind::Store,
+            gap,
+        }
     }
 
     /// Instructions this record contributes (the access itself plus its
@@ -116,7 +124,9 @@ impl Trace {
 
 impl FromIterator<Access> for Trace {
     fn from_iter<I: IntoIterator<Item = Access>>(iter: I) -> Self {
-        Trace { accesses: iter.into_iter().collect() }
+        Trace {
+            accesses: iter.into_iter().collect(),
+        }
     }
 }
 

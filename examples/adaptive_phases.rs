@@ -13,7 +13,11 @@ fn main() {
     let trace = SpecBench::Ammp.generate(420_000, 42);
 
     let mut results = Vec::new();
-    for policy in [PolicyKind::Lru, PolicyKind::lin4(), PolicyKind::sbar_default()] {
+    for policy in [
+        PolicyKind::Lru,
+        PolicyKind::lin4(),
+        PolicyKind::sbar_default(),
+    ] {
         let mut cfg = SystemConfig::baseline(policy);
         cfg.sample_interval = Some(1_500_000);
         let r = System::new(cfg).run(trace.iter());
@@ -21,13 +25,25 @@ fn main() {
     }
     let (lru, lin, sbar) = (&results[0], &results[1], &results[2]);
 
-    println!("whole-run IPC: lru {:.3} | lin {:.3} | sbar {:.3}", lru.ipc(), lin.ipc(), sbar.ipc());
+    println!(
+        "whole-run IPC: lru {:.3} | lin {:.3} | sbar {:.3}",
+        lru.ipc(),
+        lin.ipc(),
+        sbar.ipc()
+    );
     if let Some(dbg) = &sbar.policy_debug {
         println!("sbar internals: {dbg}");
     }
     println!("\nIPC per 1.5M-instruction interval (watch the lead flip and SBAR follow):\n");
-    println!("{:>4} {:>8} {:>8} {:>8}  winner", "int", "lru", "lin", "sbar");
-    let n = lru.samples.len().min(lin.samples.len()).min(sbar.samples.len());
+    println!(
+        "{:>4} {:>8} {:>8} {:>8}  winner",
+        "int", "lru", "lin", "sbar"
+    );
+    let n = lru
+        .samples
+        .len()
+        .min(lin.samples.len())
+        .min(sbar.samples.len());
     for i in 0..n {
         let (a, b, c) = (lru.samples[i].ipc, lin.samples[i].ipc, sbar.samples[i].ipc);
         let lead = if (a - b).abs() < 0.02 {
@@ -37,7 +53,11 @@ fn main() {
         } else {
             "LIN phase"
         };
-        let tracked = if (c - a.max(b)).abs() <= (c - a.min(b)).abs() { "sbar tracks it" } else { "" };
+        let tracked = if (c - a.max(b)).abs() <= (c - a.min(b)).abs() {
+            "sbar tracks it"
+        } else {
+            ""
+        };
         println!("{i:4} {a:8.3} {b:8.3} {c:8.3}  {lead:10} {tracked}");
     }
     println!(

@@ -24,15 +24,20 @@ fn main() {
         c
     };
 
-    let opt_oracle = BeladyEngine::from_accesses(
-        figure1_lines(iterations).into_iter().map(LineAddr),
-    );
+    let opt_oracle =
+        BeladyEngine::from_accesses(figure1_lines(iterations).into_iter().map(LineAddr));
     let runs = [
-        ("Belady's OPT", System::with_l2_engine(cfg(PolicyKind::Lru), Box::new(opt_oracle))),
+        (
+            "Belady's OPT",
+            System::with_l2_engine(cfg(PolicyKind::Lru), Box::new(opt_oracle)),
+        ),
         ("LRU", System::new(cfg(PolicyKind::Lru))),
         ("MLP-aware LIN", System::new(cfg(PolicyKind::lin4()))),
     ];
-    println!("{:14} {:>10} {:>14} {:>10}", "policy", "misses", "stall events", "cycles");
+    println!(
+        "{:14} {:>10} {:>14} {:>10}",
+        "policy", "misses", "stall events", "cycles"
+    );
     for (name, system) in runs {
         let r = system.run(trace.iter());
         println!(

@@ -27,7 +27,10 @@ fn main() {
         cfg
     };
 
-    println!("{:28} {:>7} {:>9} {:>8} {:>9} {:>9}", "configuration", "IPC", "L2 miss", "I-miss", "wp-miss", "prefetch");
+    println!(
+        "{:28} {:>7} {:>9} {:>8} {:>9} {:>9}",
+        "configuration", "IPC", "L2 miss", "I-miss", "wp-miss", "prefetch"
+    );
     for (label, ic, wp, pf) in [
         ("baseline", false, false, false),
         ("+ instruction fetch", true, false, false),

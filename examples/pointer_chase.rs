@@ -30,17 +30,20 @@ fn main() {
         store_pct: 25,
     };
 
-    let mut schedule = Schedule::single(vec![
-        (index_walk, 6),
-        (table_scan, 3),
-        (locals, 1),
-    ]);
+    let mut schedule = Schedule::single(vec![(index_walk, 6), (table_scan, 3), (locals, 1)]);
     let trace = schedule.generate(150_000, 99);
 
     println!("A table scan wants to flush the cache; the index wants to live there.\n");
-    println!("{:10} {:>8} {:>10} {:>12} {:>16}", "policy", "IPC", "L2 misses", "mean cost", "isolated misses");
+    println!(
+        "{:10} {:>8} {:>10} {:>12} {:>16}",
+        "policy", "IPC", "L2 misses", "mean cost", "isolated misses"
+    );
     let mut base_ipc = None;
-    for policy in [PolicyKind::Lru, PolicyKind::lin4(), PolicyKind::sbar_default()] {
+    for policy in [
+        PolicyKind::Lru,
+        PolicyKind::lin4(),
+        PolicyKind::sbar_default(),
+    ] {
         let r = System::new(SystemConfig::baseline(policy)).run(trace.iter());
         println!(
             "{:10} {:8.3} {:10} {:12.1} {:15.1}%",

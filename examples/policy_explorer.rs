@@ -54,7 +54,10 @@ fn main() {
     println!("  mem stall cycles   {:>12}", r.mem_stall_cycles);
     println!("  long stalls        {:>12}", r.stall_episodes);
     println!("  bank conflicts     {:>12}", r.mem.dram.bank_conflicts);
-    println!("  bus contention     {:>12} cycles", r.mem.bus.contention_cycles);
+    println!(
+        "  bus contention     {:>12} cycles",
+        r.mem.bus.contention_cycles
+    );
     println!("  mlp-cost histogram {}", r.cost_hist.render_row());
     println!(
         "  cost delta         {:.0}% <60cy, avg {:.0} cycles over {} samples",

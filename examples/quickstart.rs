@@ -36,6 +36,8 @@ fn main() {
         );
     }
     let gain = (lin.ipc() / lru.ipc() - 1.0) * 100.0;
-    println!("\nLIN improves IPC by {gain:+.1}% while serving {} fewer misses.",
-        lru.l2.misses as i64 - lin.l2.misses as i64);
+    println!(
+        "\nLIN improves IPC by {gain:+.1}% while serving {} fewer misses.",
+        lru.l2.misses as i64 - lin.l2.misses as i64
+    );
 }

@@ -23,6 +23,9 @@
 //!   workload generators.
 //! * [`analysis`] — histograms, delta analysis, the binomial leader-set
 //!   sampling model, and table rendering.
+//! * [`telemetry`] — the zero-cost probe layer: typed events, counter
+//!   registry, and NDJSON event streams (see the README's
+//!   "Observability" section).
 //!
 //! # Quickstart
 //!
@@ -44,4 +47,5 @@ pub use mlpsim_cache as cache;
 pub use mlpsim_core as core;
 pub use mlpsim_cpu as cpu;
 pub use mlpsim_mem as mem;
+pub use mlpsim_telemetry as telemetry;
 pub use mlpsim_trace as trace;

@@ -26,7 +26,9 @@ fn figure1_reproduces_the_papers_exact_counts() {
     };
     let opt = System::with_l2_engine(
         cfg(PolicyKind::Lru),
-        Box::new(BeladyEngine::from_accesses(figure1_lines(iterations).into_iter().map(LineAddr))),
+        Box::new(BeladyEngine::from_accesses(
+            figure1_lines(iterations).into_iter().map(LineAddr),
+        )),
     )
     .run(trace.iter());
     let lru = System::new(cfg(PolicyKind::Lru)).run(trace.iter());
@@ -42,13 +44,23 @@ fn figure1_reproduces_the_papers_exact_counts() {
     assert_eq!(per_iter(lin.stall_episodes), 2);
     // And the punchline: LIN finishes the loop faster than the
     // miss-optimal oracle.
-    assert!(lin.cycles < opt.cycles, "lin {} vs opt {}", lin.cycles, opt.cycles);
+    assert!(
+        lin.cycles < opt.cycles,
+        "lin {} vs opt {}",
+        lin.cycles,
+        opt.cycles
+    );
     assert!(lin.cycles < lru.cycles);
 }
 
 #[test]
 fn lin_helps_the_papers_winners() {
-    for bench in [SpecBench::Mcf, SpecBench::Vpr, SpecBench::Sixtrack, SpecBench::Art] {
+    for bench in [
+        SpecBench::Mcf,
+        SpecBench::Vpr,
+        SpecBench::Sixtrack,
+        SpecBench::Art,
+    ] {
         let lru = run_bench(bench, PolicyKind::Lru, 150_000);
         let lin = run_bench(bench, PolicyKind::lin4(), 150_000);
         assert!(
@@ -98,8 +110,18 @@ fn sbar_beats_both_pure_policies_on_phased_workloads() {
     let lru = run_bench(SpecBench::Ammp, PolicyKind::Lru, 420_000);
     let lin = run_bench(SpecBench::Ammp, PolicyKind::lin4(), 420_000);
     let sbar = run_bench(SpecBench::Ammp, PolicyKind::sbar_default(), 420_000);
-    assert!(sbar.ipc() > lru.ipc(), "ammp: SBAR {:.3} vs LRU {:.3}", sbar.ipc(), lru.ipc());
-    assert!(sbar.ipc() > lin.ipc(), "ammp: SBAR {:.3} vs LIN {:.3}", sbar.ipc(), lin.ipc());
+    assert!(
+        sbar.ipc() > lru.ipc(),
+        "ammp: SBAR {:.3} vs LRU {:.3}",
+        sbar.ipc(),
+        lru.ipc()
+    );
+    assert!(
+        sbar.ipc() > lin.ipc(),
+        "ammp: SBAR {:.3} vs LIN {:.3}",
+        sbar.ipc(),
+        lin.ipc()
+    );
 }
 
 #[test]
@@ -108,7 +130,10 @@ fn mlp_cost_distribution_is_bench_specific() {
     // isolated-heavy, facerec carries a pair peak.
     let art = run_bench(SpecBench::Art, PolicyKind::Lru, 150_000);
     let twolf = run_bench(SpecBench::Twolf, PolicyKind::Lru, 150_000);
-    assert!(art.cost_hist.percent(7) < 5.0, "art has almost no isolated misses");
+    assert!(
+        art.cost_hist.percent(7) < 5.0,
+        "art has almost no isolated misses"
+    );
     assert!(twolf.cost_hist.percent(7) > 10.0, "twolf is isolated-heavy");
     assert!(art.cost_hist.mean() < twolf.cost_hist.mean());
 }
@@ -118,8 +143,14 @@ fn unpredictable_benchmarks_have_large_deltas() {
     // Table 1's discriminator, measured on the live system.
     let sixtrack = run_bench(SpecBench::Sixtrack, PolicyKind::Lru, 150_000);
     let mgrid = run_bench(SpecBench::Mgrid, PolicyKind::Lru, 420_000);
-    assert!(sixtrack.deltas.pct_lt60() > 95.0, "sixtrack is deterministic");
-    assert!(mgrid.deltas.average() > 100.0, "mgrid's costs flip between phases");
+    assert!(
+        sixtrack.deltas.pct_lt60() > 95.0,
+        "sixtrack is deterministic"
+    );
+    assert!(
+        mgrid.deltas.average() > 100.0,
+        "mgrid's costs flip between phases"
+    );
 }
 
 #[test]

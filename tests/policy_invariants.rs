@@ -13,15 +13,15 @@ use proptest::prelude::*;
 /// A compact random trace: lines from a small universe so reuse happens,
 /// gaps spanning the isolated/parallel boundary.
 fn arb_trace(max_len: usize) -> impl Strategy<Value = Trace> {
-    prop::collection::vec(
-        (0u64..512, prop::bool::ANY, 0u32..256),
-        1..max_len,
-    )
-    .prop_map(|v| {
+    prop::collection::vec((0u64..512, prop::bool::ANY, 0u32..256), 1..max_len).prop_map(|v| {
         v.into_iter()
             .map(|(line, store, gap)| Access {
                 line,
-                kind: if store { AccessKind::Store } else { AccessKind::Load },
+                kind: if store {
+                    AccessKind::Store
+                } else {
+                    AccessKind::Load
+                },
                 gap,
             })
             .collect()

@@ -1,0 +1,174 @@
+//! Offline stand-in for `criterion` (API subset used by `crates/bench`).
+//!
+//! The build sandbox has no crates.io access, so this crate provides the
+//! same bench-authoring surface (`Criterion`, `benchmark_group`,
+//! `bench_function`, `Bencher::iter`, `Throughput`, `criterion_group!`,
+//! `criterion_main!`) backed by a simple `Instant`-based harness: each
+//! benchmark is warmed up, auto-batched until a batch takes long enough to
+//! time reliably, sampled N times, and reported as the median ns/iteration
+//! on stdout. No statistical analysis, plots, or baselines — the numbers
+//! are indicative, which is all the in-repo overhead assertions need.
+
+use std::time::Instant;
+
+/// Per-element/byte throughput annotation; reported alongside the median.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled in by [`Bencher::iter`].
+    median_ns: f64,
+}
+
+const SAMPLES_DEFAULT: usize = 15;
+const MIN_BATCH_NS: u128 = 2_000_000; // grow batches until they take >= 2ms
+
+impl Bencher {
+    /// Time `f`, auto-batching so each sample is long enough to measure.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and initial calibration.
+        let mut batch: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let elapsed = t0.elapsed().as_nanos();
+            if elapsed >= MIN_BATCH_NS || batch >= 1 << 24 {
+                break;
+            }
+            let grow = MIN_BATCH_NS
+                .checked_div(elapsed)
+                .map_or(16, |g| (g + 1).min(16) as u64);
+            batch = batch.saturating_mul(grow.max(2));
+        }
+
+        let mut samples: Vec<f64> = Vec::with_capacity(SAMPLES_DEFAULT);
+        for _ in 0..SAMPLES_DEFAULT {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            samples.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = samples[samples.len() / 2];
+    }
+}
+
+fn report(id: &str, median_ns: f64, throughput: Option<Throughput>) {
+    let per_second = match throughput {
+        Some(Throughput::Elements(n)) if median_ns > 0.0 => {
+            format!("  ({:.1} Melem/s)", n as f64 / median_ns * 1e3)
+        }
+        Some(Throughput::Bytes(n)) if median_ns > 0.0 => {
+            format!("  ({:.1} MB/s)", n as f64 / median_ns * 1e3)
+        }
+        _ => String::new(),
+    };
+    println!("bench {id:<48} median {median_ns:>12.1} ns/iter{per_second}");
+}
+
+/// Top-level bench driver (subset of the upstream builder API).
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { median_ns: 0.0 };
+        f(&mut b);
+        report(&id, b.median_ns, None);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks sharing throughput annotations.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API parity; the stub harness sizes samples itself.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let mut b = Bencher { median_ns: 0.0 };
+        f(&mut b);
+        report(&id, b.median_ns, self.throughput);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_and_reports() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10).throughput(Throughput::Elements(4));
+        g.bench_function("sum", |b| b.iter(|| (0u64..4).sum::<u64>()));
+        g.finish();
+    }
+}

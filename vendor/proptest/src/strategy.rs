@@ -1,0 +1,302 @@
+//! Value-generation strategies (no shrinking).
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike upstream proptest there is no value tree: `gen_value` samples a
+/// concrete value directly, and failing cases are reported un-shrunk.
+pub trait Strategy {
+    type Value;
+
+    /// Sample one value using the deterministic per-case RNG.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn gen_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+macro_rules! impl_uint_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty strategy range");
+                if start == <$t>::MIN && end == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + rng.below((end - start) as u64 + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_uint_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn gen_value(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for core::ops::Range<f32> {
+    type Value = f32;
+    fn gen_value(&self, rng: &mut TestRng) -> f32 {
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($S:ident / $idx:tt),+))*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+}
+
+/// Upstream proptest interprets `&str` as a regex strategy producing
+/// `String`s. This stub supports the pattern shape the workspace uses —
+/// a single character class with a bounded repeat, `[<chars>]{m,n}`,
+/// where the class may contain literal characters and `a-z`-style
+/// ranges. Any other pattern is generated as the literal string itself.
+impl Strategy for &str {
+    type Value = String;
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        match parse_class_repeat(self) {
+            Some((chars, min, max)) => {
+                assert!(!chars.is_empty(), "empty character class in {self:?}");
+                let len = min + rng.below((max - min + 1) as u64) as usize;
+                (0..len)
+                    .map(|_| chars[rng.below(chars.len() as u64) as usize])
+                    .collect()
+            }
+            None => (*self).to_string(),
+        }
+    }
+}
+
+/// Parse `[<class>]{m,n}` (or `{m}`) into (alphabet, min, max).
+fn parse_class_repeat(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let (class, rest) = rest.split_once(']')?;
+    let mut chars: Vec<char> = Vec::new();
+    let cs: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < cs.len() {
+        if i + 2 < cs.len() && cs[i + 1] == '-' {
+            let (lo, hi) = (cs[i], cs[i + 2]);
+            for c in (lo as u32)..=(hi as u32) {
+                chars.push(char::from_u32(c)?);
+            }
+            i += 3;
+        } else {
+            chars.push(cs[i]);
+            i += 1;
+        }
+    }
+    let reps = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (min, max) = match reps.split_once(',') {
+        Some((m, n)) => (m.trim().parse().ok()?, n.trim().parse().ok()?),
+        None => {
+            let n = reps.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    if min > max {
+        return None;
+    }
+    Some((chars, min, max))
+}
+
+/// `prop::bool` namespace.
+pub mod bool {
+    use super::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniform boolean strategy (upstream `prop::bool::ANY`).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn gen_value(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// `prop::collection` namespace.
+pub mod collection {
+    use super::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Length bounds for [`vec`], convertible from the range forms the
+    /// upstream API accepts.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        /// Exclusive upper bound.
+        max: usize,
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                min: r.start,
+                max: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    /// Result of [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generate `Vec`s whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min) as u64;
+            let len = self.size.min + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::collection::vec;
+    use super::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::for_case("strategy::ranges", 0);
+        for _ in 0..1_000 {
+            let v = (5u64..17).gen_value(&mut rng);
+            assert!((5..17).contains(&v));
+            let f = (0.0f64..2.5).gen_value(&mut rng);
+            assert!((0.0..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_bounds() {
+        let mut rng = TestRng::for_case("strategy::vec", 0);
+        let s = vec((0u32..4, super::bool::ANY), 1..20);
+        for _ in 0..500 {
+            let v = s.gen_value(&mut rng);
+            assert!((1..20).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = TestRng::for_case("strategy::map", 0);
+        let s = (0u64..10).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            assert_eq!(s.gen_value(&mut rng) % 2, 0);
+        }
+    }
+}

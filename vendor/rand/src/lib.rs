@@ -1,0 +1,217 @@
+//! Offline stand-in for the `rand` crate (0.9 API subset).
+//!
+//! The build sandbox has no crates.io access, and the workspace only uses a
+//! narrow slice of rand: `rngs::SmallRng`, `SeedableRng::seed_from_u64`, and
+//! `Rng::random_range` over integer ranges. This crate reimplements that
+//! slice faithfully: `SmallRng` is the same xoshiro256++ generator the real
+//! crate uses on 64-bit targets, seeded through the same splitmix64
+//! expansion, and `random_range` uses the same widening-multiply with
+//! Lemire rejection. Determinism contract: the same seed always yields the
+//! same stream across runs and machines (the trace generators and
+//! `PolicyKind::Random` rely on this).
+
+/// Seedable random generators (API parity with `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a `u64` seed. Deterministic.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Core sampling interface (API parity with the subset of `rand::Rng` the
+/// workspace uses).
+pub trait Rng {
+    /// Next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly distributed bits. For 64-bit generators the high
+    /// half is used (xoshiro's low bits have weak linear structure).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Sample uniformly from `range` (half-open `start..end`).
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+/// Types usable as the argument of [`Rng::random_range`].
+pub trait SampleRange {
+    type Output;
+    fn sample_from<G: Rng>(self, rng: &mut G) -> Self::Output;
+}
+
+/// Uniform draw from `[0, range)` over a 32-bit sample space using the
+/// widening multiply, rejecting draws in the biased zone.
+fn sample_u32_below<G: Rng>(rng: &mut G, range: u32) -> u32 {
+    debug_assert!(range > 0);
+    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+    loop {
+        let v = rng.next_u32();
+        let m = u64::from(v) * u64::from(range);
+        let lo = m as u32;
+        if lo <= zone {
+            return (m >> 32) as u32;
+        }
+    }
+}
+
+/// Same, over the full 64-bit sample space.
+fn sample_u64_below<G: Rng>(rng: &mut G, range: u64) -> u64 {
+    debug_assert!(range > 0);
+    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+    loop {
+        let v = rng.next_u64();
+        let m = u128::from(v) * u128::from(range);
+        let lo = m as u64;
+        if lo <= zone {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_sample_range_32 {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample_from<G: Rng>(self, rng: &mut G) -> $t {
+                assert!(
+                    self.start < self.end,
+                    "random_range: empty range {}..{}",
+                    self.start,
+                    self.end
+                );
+                let span = (self.end as i64 - self.start as i64) as u32;
+                let off = sample_u32_below(rng, span);
+                (self.start as i64 + off as i64) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_32!(u8, u16, u32, i8, i16, i32);
+
+macro_rules! impl_sample_range_64 {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample_from<G: Rng>(self, rng: &mut G) -> $t {
+                assert!(
+                    self.start < self.end,
+                    "random_range: empty range {}..{}",
+                    self.start,
+                    self.end
+                );
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let off = sample_u64_below(rng, span);
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_64!(u64, usize, i64, isize);
+
+impl SampleRange for core::ops::Range<f64> {
+    type Output = f64;
+    fn sample_from<G: Rng>(self, rng: &mut G) -> f64 {
+        let frac = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + frac * (self.end - self.start)
+    }
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Small, fast, non-cryptographic generator: xoshiro256++, the same
+    /// algorithm `rand 0.9` uses for `SmallRng` on 64-bit platforms.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        pub(crate) s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 expansion of the seed into the full state, as in
+            // rand_core's default `seed_from_u64`.
+            let mut state = seed;
+            let mut s = [0u64; 4];
+            for word in &mut s {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                *word = z ^ (z >> 31);
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: u32 = rng.random_range(3u32..17);
+            assert!((3..17).contains(&v));
+            let w: usize = rng.random_range(0usize..5);
+            assert!(w < 5);
+            let b: u8 = rng.random_range(0u8..2);
+            assert!(b < 2);
+        }
+    }
+
+    #[test]
+    fn range_hits_all_buckets() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "uniform sampler missed a bucket");
+    }
+
+    #[test]
+    fn matches_xoshiro256plusplus_reference() {
+        // First outputs for state (1, 2, 3, 4) from the public
+        // xoshiro256++ reference implementation.
+        let mut rng = SmallRng { s: [1, 2, 3, 4] };
+        let expected: [u64; 4] = [41943041, 58720359, 3588806011781223, 3591011842654386];
+        for e in expected {
+            assert_eq!(rng.next_u64(), e);
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build sandbox cannot reach crates.io, and the workspace only uses
+//! serde as `#[derive(Serialize, Deserialize)]` annotations on plain-old-
+//! data types — nothing constructs a serde `Serializer`/`Deserializer`.
+//! This crate supplies marker traits under the expected names and re-
+//! exports the no-op derives from the sibling `serde_derive` stub, so every
+//! `use serde::{Deserialize, Serialize}` in the workspace resolves in both
+//! the type and macro namespaces.
+//!
+//! If real serde serialization is ever needed, swap the path dependencies
+//! in the workspace `Cargo.toml` back to the crates.io versions; the
+//! annotation surface is compatible.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize` (never implemented by the
+/// no-op derive; present so trait-position uses still name-resolve).
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,23 @@
+//! Offline no-op stand-in for `serde_derive`.
+//!
+//! The sandbox this workspace builds in has no access to crates.io, so the
+//! real `serde_derive` cannot be fetched. Nothing in the workspace actually
+//! serializes through serde's data model (the NDJSON telemetry layer in
+//! `mlpsim-telemetry` hand-rolls its encoding precisely to stay
+//! dependency-free), so the derives only need to *exist* — they expand to
+//! nothing. The `serde` attribute is accepted and ignored so container
+//! attributes keep compiling if they are ever added.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
