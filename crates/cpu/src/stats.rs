@@ -7,7 +7,12 @@ use mlpsim_cache::model::CacheStats;
 use mlpsim_mem::MemStats;
 
 /// Everything a single simulation run produces.
-#[derive(Clone, Debug, Default)]
+///
+/// `PartialEq` backs the executor's determinism contract: the parallel
+/// sweep tests assert cell-for-cell equality between `-j1` and `-jN` runs
+/// (exact, including the `f64` fields — same inputs, same instruction
+/// stream, same bits).
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct SimResult {
     /// Policy label the L2 ran with.
     pub policy: String,

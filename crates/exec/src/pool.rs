@@ -1,0 +1,242 @@
+//! The worker pool and its ordered fan-out helper.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+
+/// Environment variable overriding the default worker count.
+pub const JOBS_ENV: &str = "MLPSIM_JOBS";
+
+/// The default worker count: `MLPSIM_JOBS` when set to a positive integer,
+/// otherwise [`std::thread::available_parallelism`] (1 when even that is
+/// unknowable). An unparsable `MLPSIM_JOBS` falls back to the hardware
+/// default with a warning on stderr — a sweep silently running serial
+/// because of a typo'd variable would defeat the point of the pool.
+pub fn default_jobs() -> usize {
+    if let Ok(raw) = std::env::var(JOBS_ENV) {
+        match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => return n,
+            _ => {
+                eprintln!("warning: ignoring invalid {JOBS_ENV}={raw:?} (want a positive integer)")
+            }
+        }
+    }
+    thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// A boxed unit of work.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed set of worker threads pulling [`Job`]s from a shared queue.
+///
+/// Determinism contract: the pool itself imposes *no* ordering on job
+/// execution — only [`WorkerPool::map_ordered`] does, by tagging each job
+/// with its submission index and reassembling results by tag. Jobs must
+/// therefore not communicate through shared mutable state.
+///
+/// Dropping the pool closes the queue and joins every worker, so queued
+/// work always finishes before the pool goes away.
+pub struct WorkerPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `threads` workers (clamped to at least one).
+    pub fn new(threads: usize) -> Self {
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..threads.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                thread::Builder::new()
+                    .name(format!("mlpsim-worker-{i}"))
+                    .spawn(move || worker_loop(&rx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// A pool sized by [`default_jobs`].
+    pub fn with_default_jobs() -> Self {
+        Self::new(default_jobs())
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Queues one fire-and-forget job.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        self.tx
+            .as_ref()
+            .expect("pool queue open until drop")
+            .send(Box::new(job))
+            .expect("a worker holds the receiver until the queue closes");
+    }
+
+    /// Runs every job on the pool and returns their results **in
+    /// submission order**, however the workers interleave. This is the
+    /// primitive that makes parallel sweeps reproduce serial output
+    /// byte-for-byte.
+    ///
+    /// # Panics
+    ///
+    /// If a job panics, the panic is re-raised here (after the remaining
+    /// jobs were still handed to workers), mirroring the serial behavior
+    /// of the same loop.
+    pub fn map_ordered<T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let n = jobs.len();
+        let (tx, rx) = channel::<(usize, thread::Result<T>)>();
+        for (idx, job) in jobs.into_iter().enumerate() {
+            let tx = tx.clone();
+            self.submit(move || {
+                // Catch so one bad cell doesn't kill the worker thread and
+                // strand the rest of the queue; the panic is re-raised on
+                // the submitting thread below.
+                let out = catch_unwind(AssertUnwindSafe(job));
+                let _ = tx.send((idx, out));
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<thread::Result<T>>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (idx, out) = rx.recv().expect("every job sends exactly once");
+            slots[idx] = Some(out);
+        }
+        slots
+            .into_iter()
+            .map(|slot| match slot.expect("all indices delivered") {
+                Ok(v) => v,
+                Err(payload) => resume_unwind(payload),
+            })
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        drop(self.tx.take()); // close the queue: workers drain then exit
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+    loop {
+        // Hold the lock only to *receive*; run the job unlocked so other
+        // workers keep pulling.
+        let job = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return, // a sibling panicked inside recv(); give up
+        };
+        match job {
+            Ok(job) => job(),
+            Err(_) => return, // queue closed and drained
+        }
+    }
+}
+
+/// One-shot convenience: run `jobs` on a transient pool of `threads`
+/// workers and return the results in submission order.
+pub fn map_ordered<T, F>(threads: usize, jobs: Vec<F>) -> Vec<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    WorkerPool::new(threads).map_ordered(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_arrive_in_submission_order() {
+        let pool = WorkerPool::new(4);
+        // Reverse sleep times so later jobs finish first.
+        let jobs: Vec<_> = (0..16u64)
+            .map(|i| {
+                move || {
+                    thread::sleep(std::time::Duration::from_millis((16 - i) % 5));
+                    i * i
+                }
+            })
+            .collect();
+        let out = pool.map_ordered(jobs);
+        assert_eq!(out, (0..16u64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_pool_is_just_a_loop() {
+        let out = map_ordered(1, (0..8).map(|i| move || i + 1).collect());
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn empty_job_list() {
+        let out: Vec<u8> = map_ordered(3, Vec::<fn() -> u8>::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let jobs: Vec<_> = (0..100)
+            .map(|_| {
+                let c = Arc::clone(&counter);
+                move || c.fetch_add(1, Ordering::SeqCst)
+            })
+            .collect();
+        let pool = WorkerPool::new(8);
+        let out = pool.map_ordered(jobs);
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+        // Each job observed a distinct pre-increment value.
+        let mut seen = out.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 100);
+    }
+
+    #[test]
+    fn panicking_job_propagates_without_stranding_others() {
+        let pool = WorkerPool::new(2);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r1 = Arc::clone(&ran);
+        let r2 = Arc::clone(&ran);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.map_ordered(vec![
+                Box::new(move || {
+                    r1.fetch_add(1, Ordering::SeqCst);
+                }) as Box<dyn FnOnce() + Send>,
+                Box::new(|| panic!("cell exploded")),
+                Box::new(move || {
+                    r2.fetch_add(1, Ordering::SeqCst);
+                }),
+            ])
+        }));
+        assert!(result.is_err(), "panic must propagate to the caller");
+        // The pool survives and still executes fresh work.
+        let after = pool.map_ordered(vec![|| 7]);
+        assert_eq!(after, vec![7]);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        assert_eq!(pool.map_ordered(vec![|| 1]), vec![1]);
+    }
+}

@@ -10,23 +10,33 @@ use mlpsim_analysis::table::Table;
 use mlpsim_analysis::util::percent_improvement;
 use mlpsim_core::ccl::AdderMode;
 use mlpsim_cpu::policy::PolicyKind;
-use mlpsim_experiments::runner::{run_bench_with, RunOptions};
+use mlpsim_experiments::runner::{run_matrix, RunOptions};
 use mlpsim_trace::spec::SpecBench;
+
+const BENCHES: [SpecBench; 3] = [SpecBench::Art, SpecBench::Mcf, SpecBench::Sixtrack];
 
 fn main() {
     println!("Footnote-3 ablation — per-entry adders vs 4 time-shared adders\n");
     let mut t = Table::with_headers(&["bench", "adders", "meanCost", "iso%", "LINipc%"]);
-    for bench in [SpecBench::Art, SpecBench::Mcf, SpecBench::Sixtrack] {
-        for (label, adders) in [
-            ("per-entry", AdderMode::PerEntry),
-            ("4-shared", AdderMode::paper_shared()),
-        ] {
+    let policies = [PolicyKind::Lru, PolicyKind::lin4()];
+    let modes = [
+        ("per-entry", AdderMode::PerEntry),
+        ("4-shared", AdderMode::paper_shared()),
+    ];
+    let matrices: Vec<_> = modes
+        .iter()
+        .map(|&(_, adders)| {
             let opts = RunOptions {
                 adders,
-                ..RunOptions::default()
+                ..RunOptions::from_env()
             };
-            let lru = run_bench_with(bench, PolicyKind::Lru, &opts);
-            let lin = run_bench_with(bench, PolicyKind::lin4(), &opts);
+            run_matrix(&BENCHES, &policies, &opts)
+        })
+        .collect();
+    for (bi, bench) in BENCHES.into_iter().enumerate() {
+        for (&(label, _), matrix) in modes.iter().zip(&matrices) {
+            let lru = &matrix[bi][0];
+            let lin = &matrix[bi][1];
             t.row(vec![
                 bench.name().into(),
                 label.into(),

@@ -6,7 +6,7 @@
 use mlpsim_analysis::table::Table;
 use mlpsim_analysis::util::percent_improvement;
 use mlpsim_cpu::policy::PolicyKind;
-use mlpsim_experiments::runner::{run_many, RunOptions};
+use mlpsim_experiments::runner::{run_matrix, RunOptions};
 use mlpsim_trace::spec::SpecBench;
 
 fn main() {
@@ -22,10 +22,10 @@ fn main() {
     let mut headers = vec!["bench".to_string()];
     headers.extend(lambdas.iter().map(|l| format!("lin({l})")));
     let mut t = Table::new(headers);
-    for bench in benches {
-        let mut policies = vec![PolicyKind::Lru];
-        policies.extend(lambdas.iter().map(|&lambda| PolicyKind::Lin { lambda }));
-        let results = run_many(bench, &policies, &RunOptions::default());
+    let mut policies = vec![PolicyKind::Lru];
+    policies.extend(lambdas.iter().map(|&lambda| PolicyKind::Lin { lambda }));
+    let matrix = run_matrix(&benches, &policies, &RunOptions::from_env());
+    for (bench, results) in benches.into_iter().zip(&matrix) {
         let lru = &results[0];
         let mut row = vec![bench.name().to_string()];
         for lin in &results[1..] {

@@ -11,24 +11,44 @@ use mlpsim_analysis::util::percent_improvement;
 use mlpsim_cpu::config::{CostAccounting, SystemConfig};
 use mlpsim_cpu::policy::PolicyKind;
 use mlpsim_cpu::system::System;
+use mlpsim_exec::WorkerPool;
+use mlpsim_experiments::runner::jobs_from_env;
 use mlpsim_trace::spec::SpecBench;
+use std::sync::Arc;
+
+const BENCHES: [SpecBench; 3] = [SpecBench::Mcf, SpecBench::Vpr, SpecBench::Art];
+const MODES: [(&str, CostAccounting); 2] = [
+    ("all-cycles", CostAccounting::AllCycles),
+    ("stall-only", CostAccounting::StallCyclesOnly),
+];
 
 fn main() {
     println!("Footnote-4 ablation — all-cycles vs stall-cycles-only cost accounting\n");
     let mut t = Table::with_headers(&["bench", "accounting", "meanCost", "iso%", "LINipc%"]);
-    for bench in [SpecBench::Mcf, SpecBench::Vpr, SpecBench::Art] {
-        let trace = bench.generate(200_000, 42);
-        for (label, accounting) in [
-            ("all-cycles", CostAccounting::AllCycles),
-            ("stall-only", CostAccounting::StallCyclesOnly),
-        ] {
-            let run = |policy| {
-                let mut cfg = SystemConfig::baseline(policy);
-                cfg.cost_accounting = accounting;
-                System::new(cfg).run(trace.iter())
-            };
-            let lru = run(PolicyKind::Lru);
-            let lin = run(PolicyKind::lin4());
+    let pool = WorkerPool::new(jobs_from_env());
+    let traces: Vec<Arc<_>> = pool.map_ordered(
+        BENCHES
+            .map(|b| move || Arc::new(b.generate(200_000, 42)))
+            .into(),
+    );
+    let mut cells = Vec::new();
+    for trace in &traces {
+        for (_, accounting) in MODES {
+            for policy in [PolicyKind::Lru, PolicyKind::lin4()] {
+                let trace = Arc::clone(trace);
+                cells.push(move || {
+                    let mut cfg = SystemConfig::baseline(policy);
+                    cfg.cost_accounting = accounting;
+                    System::new(cfg).run(trace.iter())
+                });
+            }
+        }
+    }
+    let mut results = pool.map_ordered(cells).into_iter();
+    for bench in BENCHES {
+        for (label, _) in MODES {
+            let lru = results.next().expect("lru cell");
+            let lin = results.next().expect("lin cell");
             t.row(vec![
                 bench.name().into(),
                 label.into(),

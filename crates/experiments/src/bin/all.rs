@@ -1,10 +1,25 @@
-//! Runs every experiment binary's logic in sequence (by invoking the
-//! sibling binaries), regenerating all of the paper's tables and figures.
+//! Runs every experiment binary (by invoking the siblings), regenerating
+//! all of the paper's tables and figures.
+//!
+//! The children run **concurrently** on a [`WorkerPool`] sized by
+//! `--jobs`/`-j` (default: hardware threads, `MLPSIM_JOBS` override), but
+//! their stdout is captured and printed strictly in the order listed in
+//! [`EXPERIMENTS`], so the combined report is byte-identical at any job
+//! count. Each child itself runs with `--jobs 1` — the parallelism budget
+//! is spent across experiments, not multiplied within them.
+//!
+//! `--telemetry <path>` is forwarded to every child with the experiment
+//! name spliced into the file name (`out.ndjson` → `out.fig9.ndjson`), so
+//! concurrent children never share an event stream. Unrecognised
+//! arguments are an error (exit 2): a typo like `--job 4` silently
+//! running the whole evaluation serially would be worse than a refusal.
 //!
 //! Prefer running individual binaries while iterating; this one exists so
-//! `cargo run --bin all --release` reproduces the full evaluation in one
-//! shot.
+//! `cargo run -p mlpsim-experiments --bin all --release` reproduces the
+//! full evaluation in one shot.
 
+use mlpsim_exec::WorkerPool;
+use std::io::Write;
 use std::process::Command;
 
 const EXPERIMENTS: &[&str] = &[
@@ -38,25 +53,127 @@ const EXPERIMENTS: &[&str] = &[
     "multi_seed",
 ];
 
+struct CliArgs {
+    jobs: usize,
+    telemetry: Option<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<CliArgs, String> {
+    let parse_jobs = |raw: &str| -> Result<usize, String> {
+        match raw.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(format!("--jobs wants a positive integer, got {raw:?}")),
+        }
+    };
+    let mut jobs = None;
+    let mut telemetry = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--jobs" || a == "-j" {
+            match it.next() {
+                Some(n) => jobs = Some(parse_jobs(n)?),
+                None => return Err(format!("{a} requires a worker-count argument")),
+            }
+        } else if let Some(n) = a.strip_prefix("--jobs=") {
+            jobs = Some(parse_jobs(n)?);
+        } else if a == "--telemetry" {
+            match it.next() {
+                Some(p) if p.starts_with("--") => {
+                    return Err(format!(
+                        "--telemetry requires a path argument, got the flag-like {p:?} \
+                         (use --telemetry={p} for a path that really starts with \"--\")"
+                    ));
+                }
+                Some(p) => telemetry = Some(p.clone()),
+                None => return Err("--telemetry requires a path argument".into()),
+            }
+        } else if let Some(p) = a.strip_prefix("--telemetry=") {
+            if p.is_empty() {
+                return Err("--telemetry= requires a non-empty path".into());
+            }
+            telemetry = Some(p.to_string());
+        } else if let Some(n) = a.strip_prefix("-j") {
+            jobs = Some(parse_jobs(n)?);
+        } else {
+            return Err(format!(
+                "unrecognised argument {a:?} (supported: --jobs/-j <N>, --telemetry <path>)"
+            ));
+        }
+    }
+    Ok(CliArgs {
+        jobs: jobs.unwrap_or_else(mlpsim_exec::default_jobs),
+        telemetry,
+    })
+}
+
+/// Splices `name` into `base`'s file name before its extension:
+/// `out.ndjson` → `out.fig9.ndjson`, `telemetry` → `telemetry.fig9`.
+fn telemetry_path_for(base: &str, name: &str) -> String {
+    match base.rfind('.') {
+        // Split only at a dot strictly inside the file-name component, so
+        // directory dots (`run.d/stream`) and hidden files (`.hidden`)
+        // fall through to plain appending.
+        Some(i) if i > base.rfind('/').map_or(0, |s| s + 1) => {
+            format!("{}.{name}{}", &base[..i], &base[i..])
+        }
+        _ => format!("{base}.{name}"),
+    }
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = parse_args(&args).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
     let exe = std::env::current_exe().expect("own path");
-    let dir = exe.parent().expect("target dir");
+    let dir = exe.parent().expect("target dir").to_path_buf();
+
+    let pool = WorkerPool::new(cli.jobs);
+    let launches = EXPERIMENTS
+        .iter()
+        .map(|&name| {
+            let path = dir.join(name);
+            let telemetry = cli
+                .telemetry
+                .as_deref()
+                .map(|base| telemetry_path_for(base, name));
+            move || {
+                let mut cmd = Command::new(&path);
+                // One worker thread per child: the pool already spreads
+                // `cli.jobs` ways across experiments, and `-j1` children
+                // keep `all --jobs 1` exactly as serial as it claims.
+                cmd.arg("--jobs").arg("1");
+                if let Some(t) = &telemetry {
+                    cmd.arg(format!("--telemetry={t}"));
+                }
+                cmd.output()
+            }
+        })
+        .collect();
+    let outputs = pool.map_ordered(launches);
+
     let mut failures = Vec::new();
-    for name in EXPERIMENTS {
+    for (&name, out) in EXPERIMENTS.iter().zip(outputs) {
         println!("\n================================================================");
         println!("== {name}");
         println!("================================================================");
-        let path = dir.join(name);
-        let status = Command::new(&path).status();
-        match status {
-            Ok(s) if s.success() => {}
-            Ok(s) => {
-                eprintln!("{name} exited with {s}");
-                failures.push(*name);
+        match out {
+            Ok(o) => {
+                std::io::stdout()
+                    .write_all(&o.stdout)
+                    .expect("write captured stdout");
+                std::io::stderr()
+                    .write_all(&o.stderr)
+                    .expect("write captured stderr");
+                if !o.status.success() {
+                    eprintln!("{name} exited with {}", o.status);
+                    failures.push(name);
+                }
             }
             Err(e) => {
                 eprintln!("could not launch {name} ({e}); build the workspace binaries first");
-                failures.push(*name);
+                failures.push(name);
             }
         }
     }
@@ -65,5 +182,60 @@ fn main() {
     } else {
         eprintln!("\nFailed experiments: {failures:?}");
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn recognised_flags_parse() {
+        let cli = parse_args(&strings(&["--jobs", "3", "--telemetry", "out.ndjson"])).unwrap();
+        assert_eq!(cli.jobs, 3);
+        assert_eq!(cli.telemetry.as_deref(), Some("out.ndjson"));
+        assert_eq!(parse_args(&strings(&["-j4"])).unwrap().jobs, 4);
+        assert_eq!(parse_args(&strings(&["--jobs=2"])).unwrap().jobs, 2);
+        assert_eq!(
+            parse_args(&strings(&["--telemetry=t.ndjson"]))
+                .unwrap()
+                .telemetry
+                .as_deref(),
+            Some("t.ndjson")
+        );
+    }
+
+    #[test]
+    fn unrecognised_flags_are_errors() {
+        for bad in [
+            &["--job", "4"][..],
+            &["--frobnicate"],
+            &["extra"],
+            &["--jobs", "0"],
+            &["--telemetry"],
+            &["--telemetry", "--jobs"],
+        ] {
+            assert!(parse_args(&strings(bad)).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn telemetry_suffix_lands_before_extension() {
+        assert_eq!(telemetry_path_for("out.ndjson", "fig9"), "out.fig9.ndjson");
+        assert_eq!(
+            telemetry_path_for("runs/out.ndjson", "fig9"),
+            "runs/out.fig9.ndjson"
+        );
+        assert_eq!(telemetry_path_for("telemetry", "fig9"), "telemetry.fig9");
+        assert_eq!(telemetry_path_for("./noext", "fig9"), "./noext.fig9");
+        assert_eq!(telemetry_path_for(".hidden", "fig9"), ".hidden.fig9");
+        assert_eq!(
+            telemetry_path_for("run.d/stream", "fig9"),
+            "run.d/stream.fig9"
+        );
     }
 }

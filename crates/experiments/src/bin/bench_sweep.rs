@@ -1,0 +1,79 @@
+//! Benchmarks the parallel sweep executor: one representative
+//! `run_matrix` sweep timed at `-j1` and again at `-jN`, with the results
+//! of the two runs compared cell-by-cell (the determinism guarantee,
+//! enforced rather than assumed) and the wall-clock numbers written to
+//! `BENCH_sweep.json` so future changes have a perf trajectory to regress
+//! against.
+//!
+//! `N` comes from `--jobs`/`-j`/`MLPSIM_JOBS` as everywhere else, default
+//! hardware threads. On a single-core host the honest result is a ~1.0×
+//! "speedup"; the JSON records `host_threads` so readers can tell a
+//! scheduler regression from a small machine.
+
+use mlpsim_cpu::policy::PolicyKind;
+use mlpsim_experiments::runner::{jobs_from_env, run_matrix, RunOptions};
+use mlpsim_trace::spec::SpecBench;
+use std::io::Write;
+use std::time::Instant;
+
+const BENCHES: [SpecBench; 4] = [
+    SpecBench::Mcf,
+    SpecBench::Vpr,
+    SpecBench::Art,
+    SpecBench::Ammp,
+];
+const ACCESSES: usize = 150_000;
+
+fn main() {
+    let jobs = jobs_from_env();
+    let policies = [
+        PolicyKind::Lru,
+        PolicyKind::lin4(),
+        PolicyKind::sbar_default(),
+    ];
+    let opts = |jobs| RunOptions {
+        accesses: ACCESSES,
+        jobs,
+        ..RunOptions::default()
+    };
+    println!(
+        "bench_sweep — {} benches x {} policies, {} accesses each",
+        BENCHES.len(),
+        policies.len(),
+        ACCESSES
+    );
+
+    let t0 = Instant::now();
+    let serial = run_matrix(&BENCHES, &policies, &opts(1));
+    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!("serial   (-j1): {serial_ms:8.1} ms");
+
+    let t1 = Instant::now();
+    let parallel = run_matrix(&BENCHES, &policies, &opts(jobs));
+    let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
+    println!("parallel (-j{jobs}): {parallel_ms:8.1} ms");
+
+    assert_eq!(
+        serial, parallel,
+        "parallel sweep diverged from serial — determinism guarantee broken"
+    );
+    let cells = BENCHES.len() * policies.len();
+    let speedup = serial_ms / parallel_ms;
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("speedup: {speedup:.2}x over {cells} cells (host threads: {host_threads})");
+    println!("all {cells} cells byte-identical between -j1 and -j{jobs}");
+
+    let json = format!(
+        "{{\n  \"sweep\": \"run_matrix {}x{}\",\n  \"accesses\": {ACCESSES},\n  \
+         \"cells\": {cells},\n  \"jobs\": {jobs},\n  \"host_threads\": {host_threads},\n  \
+         \"serial_ms\": {serial_ms:.1},\n  \"parallel_ms\": {parallel_ms:.1},\n  \
+         \"speedup\": {speedup:.2},\n  \"deterministic\": true\n}}\n",
+        BENCHES.len(),
+        policies.len(),
+    );
+    let path = "BENCH_sweep.json";
+    let mut f = std::fs::File::create(path).expect("create BENCH_sweep.json");
+    f.write_all(json.as_bytes())
+        .expect("write BENCH_sweep.json");
+    println!("wrote {path}");
+}

@@ -9,25 +9,25 @@ use mlpsim_analysis::table::Table;
 use mlpsim_analysis::util::percent_improvement;
 use mlpsim_cpu::policy::PolicyKind;
 use mlpsim_experiments::paper::paper_row;
-use mlpsim_experiments::runner::{run_many, RunOptions};
+use mlpsim_experiments::runner::{run_matrix, RunOptions};
 use mlpsim_trace::spec::SpecBench;
 
 fn main() {
-    let opts = RunOptions::default();
+    let opts = RunOptions::from_env();
     let mut t = Table::with_headers(&[
         "bench", "ipc", "mpki", "comp%", "iso%", "d<60%", "dAvg", "LINipc%", "(paper)", "LINmiss%",
         "(paper)", "SBARipc%", "(paper)",
     ]);
-    for bench in SpecBench::ALL {
-        let results = run_many(
-            bench,
-            &[
-                PolicyKind::Lru,
-                PolicyKind::lin4(),
-                PolicyKind::sbar_default(),
-            ],
-            &opts,
-        );
+    let matrix = run_matrix(
+        &SpecBench::ALL,
+        &[
+            PolicyKind::Lru,
+            PolicyKind::lin4(),
+            PolicyKind::sbar_default(),
+        ],
+        &opts,
+    );
+    for (bench, results) in SpecBench::ALL.into_iter().zip(&matrix) {
         let (lru, lin, sbar) = (&results[0], &results[1], &results[2]);
         let p = paper_row(bench);
         let lin_ipc = percent_improvement(lin.ipc(), lru.ipc());

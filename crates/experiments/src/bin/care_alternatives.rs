@@ -12,29 +12,29 @@ use mlpsim_analysis::table::Table;
 use mlpsim_analysis::util::percent_improvement;
 use mlpsim_core::bcl::BclConfig;
 use mlpsim_cpu::policy::PolicyKind;
-use mlpsim_experiments::runner::{run_many, RunOptions};
+use mlpsim_experiments::runner::{run_matrix, RunOptions};
 use mlpsim_trace::spec::SpecBench;
 
 fn main() {
     println!("CARE alternatives — IPC improvement (%) over LRU with the same mlp-cost input\n");
     let mut t = Table::with_headers(&["bench", "LIN(4)", "BCL(d4,c4)", "BCL(d8,c2)"]);
-    for bench in SpecBench::ALL {
-        let results = run_many(
-            bench,
-            &[
-                PolicyKind::Lru,
-                PolicyKind::lin4(),
-                PolicyKind::Bcl(BclConfig {
-                    depth: 4,
-                    credit: 4,
-                }),
-                PolicyKind::Bcl(BclConfig {
-                    depth: 8,
-                    credit: 2,
-                }),
-            ],
-            &RunOptions::default(),
-        );
+    let matrix = run_matrix(
+        &SpecBench::ALL,
+        &[
+            PolicyKind::Lru,
+            PolicyKind::lin4(),
+            PolicyKind::Bcl(BclConfig {
+                depth: 4,
+                credit: 4,
+            }),
+            PolicyKind::Bcl(BclConfig {
+                depth: 8,
+                credit: 2,
+            }),
+        ],
+        &RunOptions::from_env(),
+    );
+    for (bench, results) in SpecBench::ALL.into_iter().zip(&matrix) {
         let (lru, lin, bcl, bcl2) = (&results[0], &results[1], &results[2], &results[3]);
         t.row(vec![
             bench.name().into(),

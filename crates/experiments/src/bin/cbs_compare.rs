@@ -7,7 +7,7 @@
 use mlpsim_analysis::table::Table;
 use mlpsim_analysis::util::percent_improvement;
 use mlpsim_cpu::policy::PolicyKind;
-use mlpsim_experiments::runner::{run_many, RunOptions};
+use mlpsim_experiments::runner::{run_matrix, RunOptions};
 use mlpsim_trace::spec::SpecBench;
 
 fn main() {
@@ -15,17 +15,17 @@ fn main() {
     let mut t = Table::with_headers(&["bench", "SBAR", "CBS-global", "CBS-local", "SBAR-best"]);
     let mut within_1pct = 0;
     let mut total = 0;
-    for bench in SpecBench::ALL {
-        let results = run_many(
-            bench,
-            &[
-                PolicyKind::Lru,
-                PolicyKind::sbar_default(),
-                PolicyKind::CbsGlobal,
-                PolicyKind::CbsLocal,
-            ],
-            &RunOptions::default(),
-        );
+    let matrix = run_matrix(
+        &SpecBench::ALL,
+        &[
+            PolicyKind::Lru,
+            PolicyKind::sbar_default(),
+            PolicyKind::CbsGlobal,
+            PolicyKind::CbsLocal,
+        ],
+        &RunOptions::from_env(),
+    );
+    for (bench, results) in SpecBench::ALL.into_iter().zip(&matrix) {
         let lru = &results[0];
         let sbar = percent_improvement(results[1].ipc(), lru.ipc());
         let global = percent_improvement(results[2].ipc(), lru.ipc());

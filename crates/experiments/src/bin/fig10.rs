@@ -11,7 +11,7 @@ use mlpsim_analysis::util::percent_improvement;
 use mlpsim_core::leader::SelectionPolicy;
 use mlpsim_core::sbar::SbarConfig;
 use mlpsim_cpu::policy::PolicyKind;
-use mlpsim_experiments::runner::{run_many, RunOptions};
+use mlpsim_experiments::runner::{run_matrix, RunOptions};
 use mlpsim_trace::spec::SpecBench;
 
 fn main() {
@@ -40,10 +40,10 @@ fn main() {
     let mut headers = vec!["bench".to_string()];
     headers.extend(configs.iter().map(|(l, _)| l.clone()));
     let mut t = Table::new(headers);
-    for bench in SpecBench::ALL {
-        let mut policies = vec![PolicyKind::Lru];
-        policies.extend(configs.iter().map(|(_, cfg)| PolicyKind::Sbar(*cfg)));
-        let results = run_many(bench, &policies, &RunOptions::default());
+    let mut policies = vec![PolicyKind::Lru];
+    policies.extend(configs.iter().map(|(_, cfg)| PolicyKind::Sbar(*cfg)));
+    let matrix = run_matrix(&SpecBench::ALL, &policies, &RunOptions::from_env());
+    for (bench, results) in SpecBench::ALL.into_iter().zip(&matrix) {
         let lru = &results[0];
         let mut row = vec![bench.name().to_string()];
         for r in &results[1..] {

@@ -8,19 +8,30 @@
 use mlpsim_analysis::table::Table;
 use mlpsim_analysis::util::percent_improvement;
 use mlpsim_cpu::policy::PolicyKind;
-use mlpsim_experiments::runner::{run_bench_with, telemetry_from_env, RunOptions};
+use mlpsim_experiments::runner::{run_many, RunOptions};
 use mlpsim_trace::spec::SpecBench;
 
 fn main() {
     println!("Figure 11 — ammp over time: LRU vs LIN vs SBAR\n");
     let opts = RunOptions {
         sample_interval: Some(1_000_000),
-        telemetry: telemetry_from_env(),
-        ..RunOptions::default()
+        ..RunOptions::from_env()
     };
-    let lru = run_bench_with(SpecBench::Ammp, PolicyKind::Lru, &opts);
-    let lin = run_bench_with(SpecBench::Ammp, PolicyKind::lin4(), &opts);
-    let sbar = run_bench_with(SpecBench::Ammp, PolicyKind::sbar_default(), &opts);
+    let mut results = run_many(
+        SpecBench::Ammp,
+        &[
+            PolicyKind::Lru,
+            PolicyKind::lin4(),
+            PolicyKind::sbar_default(),
+        ],
+        &opts,
+    );
+    let (lru, lin, sbar) = {
+        let sbar = results.pop().expect("three runs");
+        let lin = results.pop().expect("three runs");
+        let lru = results.pop().expect("three runs");
+        (lru, lin, sbar)
+    };
 
     let mut t = Table::with_headers(&[
         "Minsts",

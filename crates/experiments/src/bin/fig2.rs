@@ -6,7 +6,7 @@
 
 use mlpsim_analysis::table::Table;
 use mlpsim_cpu::policy::PolicyKind;
-use mlpsim_experiments::runner::run_bench;
+use mlpsim_experiments::runner::{run_matrix, RunOptions};
 use mlpsim_trace::spec::SpecBench;
 
 fn main() {
@@ -15,8 +15,9 @@ fn main() {
     let mut t = Table::with_headers(&[
         "bench", "0", "60", "120", "180", "240", "300", "360", "420+", "mean",
     ]);
-    for bench in SpecBench::ALL {
-        let r = run_bench(bench, PolicyKind::Lru);
+    let matrix = run_matrix(&SpecBench::ALL, &[PolicyKind::Lru], &RunOptions::from_env());
+    for (bench, row) in SpecBench::ALL.into_iter().zip(&matrix) {
+        let r = &row[0];
         let p = r.cost_hist.percents();
         let mut row = vec![bench.name().to_string()];
         row.extend(p.iter().map(|x| format!("{x:.1}")));

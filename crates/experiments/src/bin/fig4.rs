@@ -9,7 +9,7 @@ use mlpsim_analysis::table::Table;
 use mlpsim_analysis::util::percent_improvement;
 use mlpsim_cpu::policy::PolicyKind;
 use mlpsim_experiments::paper::paper_row;
-use mlpsim_experiments::runner::{run_many, RunOptions};
+use mlpsim_experiments::runner::{run_matrix, RunOptions};
 use mlpsim_trace::spec::SpecBench;
 
 fn main() {
@@ -29,8 +29,8 @@ fn main() {
         PolicyKind::Lin { lambda: 3 },
         PolicyKind::Lin { lambda: 4 },
     ];
-    for bench in SpecBench::ALL {
-        let results = run_many(bench, &policies, &RunOptions::default());
+    let matrix = run_matrix(&SpecBench::ALL, &policies, &RunOptions::from_env());
+    for (bench, results) in SpecBench::ALL.into_iter().zip(&matrix) {
         let lru = &results[0];
         let mut row = vec![bench.name().to_string()];
         for lin in &results[1..] {

@@ -11,7 +11,7 @@ use mlpsim_analysis::table::Table;
 use mlpsim_analysis::util::percent_improvement;
 use mlpsim_cpu::policy::PolicyKind;
 use mlpsim_experiments::paper::paper_row;
-use mlpsim_experiments::runner::{run_many, RunOptions};
+use mlpsim_experiments::runner::{run_matrix, RunOptions};
 use mlpsim_trace::spec::SpecBench;
 
 fn main() {
@@ -20,12 +20,12 @@ fn main() {
         "bench", "policy", "0", "60", "120", "180", "240", "300", "360", "420+", "mean", "dMISS%",
         "(paper)", "dIPC%", "(paper)",
     ]);
-    for bench in SpecBench::ALL {
-        let results = run_many(
-            bench,
-            &[PolicyKind::Lru, PolicyKind::lin4()],
-            &RunOptions::default(),
-        );
+    let matrix = run_matrix(
+        &SpecBench::ALL,
+        &[PolicyKind::Lru, PolicyKind::lin4()],
+        &RunOptions::from_env(),
+    );
+    for (bench, results) in SpecBench::ALL.into_iter().zip(&matrix) {
         let (lru, lin) = (results[0].clone(), results[1].clone());
         let p = paper_row(bench);
         let miss_delta = percent_improvement(lin.l2.misses as f64, lru.l2.misses as f64);

@@ -9,25 +9,22 @@ use mlpsim_analysis::table::Table;
 use mlpsim_analysis::util::percent_improvement;
 use mlpsim_cpu::policy::PolicyKind;
 use mlpsim_experiments::paper::paper_row;
-use mlpsim_experiments::runner::{run_many, telemetry_from_env, RunOptions};
+use mlpsim_experiments::runner::{run_matrix, RunOptions};
 use mlpsim_trace::spec::SpecBench;
 
 fn main() {
     println!("Figure 9 — IPC improvement (%) over LRU: LIN vs SBAR\n");
     // `--telemetry <path.ndjson>` streams every run's events to one file;
     // fold it into tables afterwards with `telemetry-report <path>`.
-    let opts = RunOptions {
-        telemetry: telemetry_from_env(),
-        ..RunOptions::default()
-    };
+    let opts = RunOptions::from_env();
     let mut t = Table::with_headers(&["bench", "LIN", "(paper)", "SBAR", "(paper)"]);
-    for bench in SpecBench::ALL {
-        let policies = [
-            PolicyKind::Lru,
-            PolicyKind::lin4(),
-            PolicyKind::sbar_default(),
-        ];
-        let results = run_many(bench, &policies, &opts);
+    let policies = [
+        PolicyKind::Lru,
+        PolicyKind::lin4(),
+        PolicyKind::sbar_default(),
+    ];
+    let matrix = run_matrix(&SpecBench::ALL, &policies, &opts);
+    for (bench, results) in SpecBench::ALL.into_iter().zip(&matrix) {
         let (lru, lin, sbar) = (&results[0], &results[1], &results[2]);
         let p = paper_row(bench);
         t.row(vec![

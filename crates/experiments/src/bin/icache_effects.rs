@@ -15,7 +15,13 @@ use mlpsim_cpu::config::SystemConfig;
 use mlpsim_cpu::icache::IcacheConfig;
 use mlpsim_cpu::policy::PolicyKind;
 use mlpsim_cpu::system::System;
+use mlpsim_exec::WorkerPool;
+use mlpsim_experiments::runner::jobs_from_env;
 use mlpsim_trace::spec::SpecBench;
+use std::sync::Arc;
+
+const BENCHES: [SpecBench; 2] = [SpecBench::Mcf, SpecBench::Sixtrack];
+const FOOTPRINTS: [u64; 4] = [0, 64, 512, 2048];
 
 fn main() {
     println!("Instruction-fetch effects — code footprint vs IPC and cost profile\n");
@@ -28,18 +34,32 @@ fn main() {
         "meanCost",
         "LINipc%",
     ]);
-    for bench in [SpecBench::Mcf, SpecBench::Sixtrack] {
-        let trace = bench.generate(150_000, 42);
-        for code_lines in [0u64, 64, 512, 2048] {
-            let run = |policy| {
-                let mut cfg = SystemConfig::baseline(policy);
-                if code_lines > 0 {
-                    cfg.icache = Some(IcacheConfig::baseline(code_lines));
-                }
-                System::new(cfg).run(trace.iter())
-            };
-            let lru = run(PolicyKind::Lru);
-            let lin = run(PolicyKind::lin4());
+    let pool = WorkerPool::new(jobs_from_env());
+    let traces: Vec<Arc<_>> = pool.map_ordered(
+        BENCHES
+            .map(|b| move || Arc::new(b.generate(150_000, 42)))
+            .into(),
+    );
+    let mut cells = Vec::new();
+    for trace in &traces {
+        for code_lines in FOOTPRINTS {
+            for policy in [PolicyKind::Lru, PolicyKind::lin4()] {
+                let trace = Arc::clone(trace);
+                cells.push(move || {
+                    let mut cfg = SystemConfig::baseline(policy);
+                    if code_lines > 0 {
+                        cfg.icache = Some(IcacheConfig::baseline(code_lines));
+                    }
+                    System::new(cfg).run(trace.iter())
+                });
+            }
+        }
+    }
+    let mut results = pool.map_ordered(cells).into_iter();
+    for bench in BENCHES {
+        for code_lines in FOOTPRINTS {
+            let lru = results.next().expect("lru cell");
+            let lin = results.next().expect("lin cell");
             t.row(vec![
                 bench.name().into(),
                 if code_lines == 0 {

@@ -12,7 +12,7 @@ use mlpsim_analysis::sampling::p_best;
 use mlpsim_analysis::table::Table;
 use mlpsim_analysis::util::percent_improvement;
 use mlpsim_cpu::policy::PolicyKind;
-use mlpsim_experiments::runner::{run_many, RunOptions};
+use mlpsim_experiments::runner::{run_matrix, RunOptions};
 use mlpsim_trace::spec::SpecBench;
 
 fn main() {
@@ -27,12 +27,12 @@ fn main() {
         "k=32",
     ]);
     let mut ps = Vec::new();
-    for bench in SpecBench::ALL {
-        let results = run_many(
-            bench,
-            &[PolicyKind::Lru, PolicyKind::lin4(), PolicyKind::CbsLocal],
-            &RunOptions::default(),
-        );
+    let matrix = run_matrix(
+        &SpecBench::ALL,
+        &[PolicyKind::Lru, PolicyKind::lin4(), PolicyKind::CbsLocal],
+        &RunOptions::from_env(),
+    );
+    for (bench, results) in SpecBench::ALL.into_iter().zip(matrix) {
         let (lru, lin) = (&results[0], &results[1]);
         let cbs = results[2].clone();
         // Parse "psel_lin=<lin>/<total>" from the engine's debug state.

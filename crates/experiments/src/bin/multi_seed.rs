@@ -9,6 +9,29 @@ use mlpsim_cpu::policy::PolicyKind;
 use mlpsim_experiments::runner::{run_many, RunOptions};
 use mlpsim_trace::spec::SpecBench;
 
+/// One benchmark's IPC deltas for one seed, computed as a single pool job
+/// (trace generation + three policy runs) so seeds fan out in parallel.
+fn seed_deltas(bench: SpecBench, seed: u64) -> (f64, f64) {
+    let opts = RunOptions {
+        seed,
+        jobs: 1, // this whole cell is already one worker's job
+        ..RunOptions::default()
+    };
+    let results = run_many(
+        bench,
+        &[
+            PolicyKind::Lru,
+            PolicyKind::lin4(),
+            PolicyKind::sbar_default(),
+        ],
+        &opts,
+    );
+    (
+        percent_improvement(results[1].ipc(), results[0].ipc()),
+        percent_improvement(results[2].ipc(), results[0].ipc()),
+    )
+}
+
 const SEEDS: [u64; 5] = [42, 7, 1234, 90210, 31337];
 
 fn main() {
@@ -24,25 +47,20 @@ fn main() {
         SpecBench::Ammp,
     ];
     let mut t = Table::with_headers(&["bench", "LIN(4)", "SBAR"]);
+    let pool = mlpsim_exec::WorkerPool::new(mlpsim_experiments::runner::jobs_from_env());
+    let mut cells = Vec::new();
     for bench in benches {
-        let mut lin_deltas = Vec::new();
-        let mut sbar_deltas = Vec::new();
         for seed in SEEDS {
-            let opts = RunOptions {
-                seed,
-                ..RunOptions::default()
-            };
-            let results = run_many(
-                bench,
-                &[
-                    PolicyKind::Lru,
-                    PolicyKind::lin4(),
-                    PolicyKind::sbar_default(),
-                ],
-                &opts,
-            );
-            lin_deltas.push(percent_improvement(results[1].ipc(), results[0].ipc()));
-            sbar_deltas.push(percent_improvement(results[2].ipc(), results[0].ipc()));
+            cells.push(move || seed_deltas(bench, seed));
+        }
+    }
+    let mut deltas = pool.map_ordered(cells).into_iter();
+    for bench in benches {
+        let (mut lin_deltas, mut sbar_deltas) = (Vec::new(), Vec::new());
+        for _ in SEEDS {
+            let (lin, sbar) = deltas.next().expect("one cell per seed");
+            lin_deltas.push(lin);
+            sbar_deltas.push(sbar);
         }
         t.row(vec![
             bench.name().into(),

@@ -14,25 +14,45 @@ use mlpsim_cpu::config::SystemConfig;
 use mlpsim_cpu::policy::PolicyKind;
 use mlpsim_cpu::prefetch::PrefetchConfig;
 use mlpsim_cpu::system::System;
+use mlpsim_exec::WorkerPool;
+use mlpsim_experiments::runner::jobs_from_env;
 use mlpsim_trace::spec::SpecBench;
+use std::sync::Arc;
+
+const BENCHES: [SpecBench; 3] = [SpecBench::Art, SpecBench::Mcf, SpecBench::Sixtrack];
+const DEGREES: [usize; 4] = [0, 1, 2, 4];
 
 fn main() {
     println!("Prefetch interaction — next-line degree vs coverage and LIN headroom\n");
     let mut t = Table::with_headers(&[
         "bench", "degree", "issued", "promoted", "L2miss", "ipc", "LINipc%",
     ]);
-    for bench in [SpecBench::Art, SpecBench::Mcf, SpecBench::Sixtrack] {
-        let trace = bench.generate(150_000, 42);
-        for degree in [0usize, 1, 2, 4] {
-            let run = |policy| {
-                let mut cfg = SystemConfig::baseline(policy);
-                if degree > 0 {
-                    cfg.prefetch = Some(PrefetchConfig { degree });
-                }
-                System::new(cfg).run(trace.iter())
-            };
-            let lru = run(PolicyKind::Lru);
-            let lin = run(PolicyKind::lin4());
+    let pool = WorkerPool::new(jobs_from_env());
+    let traces: Vec<Arc<_>> = pool.map_ordered(
+        BENCHES
+            .map(|b| move || Arc::new(b.generate(150_000, 42)))
+            .into(),
+    );
+    let mut cells = Vec::new();
+    for trace in &traces {
+        for degree in DEGREES {
+            for policy in [PolicyKind::Lru, PolicyKind::lin4()] {
+                let trace = Arc::clone(trace);
+                cells.push(move || {
+                    let mut cfg = SystemConfig::baseline(policy);
+                    if degree > 0 {
+                        cfg.prefetch = Some(PrefetchConfig { degree });
+                    }
+                    System::new(cfg).run(trace.iter())
+                });
+            }
+        }
+    }
+    let mut results = pool.map_ordered(cells).into_iter();
+    for bench in BENCHES {
+        for degree in DEGREES {
+            let lru = results.next().expect("lru cell");
+            let lin = results.next().expect("lin cell");
             t.row(vec![
                 bench.name().into(),
                 format!("{degree}"),

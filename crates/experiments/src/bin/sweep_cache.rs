@@ -13,7 +13,10 @@ use mlpsim_cache::addr::Geometry;
 use mlpsim_cpu::config::SystemConfig;
 use mlpsim_cpu::policy::PolicyKind;
 use mlpsim_cpu::system::System;
+use mlpsim_exec::WorkerPool;
+use mlpsim_experiments::runner::jobs_from_env;
 use mlpsim_trace::spec::SpecBench;
+use std::sync::Arc;
 
 fn main() {
     println!("Cache-capacity sweep — LIN / SBAR IPC improvement (%) over same-size LRU\n");
@@ -30,19 +33,37 @@ fn main() {
         headers.push(format!("SBAR@{label}"));
     }
     let mut t = Table::new(headers);
-    for bench in benches {
-        let trace = bench.generate(420_000, 42);
-        let mut row = vec![bench.name().to_string()];
+    let pool = WorkerPool::new(jobs_from_env());
+    let traces: Vec<Arc<_>> = pool.map_ordered(
+        benches
+            .map(|b| move || Arc::new(b.generate(420_000, 42)))
+            .into(),
+    );
+    let mut cells = Vec::new();
+    for trace in &traces {
         for (bytes, _) in sizes {
-            let geom = Geometry::new(bytes, 16, 64).expect("valid L2 geometry");
-            let run = |policy| {
-                let mut cfg = SystemConfig::baseline(policy);
-                cfg.l2 = geom;
-                System::new(cfg).run(trace.iter())
-            };
-            let lru = run(PolicyKind::Lru);
-            let lin = run(PolicyKind::lin4());
-            let sbar = run(PolicyKind::sbar_default());
+            for policy in [
+                PolicyKind::Lru,
+                PolicyKind::lin4(),
+                PolicyKind::sbar_default(),
+            ] {
+                let trace = Arc::clone(trace);
+                cells.push(move || {
+                    let geom = Geometry::new(bytes, 16, 64).expect("valid L2 geometry");
+                    let mut cfg = SystemConfig::baseline(policy);
+                    cfg.l2 = geom;
+                    System::new(cfg).run(trace.iter())
+                });
+            }
+        }
+    }
+    let mut results = pool.map_ordered(cells).into_iter();
+    for bench in benches {
+        let mut row = vec![bench.name().to_string()];
+        for _ in sizes {
+            let lru = results.next().expect("lru cell");
+            let lin = results.next().expect("lin cell");
+            let sbar = results.next().expect("sbar cell");
             row.push(format!("{:+.1}", percent_improvement(lin.ipc(), lru.ipc())));
             row.push(format!(
                 "{:+.1}",

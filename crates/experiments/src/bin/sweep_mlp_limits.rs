@@ -14,24 +14,44 @@ use mlpsim_analysis::util::percent_improvement;
 use mlpsim_cpu::config::SystemConfig;
 use mlpsim_cpu::policy::PolicyKind;
 use mlpsim_cpu::system::System;
+use mlpsim_exec::WorkerPool;
+use mlpsim_experiments::runner::jobs_from_env;
 use mlpsim_trace::spec::SpecBench;
+use std::sync::Arc;
+
+const BENCHES: [SpecBench; 2] = [SpecBench::Mcf, SpecBench::Art];
+const LIMITS: [(usize, usize); 4] = [(32, 32), (128, 8), (128, 32), (512, 32)];
 
 fn main() {
     println!("MLP-limit sweep — window size and MSHR entries vs cost profile and LIN gain\n");
     let mut t = Table::with_headers(&[
         "bench", "window", "mshr", "meanCost", "iso%", "peakMLP", "LINipc%",
     ]);
-    for bench in [SpecBench::Mcf, SpecBench::Art] {
-        let trace = bench.generate(200_000, 42);
-        for (window, mshr) in [(32usize, 32usize), (128, 8), (128, 32), (512, 32)] {
-            let run = |policy| {
-                let mut cfg = SystemConfig::baseline(policy);
-                cfg.cpu.window = window;
-                cfg.mem.mshr_entries = mshr;
-                System::new(cfg).run(trace.iter())
-            };
-            let lru = run(PolicyKind::Lru);
-            let lin = run(PolicyKind::lin4());
+    let pool = WorkerPool::new(jobs_from_env());
+    let traces: Vec<Arc<_>> = pool.map_ordered(
+        BENCHES
+            .map(|b| move || Arc::new(b.generate(200_000, 42)))
+            .into(),
+    );
+    let mut cells = Vec::new();
+    for trace in &traces {
+        for (window, mshr) in LIMITS {
+            for policy in [PolicyKind::Lru, PolicyKind::lin4()] {
+                let trace = Arc::clone(trace);
+                cells.push(move || {
+                    let mut cfg = SystemConfig::baseline(policy);
+                    cfg.cpu.window = window;
+                    cfg.mem.mshr_entries = mshr;
+                    System::new(cfg).run(trace.iter())
+                });
+            }
+        }
+    }
+    let mut results = pool.map_ordered(cells).into_iter();
+    for bench in BENCHES {
+        for (window, mshr) in LIMITS {
+            let lru = results.next().expect("lru cell");
+            let lin = results.next().expect("lin cell");
             t.row(vec![
                 bench.name().into(),
                 format!("{window}"),

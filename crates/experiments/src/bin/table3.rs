@@ -9,7 +9,7 @@
 use mlpsim_analysis::table::Table;
 use mlpsim_cpu::policy::PolicyKind;
 use mlpsim_experiments::paper::paper_row;
-use mlpsim_experiments::runner::run_bench;
+use mlpsim_experiments::runner::{run_matrix, RunOptions};
 use mlpsim_trace::spec::SpecBench;
 
 fn main() {
@@ -23,8 +23,9 @@ fn main() {
         "comp%",
         "(paper)",
     ]);
-    for bench in SpecBench::ALL {
-        let r = run_bench(bench, PolicyKind::Lru);
+    let matrix = run_matrix(&SpecBench::ALL, &[PolicyKind::Lru], &RunOptions::from_env());
+    for (bench, row) in SpecBench::ALL.into_iter().zip(&matrix) {
+        let r = &row[0];
         let p = paper_row(bench);
         t.row(vec![
             bench.name().into(),

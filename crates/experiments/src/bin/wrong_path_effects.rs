@@ -13,7 +13,13 @@ use mlpsim_cpu::config::SystemConfig;
 use mlpsim_cpu::policy::PolicyKind;
 use mlpsim_cpu::system::System;
 use mlpsim_cpu::wrongpath::WrongPathConfig;
+use mlpsim_exec::WorkerPool;
+use mlpsim_experiments::runner::jobs_from_env;
 use mlpsim_trace::spec::SpecBench;
+use std::sync::Arc;
+
+const BENCHES: [SpecBench; 2] = [SpecBench::Mcf, SpecBench::Vpr];
+const INTERVALS: [u64; 4] = [0, 4_000, 1_000, 250];
 
 fn main() {
     println!("Wrong-path effects — misprediction rate vs pollution and cost accounting\n");
@@ -26,22 +32,36 @@ fn main() {
         "iso%",
         "LINipc%",
     ]);
-    for bench in [SpecBench::Mcf, SpecBench::Vpr] {
-        let trace = bench.generate(150_000, 42);
-        for interval in [0u64, 4_000, 1_000, 250] {
-            let run = |policy| {
-                let mut cfg = SystemConfig::baseline(policy);
-                if interval > 0 {
-                    cfg.wrong_path = Some(WrongPathConfig {
-                        interval_insts: interval,
-                        burst: 4,
-                        resolve_cycles: 15,
-                    });
-                }
-                System::new(cfg).run(trace.iter())
-            };
-            let lru = run(PolicyKind::Lru);
-            let lin = run(PolicyKind::lin4());
+    let pool = WorkerPool::new(jobs_from_env());
+    let traces: Vec<Arc<_>> = pool.map_ordered(
+        BENCHES
+            .map(|b| move || Arc::new(b.generate(150_000, 42)))
+            .into(),
+    );
+    let mut cells = Vec::new();
+    for trace in &traces {
+        for interval in INTERVALS {
+            for policy in [PolicyKind::Lru, PolicyKind::lin4()] {
+                let trace = Arc::clone(trace);
+                cells.push(move || {
+                    let mut cfg = SystemConfig::baseline(policy);
+                    if interval > 0 {
+                        cfg.wrong_path = Some(WrongPathConfig {
+                            interval_insts: interval,
+                            burst: 4,
+                            resolve_cycles: 15,
+                        });
+                    }
+                    System::new(cfg).run(trace.iter())
+                });
+            }
+        }
+    }
+    let mut results = pool.map_ordered(cells).into_iter();
+    for bench in BENCHES {
+        for interval in INTERVALS {
+            let lru = results.next().expect("lru cell");
+            let lin = results.next().expect("lin cell");
             t.row(vec![
                 bench.name().into(),
                 if interval == 0 {

@@ -26,6 +26,7 @@
 //! | `care_alternatives` | extension: BCL as an alternative cost-sensitive CARE |
 //! | `measure_p` | extension: §6.3's per-set preference fraction, measured |
 //! | `sweep_cache` | extension: LIN/SBAR across L2 capacities |
+//! | `sweep_latency` | extension: LIN/SBAR across memory latencies |
 //! | `sweep_mlp_limits` | extension: window and MSHR size sweeps |
 //! | `multi_seed` | extension: headline deltas across seeds (mean ± CI) |
 //! | `icache_effects` | extension: instruction-fetch modeling |
@@ -34,7 +35,14 @@
 //! | `calibrate` | (internal) generator-tuning dashboard |
 //! | `debug_regions` | (internal) per-region miss diagnosis |
 //! | `debug_phases` | (internal) per-interval policy comparison |
-//! | `all` | runs every experiment in sequence |
+//! | `all` | runs every experiment (concurrently, output in order) |
+//! | `bench_sweep` | times a reference sweep serial vs parallel → `BENCH_sweep.json` |
+//!
+//! Every sweep-shaped binary accepts `--jobs N` (env `MLPSIM_JOBS`;
+//! default: all hardware threads) and fans its benchmark × policy matrix
+//! out over the [`mlpsim_exec`] worker pool. Results, tables, and
+//! `--telemetry` streams are byte-identical at every job count — see
+//! [`runner::run_matrix`] for the mechanism.
 //!
 //! The library part hosts the shared [`runner`] plus the paper's reference
 //! numbers ([`paper`]) used to print paper-vs-measured tables.
@@ -42,4 +50,4 @@
 pub mod paper;
 pub mod runner;
 
-pub use runner::{run_bench, run_bench_with, RunOptions};
+pub use runner::{run_bench, run_bench_with, run_many, run_matrix, RunOptions};

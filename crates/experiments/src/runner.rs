@@ -1,13 +1,34 @@
 //! Shared simulation driver for the experiment binaries.
+//!
+//! # Parallel sweeps
+//!
+//! The paper's evaluation is a matrix of benchmarks × policies; every cell
+//! is an independent deterministic simulation. [`run_matrix`] (and
+//! [`run_many`], its one-benchmark special case) fans the cells out over a
+//! [`WorkerPool`] sized by [`RunOptions::jobs`] — default
+//! [`mlpsim_exec::default_jobs`] (all hardware threads, `MLPSIM_JOBS`
+//! override), `--jobs N` on every experiment binary.
+//!
+//! **Determinism guarantee:** a sweep's observable output — returned
+//! [`SimResult`]s, printed tables, and the `--telemetry` NDJSON stream —
+//! is byte-for-byte identical at every job count, including `-j1`, and
+//! identical to the historical serial loop. Three mechanisms deliver this:
+//! each cell simulates a [`Trace`] shared immutably via [`Arc`]; the pool
+//! returns results in submission order regardless of completion order; and
+//! each cell buffers its telemetry privately ([`VecSink`]) for replay into
+//! the shared sink in submission order, so `run_start`/`run_end` brackets
+//! never interleave mid-run.
 
 use mlpsim_core::ccl::AdderMode;
 use mlpsim_cpu::config::SystemConfig;
 use mlpsim_cpu::policy::PolicyKind;
 use mlpsim_cpu::stats::SimResult;
 use mlpsim_cpu::system::System;
-use mlpsim_telemetry::{NdjsonSink, SinkHandle, SinkProbe};
+use mlpsim_exec::WorkerPool;
+use mlpsim_telemetry::{Event, EventSink, NdjsonSink, SinkHandle, SinkProbe, VecSink};
 use mlpsim_trace::record::Trace;
 use mlpsim_trace::spec::SpecBench;
+use std::sync::{Arc, Mutex};
 
 /// Default number of memory accesses per benchmark run. The paper
 /// simulates 250 M instructions; these synthetic slices are sized so the
@@ -30,9 +51,13 @@ pub struct RunOptions {
     /// CCL adder configuration (paper footnote 3).
     pub adders: AdderMode,
     /// Telemetry sink. Disabled by default; when enabled every run streams
-    /// its events into the shared sink (runs from one sweep interleave in
-    /// one file, separated by `run_start`/`run_end` markers).
+    /// its events into the shared sink (runs from one sweep land in one
+    /// file, separated by `run_start`/`run_end` markers, in sweep order
+    /// even when the sweep itself runs parallel).
     pub telemetry: SinkHandle,
+    /// Worker threads for [`run_many`]/[`run_matrix`] fan-out. The job
+    /// count never changes results or output bytes — only wall-clock.
+    pub jobs: usize,
 }
 
 impl Default for RunOptions {
@@ -43,47 +68,112 @@ impl Default for RunOptions {
             sample_interval: None,
             adders: AdderMode::PerEntry,
             telemetry: SinkHandle::disabled(),
+            jobs: mlpsim_exec::default_jobs(),
+        }
+    }
+}
+
+impl RunOptions {
+    /// Default options with `--telemetry` and `--jobs` parsed from the
+    /// process's command line; exits with a message on a malformed flag.
+    pub fn from_env() -> Self {
+        RunOptions {
+            telemetry: telemetry_from_env(),
+            jobs: jobs_from_env(),
+            ..RunOptions::default()
         }
     }
 }
 
 /// Builds [`RunOptions::telemetry`] from a command line: scans `args` for
 /// `--telemetry <path>` (or `--telemetry=<path>`) and opens an NDJSON sink
-/// there. Returns a disabled handle when the flag is absent; exits with a
-/// message when the file cannot be created (an experiment run whose
-/// requested telemetry silently vanishes is worse than no run).
-pub fn telemetry_from_args(args: &[String]) -> SinkHandle {
-    let mut path: Option<&str> = None;
+/// there. Returns a disabled handle when the flag is absent and an error
+/// when the path is missing, looks like another flag (`--telemetry
+/// --accesses` must not silently eat `--accesses`; spell a genuinely
+/// dash-prefixed filename as `--telemetry=--weird-name`), or cannot be
+/// created (an experiment run whose requested telemetry silently vanishes
+/// is worse than no run).
+pub fn telemetry_from_args(args: &[String]) -> Result<SinkHandle, String> {
+    let mut path: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--telemetry" {
             match it.next() {
-                Some(p) => path = Some(p),
-                None => {
-                    eprintln!("--telemetry requires a path argument");
-                    std::process::exit(2);
+                Some(p) if p.starts_with("--") => {
+                    return Err(format!(
+                        "--telemetry requires a path argument, got the flag-like {p:?} \
+                         (use --telemetry={p} for a path that really starts with \"--\")"
+                    ));
                 }
+                Some(p) => path = Some(p.clone()),
+                None => return Err("--telemetry requires a path argument".into()),
             }
         } else if let Some(p) = a.strip_prefix("--telemetry=") {
-            path = Some(p);
+            if p.is_empty() {
+                return Err("--telemetry= requires a non-empty path".into());
+            }
+            path = Some(p.to_string());
         }
     }
     match path {
-        None => SinkHandle::disabled(),
-        Some(p) => match NdjsonSink::create(p) {
-            Ok(sink) => SinkHandle::of(sink),
-            Err(e) => {
-                eprintln!("cannot create telemetry file {p}: {e}");
-                std::process::exit(2);
-            }
+        None => Ok(SinkHandle::disabled()),
+        Some(p) => match NdjsonSink::create(&p) {
+            Ok(sink) => Ok(SinkHandle::of(sink)),
+            Err(e) => Err(format!("cannot create telemetry file {p}: {e}")),
         },
     }
 }
 
-/// [`telemetry_from_args`] over the process's own command line.
+/// [`telemetry_from_args`] over the process's own command line; exits with
+/// the parse error on a malformed flag.
 pub fn telemetry_from_env() -> SinkHandle {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    telemetry_from_args(&args)
+    telemetry_from_args(&env_args()).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    })
+}
+
+/// Builds [`RunOptions::jobs`] from a command line: scans `args` for
+/// `--jobs <N>`, `--jobs=<N>`, `-j <N>`, or `-j<N>`. Absent the flag,
+/// falls back to [`mlpsim_exec::default_jobs`] (the `MLPSIM_JOBS`
+/// environment variable, then the hardware thread count).
+pub fn jobs_from_args(args: &[String]) -> Result<usize, String> {
+    let mut jobs: Option<usize> = None;
+    let mut it = args.iter();
+    let parse = |raw: &str| -> Result<usize, String> {
+        match raw.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(format!("--jobs wants a positive integer, got {raw:?}")),
+        }
+    };
+    while let Some(a) = it.next() {
+        if a == "--jobs" || a == "-j" {
+            match it.next() {
+                Some(n) => jobs = Some(parse(n)?),
+                None => return Err(format!("{a} requires a worker-count argument")),
+            }
+        } else if let Some(n) = a.strip_prefix("--jobs=") {
+            jobs = Some(parse(n)?);
+        } else if let Some(n) = a.strip_prefix("-j") {
+            if !n.is_empty() {
+                jobs = Some(parse(n)?);
+            }
+        }
+    }
+    Ok(jobs.unwrap_or_else(mlpsim_exec::default_jobs))
+}
+
+/// [`jobs_from_args`] over the process's own command line; exits with the
+/// parse error on a malformed flag.
+pub fn jobs_from_env() -> usize {
+    jobs_from_args(&env_args()).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    })
+}
+
+fn env_args() -> Vec<String> {
+    std::env::args().skip(1).collect()
 }
 
 /// Runs `bench` under `policy` on the baseline machine with default
@@ -98,26 +188,122 @@ pub fn run_bench_with(bench: SpecBench, policy: PolicyKind, opts: &RunOptions) -
     run_trace(&trace, policy, opts)
 }
 
-/// Generates the benchmark's trace once and runs it under each policy in
-/// turn — the efficient shape for policy sweeps (the trace is
-/// deterministic, so regenerating it per policy is pure waste).
+/// Generates the benchmark's trace once and runs it under each policy —
+/// the one-benchmark row of [`run_matrix`], sharing its parallelism and
+/// determinism guarantees.
 pub fn run_many(bench: SpecBench, policies: &[PolicyKind], opts: &RunOptions) -> Vec<SimResult> {
-    let trace = bench.generate(opts.accesses, opts.seed);
-    policies
-        .iter()
-        .map(|&p| run_trace(&trace, p, opts))
-        .collect()
+    run_matrix(&[bench], policies, opts)
+        .pop()
+        .expect("one row per benchmark")
+}
+
+/// Runs the full `benches` × `policies` sweep on [`RunOptions::jobs`]
+/// workers and returns one row of results per benchmark, cells in policy
+/// order — exactly what the historical serial double loop returned, at a
+/// fraction of the wall-clock.
+///
+/// Each benchmark's trace is generated once (itself fanned out across the
+/// pool) and shared by its row's cells via [`Arc`]; results come back in
+/// submission order; buffered per-run telemetry is replayed into
+/// [`RunOptions::telemetry`] in the same bench-major, policy-minor order a
+/// serial sweep would have streamed it.
+pub fn run_matrix(
+    benches: &[SpecBench],
+    policies: &[PolicyKind],
+    opts: &RunOptions,
+) -> Vec<Vec<SimResult>> {
+    let pool = WorkerPool::new(opts.jobs);
+    let (accesses, seed) = (opts.accesses, opts.seed);
+    let traces: Vec<Arc<Trace>> = pool.map_ordered(
+        benches
+            .iter()
+            .map(|&b| move || Arc::new(b.generate(accesses, seed)))
+            .collect(),
+    );
+
+    let cell = CellOptions::of(opts);
+    let mut jobs = Vec::with_capacity(benches.len() * policies.len());
+    for trace in &traces {
+        for &policy in policies {
+            let trace = Arc::clone(trace);
+            jobs.push(move || cell.run(&trace, policy));
+        }
+    }
+    let cells = pool.map_ordered(jobs);
+
+    let mut rows = Vec::with_capacity(benches.len());
+    let mut it = cells.into_iter();
+    for _ in 0..traces.len() {
+        let mut row = Vec::with_capacity(policies.len());
+        for _ in 0..policies.len() {
+            let (result, events) = it.next().expect("one cell per (bench, policy)");
+            // Replay this run's buffered events into the shared sink;
+            // submission order here *is* serial sweep order, so the NDJSON
+            // stream is bit-identical to a `-j1` (or pre-pool) run.
+            for ev in events {
+                opts.telemetry.emit(ev);
+            }
+            row.push(result);
+        }
+        rows.push(row);
+    }
+    rows
+}
+
+/// The `Send + Copy` slice of [`RunOptions`] a worker needs to simulate
+/// one matrix cell.
+#[derive(Clone, Copy)]
+struct CellOptions {
+    sample_interval: Option<u64>,
+    adders: AdderMode,
+    telemetry: bool,
+}
+
+impl CellOptions {
+    fn of(opts: &RunOptions) -> Self {
+        CellOptions {
+            sample_interval: opts.sample_interval,
+            adders: opts.adders,
+            telemetry: opts.telemetry.enabled(),
+        }
+    }
+
+    fn config(self, policy: PolicyKind) -> SystemConfig {
+        let mut cfg = SystemConfig::baseline(policy);
+        cfg.sample_interval = self.sample_interval;
+        cfg.adders = self.adders;
+        cfg
+    }
+
+    /// Simulates one cell, buffering its telemetry (if any) for in-order
+    /// replay by the submitting thread.
+    fn run(self, trace: &Trace, policy: PolicyKind) -> (SimResult, Vec<Event>) {
+        if self.telemetry {
+            let buf = Arc::new(Mutex::new(VecSink::new()));
+            let handle = SinkHandle::shared(Arc::clone(&buf) as Arc<Mutex<dyn EventSink + Send>>);
+            let result =
+                System::with_probe(self.config(policy), SinkProbe::new(handle)).run(trace.iter());
+            let events = std::mem::take(&mut buf.lock().expect("buffer sink lock").events);
+            (result, events)
+        } else {
+            (
+                System::new(self.config(policy)).run(trace.iter()),
+                Vec::new(),
+            )
+        }
+    }
 }
 
 /// Runs a pre-generated trace under `policy` on the baseline machine.
+/// Telemetry (when enabled) streams directly into the shared sink — this
+/// is the single-run path; sweeps go through [`run_matrix`]'s buffering.
 pub fn run_trace(trace: &Trace, policy: PolicyKind, opts: &RunOptions) -> SimResult {
-    let mut cfg = SystemConfig::baseline(policy);
-    cfg.sample_interval = opts.sample_interval;
-    cfg.adders = opts.adders;
+    let cell = CellOptions::of(opts);
     if opts.telemetry.enabled() {
-        System::with_probe(cfg, SinkProbe::new(opts.telemetry.clone())).run(trace.iter())
+        System::with_probe(cell.config(policy), SinkProbe::new(opts.telemetry.clone()))
+            .run(trace.iter())
     } else {
-        System::new(cfg).run(trace.iter())
+        System::new(cell.config(policy)).run(trace.iter())
     }
 }
 
@@ -127,15 +313,48 @@ mod tests {
 
     #[test]
     fn telemetry_flag_parsing() {
-        let none = telemetry_from_args(&["--accesses".into(), "5".into()]);
+        let none = telemetry_from_args(&["--accesses".into(), "5".into()]).unwrap();
         assert!(!none.enabled());
         let dir = std::env::temp_dir().join("mlpsim-telemetry-flag-test.ndjson");
-        let eq_form = telemetry_from_args(&[format!("--telemetry={}", dir.display())]);
+        let eq_form = telemetry_from_args(&[format!("--telemetry={}", dir.display())]).unwrap();
         assert!(eq_form.enabled());
-        let two_form = telemetry_from_args(&["--telemetry".into(), dir.display().to_string()]);
+        let two_form =
+            telemetry_from_args(&["--telemetry".into(), dir.display().to_string()]).unwrap();
         assert!(two_form.enabled());
         drop((eq_form, two_form));
         let _ = std::fs::remove_file(dir);
+    }
+
+    #[test]
+    fn telemetry_flag_rejects_flag_like_paths() {
+        let err = telemetry_from_args(&["--telemetry".into(), "--accesses".into()])
+            .expect_err("a flag must not be eaten as a path");
+        assert!(err.contains("--accesses"), "{err}");
+        assert!(telemetry_from_args(&["--telemetry".into()]).is_err());
+        assert!(telemetry_from_args(&["--telemetry=".into()]).is_err());
+        // The `=` form is the documented escape hatch and keeps working
+        // (the open may still fail; an Err must mention the odd name).
+        let dir = std::env::temp_dir().join("--mlpsim-dashed-name.ndjson");
+        let weird = telemetry_from_args(&[format!("--telemetry={}", dir.display())]).unwrap();
+        assert!(weird.enabled());
+        drop(weird);
+        let _ = std::fs::remove_file(dir);
+    }
+
+    #[test]
+    fn jobs_flag_parsing() {
+        let parse =
+            |args: &[&str]| jobs_from_args(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+        assert_eq!(parse(&["--jobs", "3"]).unwrap(), 3);
+        assert_eq!(parse(&["--jobs=8"]).unwrap(), 8);
+        assert_eq!(parse(&["-j", "2"]).unwrap(), 2);
+        assert_eq!(parse(&["-j4"]).unwrap(), 4);
+        assert_eq!(parse(&["-j1", "--jobs", "6"]).unwrap(), 6, "last flag wins");
+        assert!(parse(&["--jobs", "0"]).is_err());
+        assert!(parse(&["--jobs"]).is_err());
+        assert!(parse(&["--jobs", "many"]).is_err());
+        assert!(parse(&["-jx"]).is_err());
+        assert!(parse(&[]).unwrap() >= 1);
     }
 
     #[test]
@@ -175,5 +394,25 @@ mod tests {
         assert!(r.cycles > 0);
         assert!(r.l2.misses > 0);
         assert!(r.ipc() > 0.0 && r.ipc() < 8.0);
+    }
+
+    #[test]
+    fn matrix_rows_match_individual_runs() {
+        let opts = RunOptions {
+            accesses: 2_500,
+            jobs: 3,
+            ..RunOptions::default()
+        };
+        let benches = [SpecBench::Mcf, SpecBench::Art];
+        let policies = [PolicyKind::Lru, PolicyKind::lin4()];
+        let matrix = run_matrix(&benches, &policies, &opts);
+        assert_eq!(matrix.len(), 2);
+        for (bi, bench) in benches.iter().enumerate() {
+            assert_eq!(matrix[bi].len(), 2);
+            for (pi, &policy) in policies.iter().enumerate() {
+                let lone = run_bench_with(*bench, policy, &opts);
+                assert_eq!(matrix[bi][pi], lone, "{bench:?}/{policy:?} diverged");
+            }
+        }
     }
 }

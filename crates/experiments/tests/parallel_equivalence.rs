@@ -1,0 +1,65 @@
+//! The executor's determinism contract, tested end to end: a
+//! [`run_matrix`] sweep must produce the same `SimResult` for every cell
+//! — and the same telemetry byte stream — at `-j1` and at any `-jN`.
+//! Worker count may only change wall-clock time, never output.
+
+use mlpsim_cpu::policy::PolicyKind;
+use mlpsim_cpu::stats::SimResult;
+use mlpsim_experiments::runner::{run_matrix, RunOptions};
+use mlpsim_telemetry::{NdjsonSink, SinkHandle};
+use mlpsim_trace::spec::SpecBench;
+use std::path::Path;
+
+const BENCHES: [SpecBench; 2] = [SpecBench::Mcf, SpecBench::Art];
+
+fn policies() -> [PolicyKind; 3] {
+    [
+        PolicyKind::Lru,
+        PolicyKind::lin4(),
+        PolicyKind::sbar_default(),
+    ]
+}
+
+fn matrix_at(jobs: usize, telemetry: SinkHandle) -> Vec<Vec<SimResult>> {
+    let opts = RunOptions {
+        accesses: 20_000,
+        jobs,
+        telemetry,
+        ..RunOptions::default()
+    };
+    run_matrix(&BENCHES, &policies(), &opts)
+}
+
+#[test]
+fn matrix_results_identical_at_any_job_count() {
+    let serial = matrix_at(1, SinkHandle::disabled());
+    assert_eq!(serial.len(), BENCHES.len());
+    for jobs in [2, 4, 7] {
+        let parallel = matrix_at(jobs, SinkHandle::disabled());
+        assert_eq!(serial, parallel, "matrix diverged at -j{jobs}");
+    }
+}
+
+#[test]
+fn telemetry_stream_identical_at_any_job_count() {
+    let run = |jobs: usize, path: &Path| {
+        let sink = NdjsonSink::create(path).expect("create ndjson file");
+        // The matrix clones the handle; dropping ours last forces the
+        // final registry snapshot + flush before the bytes are read.
+        matrix_at(jobs, SinkHandle::of(sink));
+    };
+    let dir = std::env::temp_dir();
+    let serial_path = dir.join("mlpsim-parallel-equivalence-j1.ndjson");
+    let parallel_path = dir.join("mlpsim-parallel-equivalence-j4.ndjson");
+    run(1, &serial_path);
+    run(4, &parallel_path);
+    let serial = std::fs::read(&serial_path).expect("read -j1 stream");
+    let parallel = std::fs::read(&parallel_path).expect("read -j4 stream");
+    let _ = std::fs::remove_file(&serial_path);
+    let _ = std::fs::remove_file(&parallel_path);
+    assert!(!serial.is_empty(), "telemetry stream must not be empty");
+    assert_eq!(
+        serial, parallel,
+        "telemetry byte stream diverged between -j1 and -j4"
+    );
+}

@@ -3,12 +3,11 @@
 
 use crate::event::{Event, EventParseError};
 use crate::registry::Registry;
-use std::cell::RefCell;
 use std::fmt;
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Consumer of telemetry events.
 pub trait EventSink {
@@ -23,10 +22,16 @@ pub trait EventSink {
 /// can't be generic over a [`crate::Probe`], so they hold one of these.
 /// When telemetry is off the handle is `None` and `emit`/`emit_with` cost a
 /// single null-check — and the call sites are miss/update paths, never the
-/// hit fast path. The shared sink is `Rc<RefCell<..>>` because the
-/// simulator is single-threaded by design (see DESIGN.md).
+/// hit fast path.
+///
+/// The shared sink is `Arc<Mutex<..>>` so a handle can cross into the
+/// sweep executor's worker threads. Each individual simulation remains
+/// single-threaded (see DESIGN.md), so the lock is uncontended within a
+/// run; parallel sweeps additionally give every run its own buffering
+/// sink and replay buffers in submission order, so `run_start`/`run_end`
+/// brackets never interleave mid-run whatever the worker schedule.
 #[derive(Clone, Default)]
-pub struct SinkHandle(Option<Rc<RefCell<dyn EventSink>>>);
+pub struct SinkHandle(Option<Arc<Mutex<dyn EventSink + Send>>>);
 
 // `Rc<RefCell<dyn ..>>` has no `Debug`; show only enablement, which is the
 // part that matters when a containing struct (e.g. `Mshr`) is dumped.
@@ -47,12 +52,12 @@ impl SinkHandle {
     }
 
     /// Wrap an owned sink.
-    pub fn of(sink: impl EventSink + 'static) -> Self {
-        SinkHandle(Some(Rc::new(RefCell::new(sink))))
+    pub fn of(sink: impl EventSink + Send + 'static) -> Self {
+        SinkHandle(Some(Arc::new(Mutex::new(sink))))
     }
 
     /// Share an existing sink.
-    pub fn shared(sink: Rc<RefCell<dyn EventSink>>) -> Self {
+    pub fn shared(sink: Arc<Mutex<dyn EventSink + Send>>) -> Self {
         SinkHandle(Some(sink))
     }
 
@@ -65,7 +70,7 @@ impl SinkHandle {
     #[inline]
     pub fn emit(&self, ev: Event) {
         if let Some(sink) = &self.0 {
-            sink.borrow_mut().record(ev);
+            lock_sink(sink).record(ev);
         }
     }
 
@@ -74,15 +79,25 @@ impl SinkHandle {
     #[inline]
     pub fn emit_with(&self, build: impl FnOnce() -> Event) {
         if let Some(sink) = &self.0 {
-            sink.borrow_mut().record(build());
+            lock_sink(sink).record(build());
         }
     }
 
     pub fn flush(&self) {
         if let Some(sink) = &self.0 {
-            sink.borrow_mut().flush();
+            lock_sink(sink).flush();
         }
     }
+}
+
+/// Telemetry must never take the simulation down: a sink whose lock was
+/// poisoned by a panicking sibling thread keeps recording rather than
+/// cascading the panic into every other run.
+#[inline]
+fn lock_sink<'a>(
+    sink: &'a Arc<Mutex<dyn EventSink + Send>>,
+) -> MutexGuard<'a, dyn EventSink + Send + 'static> {
+    sink.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// In-memory sink for tests and report tooling.
@@ -264,12 +279,23 @@ mod tests {
 
     #[test]
     fn shared_handle_clones_reach_one_sink() {
-        let sink: Rc<RefCell<dyn EventSink>> = Rc::new(RefCell::new(VecSink::new()));
-        let a = SinkHandle::shared(Rc::clone(&sink));
+        let sink: Arc<Mutex<dyn EventSink + Send>> = Arc::new(Mutex::new(VecSink::new()));
+        let a = SinkHandle::shared(Arc::clone(&sink));
         let b = a.clone();
         a.emit(Event::Stall { cycle: 1, len: 1 });
         b.emit(Event::Stall { cycle: 2, len: 2 });
         drop((a, b));
-        assert_eq!(Rc::strong_count(&sink), 1, "clones must not leak refs");
+        assert_eq!(Arc::strong_count(&sink), 1, "clones must not leak refs");
+    }
+
+    #[test]
+    fn handle_crosses_threads() {
+        let sink = Arc::new(Mutex::new(VecSink::new()));
+        let h = SinkHandle::shared(sink.clone() as Arc<Mutex<dyn EventSink + Send>>);
+        let worker = std::thread::spawn(move || {
+            h.emit(Event::Stall { cycle: 3, len: 9 });
+        });
+        worker.join().unwrap();
+        assert_eq!(sink.lock().unwrap().events.len(), 1);
     }
 }

@@ -120,6 +120,12 @@ pub fn read_trace<R: Read>(r: R) -> Result<Trace, TraceIoError> {
                     line_no,
                     reason: format!("bad line address: {e}"),
                 })?;
+        if let Some(extra) = parts.next() {
+            return Err(TraceIoError::Parse {
+                line_no,
+                reason: format!("unexpected trailing token {extra:?} after line address"),
+            });
+        }
         trace.push(Access {
             line: addr,
             kind,
@@ -169,5 +175,19 @@ mod tests {
     fn missing_fields_error() {
         assert!(read_trace("5 L\n".as_bytes()).is_err());
         assert!(read_trace("L 5\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn trailing_tokens_are_rejected_with_token_and_line() {
+        let text = "# c\n1 L 2\n1 L 2 garbage\n";
+        match read_trace(text.as_bytes()) {
+            Err(TraceIoError::Parse { line_no, reason }) => {
+                assert_eq!(line_no, 3);
+                assert!(reason.contains("garbage"), "{reason}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        // Even a well-formed-looking numeric surplus field is an error.
+        assert!(read_trace("0 S 128 7\n".as_bytes()).is_err());
     }
 }

@@ -6,9 +6,8 @@
 use mlpsim::cpu::{PolicyKind, System, SystemConfig};
 use mlpsim::telemetry::{Event, EventSink, SinkHandle, SinkProbe, VecSink};
 use mlpsim::trace::spec::SpecBench;
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Runs `bench` under `policy` with a collecting probe; returns the event
 /// stream and the run's results.
@@ -17,12 +16,12 @@ fn run_with_events(
     policy: PolicyKind,
     accesses: usize,
 ) -> (Vec<Event>, mlpsim::cpu::stats::SimResult) {
-    let sink = Rc::new(RefCell::new(VecSink::new()));
-    let dyn_sink: Rc<RefCell<dyn EventSink>> = Rc::clone(&sink) as _;
+    let sink = Arc::new(Mutex::new(VecSink::new()));
+    let dyn_sink: Arc<Mutex<dyn EventSink + Send>> = Arc::clone(&sink) as _;
     let probe = SinkProbe::new(SinkHandle::shared(dyn_sink));
     let trace = bench.generate(accesses, 42);
     let result = System::with_probe(SystemConfig::baseline(policy), probe).run(trace.iter());
-    let events = std::mem::take(&mut sink.borrow_mut().events);
+    let events = std::mem::take(&mut sink.lock().unwrap().events);
     (events, result)
 }
 
@@ -190,8 +189,8 @@ fn disabled_and_enabled_runs_simulate_identically() {
     // architectural outcome.
     let trace = SpecBench::Ammp.generate(30_000, 42);
     let plain = System::new(SystemConfig::baseline(PolicyKind::sbar_default())).run(trace.iter());
-    let sink = Rc::new(RefCell::new(VecSink::new()));
-    let dyn_sink: Rc<RefCell<dyn EventSink>> = Rc::clone(&sink) as _;
+    let sink = Arc::new(Mutex::new(VecSink::new()));
+    let dyn_sink: Arc<Mutex<dyn EventSink + Send>> = Arc::clone(&sink) as _;
     let probed = System::with_probe(
         SystemConfig::baseline(PolicyKind::sbar_default()),
         SinkProbe::new(SinkHandle::shared(dyn_sink)),
@@ -201,5 +200,5 @@ fn disabled_and_enabled_runs_simulate_identically() {
     assert_eq!(plain.instructions, probed.instructions);
     assert_eq!(plain.l2, probed.l2);
     assert_eq!(plain.peak_mlp, probed.peak_mlp);
-    assert!(!sink.borrow().events.is_empty());
+    assert!(!sink.lock().unwrap().events.is_empty());
 }
