@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)] // test/bench code: panics are failures, not bugs
+
 //! Property-based tests for the analysis utilities.
 
 use mlpsim_analysis::delta::DeltaTracker;

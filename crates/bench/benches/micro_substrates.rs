@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)] // test/bench code: panics are failures, not bugs
+
 //! Microbenchmarks of the simulator substrates: how fast are the building
 //! blocks the experiments are made of?
 

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)] // test/bench code: panics are failures, not bugs
+
 //! One Criterion target per paper table/figure: each benchmark measures
 //! the end-to-end cost of regenerating that experiment's data at bench
 //! scale (reduced trace length, representative benchmark subset).

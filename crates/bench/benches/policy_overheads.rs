@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)] // test/bench code: panics are failures, not bugs
+
 //! Per-decision latency of each replacement policy's victim selection —
 //! the software analogue of the paper's concern that CARE logic stay off
 //! the critical path.

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 //! Set-associative cache substrate for the MLP-aware replacement study.
 //!
@@ -38,6 +39,23 @@
 //! assert!(!cache.access(a, false, 0).hit);
 //! assert!(cache.access(a, false, 1).hit);
 //! ```
+
+/// Model-checking assertion for the tag-store structural invariants
+/// (recency permutation, `cost_q` range, tag uniqueness). Compiled to a
+/// real `assert!` only under the `invariants` feature; a no-op (zero cost,
+/// in release and debug alike) otherwise. See DESIGN.md §10.
+#[cfg(feature = "invariants")]
+#[macro_export]
+macro_rules! invariant {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// No-op twin of the `invariants`-enabled assertion (feature disabled).
+#[cfg(not(feature = "invariants"))]
+#[macro_export]
+macro_rules! invariant {
+    ($($arg:tt)*) => {};
+}
 
 pub mod addr;
 pub mod atd;

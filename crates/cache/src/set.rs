@@ -90,6 +90,9 @@ impl<'a> SetView<'a> {
     /// Computed by ranking recency stamps; O(assoc²) but the associativities
     /// in play are ≤ 16, and profiling showed this is not a bottleneck.
     pub fn recency_ranks(&self) -> Vec<u8> {
+        // The u8 rank caps the supported associativity at 256; the paper's
+        // configurations top out at 16-way.
+        assert!(self.ways.len() <= 256, "recency ranks are 8-bit");
         let mut ranks = vec![0u8; self.ways.len()];
         for (i, w) in self.ways.iter().enumerate() {
             if !w.valid {
@@ -103,8 +106,39 @@ impl<'a> SetView<'a> {
             }
             ranks[i] = rank;
         }
+        self.check_rank_permutation(&ranks);
         ranks
     }
+
+    /// Model check (under the `invariants` feature): the ranks of the valid
+    /// ways form a permutation of `0..valid_count()` — i.e. the recency
+    /// stack orders every resident block exactly once, the property Eq. 1's
+    /// `R(i)` and the LIN policy's rank term rely on.
+    #[cfg(feature = "invariants")]
+    fn check_rank_permutation(&self, ranks: &[u8]) {
+        let mut seen = vec![false; self.ways.len()];
+        let mut valid = 0usize;
+        for (w, &r) in self.ways.iter().zip(ranks) {
+            if !w.valid {
+                continue;
+            }
+            valid += 1;
+            let r = usize::from(r);
+            crate::invariant!(
+                r < self.ways.len() && !seen[r],
+                "recency ranks of valid ways must be distinct stack positions"
+            );
+            seen[r] = true;
+        }
+        crate::invariant!(
+            seen.iter().filter(|&&s| s).count() == valid && seen[..valid].iter().all(|&s| s),
+            "recency ranks must cover 0..valid_count with no gaps"
+        );
+    }
+
+    #[cfg(not(feature = "invariants"))]
+    #[inline]
+    fn check_rank_permutation(&self, _ranks: &[u8]) {}
 
     /// The valid way with the smallest recency stamp (the LRU way), or
     /// `None` if the set is empty.

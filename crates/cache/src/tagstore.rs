@@ -97,6 +97,7 @@ impl TagStore {
         let w = &mut self.set_ways_mut(set)[way];
         debug_assert!(w.valid, "touching an invalid way");
         w.lru_stamp = stamp;
+        self.check_set_invariants(set);
     }
 
     /// Fills `line` into `way` of its set, returning the evicted block (if
@@ -126,6 +127,7 @@ impl TagStore {
             cost_q,
             dirty,
         };
+        self.check_set_invariants(set);
         evicted
     }
 
@@ -151,6 +153,7 @@ impl TagStore {
             Some(way) => {
                 let set = self.geometry.set_index(line);
                 self.set_ways_mut(set)[way].cost_q = cost_q;
+                self.check_set_invariants(set);
                 true
             }
             None => false,
@@ -202,6 +205,42 @@ impl TagStore {
         self.next_stamp += 1;
         s
     }
+
+    /// Model check (under the `invariants` feature) after any mutation of
+    /// one set: every valid way has a distinct recency stamp drawn from the
+    /// stamps already issued, no two valid ways hold the same tag, and every
+    /// `cost_q` fits the 3-bit field of Fig. 3b.
+    #[cfg(feature = "invariants")]
+    fn check_set_invariants(&self, set_index: u32) {
+        let ways = self.set_ways(set_index);
+        for (i, w) in ways.iter().enumerate() {
+            if !w.valid {
+                continue;
+            }
+            crate::invariant!(
+                w.lru_stamp < self.next_stamp && w.fill_stamp < self.next_stamp,
+                "stamps must come from the monotonic source"
+            );
+            crate::invariant!(
+                w.cost_q <= crate::meta::COST_Q_MAX,
+                "cost_q is a 3-bit field"
+            );
+            for other in &ways[i + 1..] {
+                crate::invariant!(
+                    !other.valid || other.tag != w.tag,
+                    "a tag may be resident in at most one way of a set"
+                );
+                crate::invariant!(
+                    !other.valid || other.lru_stamp != w.lru_stamp,
+                    "recency stamps are unique, so ranks form a permutation"
+                );
+            }
+        }
+    }
+
+    #[cfg(not(feature = "invariants"))]
+    #[inline]
+    fn check_set_invariants(&self, _set_index: u32) {}
 }
 
 /// Record of a block evicted (or invalidated) from a tag store.

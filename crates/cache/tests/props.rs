@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)] // test/bench code: panics are failures, not bugs
+
 //! Property-based tests for the cache substrate.
 
 use mlpsim_cache::addr::{Geometry, LineAddr};
@@ -80,6 +82,56 @@ proptest! {
             c.access(line, false, 2 * i as u64);
             let r = c.access(line, false, 2 * i as u64 + 1);
             prop_assert!(r.hit);
+        }
+    }
+
+    /// The LRU recency stack stays a permutation of the valid ways under
+    /// arbitrary interleavings of fills, touches, and cost updates, and a
+    /// touch always moves its way to MRU (the highest rank; rank 0 is the
+    /// LRU block Eq. 1's `R(i)` wants to victimize first). Run with
+    /// `--features invariants` this also routes every operation through
+    /// the tag store's internal structural checks (unique tags, unique
+    /// stamps, 3-bit cost_q).
+    #[test]
+    fn lru_stack_survives_arbitrary_ops(
+        ops in prop::collection::vec((0u64..48, 0u8..3, 0u8..8), 1..250)
+    ) {
+        let geom = Geometry::from_sets(4, 4, 64);
+        let mut tags = TagStore::new(geom);
+        for &(raw, op, cost) in &ops {
+            let line = LineAddr(raw);
+            let set = geom.set_index(line);
+            match (op, tags.probe(line)) {
+                (0, Some(way)) => {
+                    tags.touch(line, way);
+                    let view = tags.view(set);
+                    let mru = view.valid_ways().count() as u8 - 1;
+                    prop_assert_eq!(view.recency_ranks()[way], mru,
+                        "a touched way must become MRU");
+                }
+                (1, Some(_)) => {
+                    tags.set_cost_q(line, cost);
+                }
+                (_, found) => {
+                    let way = match found {
+                        Some(w) => w,
+                        None => tags.view(set).first_invalid().unwrap_or((raw % 4) as usize),
+                    };
+                    tags.fill(line, way, false, cost);
+                    let view = tags.view(set);
+                    let mru = view.valid_ways().count() as u8 - 1;
+                    prop_assert_eq!(view.recency_ranks()[way], mru,
+                        "a filled way must become MRU");
+                }
+            }
+            let view = tags.view(set);
+            let mut ranks: Vec<u8> = view
+                .valid_ways()
+                .map(|(w, _)| view.recency_ranks()[w])
+                .collect();
+            ranks.sort_unstable();
+            let expect: Vec<u8> = (0..ranks.len() as u8).collect();
+            prop_assert_eq!(ranks, expect, "ranks must be a permutation of 0..valid");
         }
     }
 

@@ -94,7 +94,7 @@ impl CbsEngine {
     /// Creates a CBS engine for a cache with the given geometry.
     pub fn new(geometry: Geometry, config: CbsConfig) -> Self {
         let psel_count = match config.mode {
-            CbsMode::Local => geometry.sets() as usize,
+            CbsMode::Local => crate::convert::idx(geometry.sets()),
             CbsMode::Global => 1,
         };
         let psels = vec![Psel::new(config.psel_bits); psel_count];
@@ -142,7 +142,7 @@ impl CbsEngine {
         let p = self.psels[idx];
         self.sink.emit(Event::PselUpdate {
             unit: unit.to_string(),
-            index: idx as u64,
+            index: crate::convert::idx_u64(idx),
             delta: if inc {
                 i64::from(cost)
             } else {
@@ -156,7 +156,7 @@ impl CbsEngine {
         if let Some(msb) = self.watches[idx].observe(&p) {
             self.sink.emit(Event::PselFlip {
                 unit: unit.to_string(),
-                index: idx as u64,
+                index: crate::convert::idx_u64(idx),
                 msb,
                 value: u64::from(p.value()),
                 seq,
@@ -172,7 +172,7 @@ impl CbsEngine {
     #[inline]
     fn psel_index(&self, set_index: u32) -> usize {
         match self.mode {
-            CbsMode::Local => set_index as usize,
+            CbsMode::Local => crate::convert::idx(set_index),
             CbsMode::Global => 0,
         }
     }

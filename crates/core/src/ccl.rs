@@ -133,22 +133,26 @@ impl Ccl {
             return;
         }
         let increment = match self.mode {
-            AdderMode::PerEntry => delta as f64 / n as f64,
+            AdderMode::PerEntry => crate::convert::cycles_f64(delta) / crate::convert::count_f64(n),
             AdderMode::Shared { adders } => {
                 // Each entry is visited every `stride` cycles and receives
                 // `stride / N` per visit; over `delta` cycles it gets
                 // floor(delta / stride) visits. The fractional remainder of
                 // the interval is dropped, modeling the update an entry
                 // misses while the adders are visiting its peers.
-                let stride = (n as u64).div_ceil(u64::from(adders.max(1)));
+                let stride = crate::convert::idx_u64(n).div_ceil(u64::from(adders.max(1)));
                 if stride <= 1 {
-                    delta as f64 / n as f64
+                    crate::convert::cycles_f64(delta) / crate::convert::count_f64(n)
                 } else {
                     let visits = delta / stride;
-                    (visits * stride) as f64 / n as f64
+                    crate::convert::cycles_f64(visits * stride) / crate::convert::count_f64(n)
                 }
             }
         };
+        crate::invariant!(
+            increment.is_finite() && increment >= 0.0,
+            "Algorithm 1 increment must be finite and non-negative"
+        );
         for (_, e) in mshr.iter_mut() {
             if e.is_demand {
                 e.mlp_cost += increment;
@@ -172,7 +176,7 @@ pub fn update_mlp_cost_per_cycle(mshr: &mut Mshr, cycles: u64) {
         if n == 0 {
             continue;
         }
-        let inc = 1.0 / n as f64;
+        let inc = 1.0 / crate::convert::count_f64(n);
         for (_, e) in mshr.iter_mut() {
             if e.is_demand {
                 e.mlp_cost += inc;

@@ -77,7 +77,7 @@ impl LeaderSets {
 
     /// Number of leader sets (K).
     pub fn k(&self) -> u32 {
-        self.offsets.len() as u32
+        crate::convert::idx_u32(self.offsets.len())
     }
 
     /// Number of cache sets covered (N).
@@ -94,7 +94,7 @@ impl LeaderSets {
     #[inline]
     pub fn is_leader(&self, set_index: u32) -> bool {
         debug_assert!(set_index < self.sets);
-        let c = (set_index / self.constituency_size) as usize;
+        let c = crate::convert::idx(set_index / self.constituency_size);
         self.offsets[c] == set_index % self.constituency_size
     }
 
@@ -103,7 +103,7 @@ impl LeaderSets {
         self.offsets
             .iter()
             .enumerate()
-            .map(move |(c, &off)| c as u32 * self.constituency_size + off)
+            .map(move |(c, &off)| crate::convert::idx_u32(c) * self.constituency_size + off)
     }
 
     /// Re-draws the leader offsets (only meaningful for

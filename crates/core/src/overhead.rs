@@ -43,14 +43,15 @@ impl OverheadParams {
 
     /// Tag width: physical address minus set-index and line-offset bits.
     pub fn tag_bits(&self) -> u32 {
-        let index_bits = (self.geometry.sets() as f64).log2().ceil() as u32;
-        let offset_bits = (self.geometry.line_bytes() as f64).log2().ceil() as u32;
+        let index_bits = crate::convert::trunc_u32(f64::from(self.geometry.sets()).log2().ceil());
+        let offset_bits =
+            crate::convert::trunc_u32(f64::from(self.geometry.line_bytes()).log2().ceil());
         self.phys_addr_bits - index_bits - offset_bits
     }
 
     /// Bits per ATD entry: tag + valid + LRU stack position.
     pub fn atd_entry_bits(&self) -> u32 {
-        let lru_bits = (f64::from(self.geometry.ways())).log2().ceil() as u32;
+        let lru_bits = crate::convert::trunc_u32(f64::from(self.geometry.ways()).log2().ceil());
         self.tag_bits() + 1 + lru_bits
     }
 }
@@ -81,7 +82,8 @@ impl Overhead {
 
     /// Overhead as a fraction of a cache's data capacity.
     pub fn fraction_of(&self, geometry: Geometry) -> f64 {
-        self.total_bytes() as f64 / geometry.capacity_bytes() as f64
+        crate::convert::cycles_f64(self.total_bytes())
+            / crate::convert::cycles_f64(geometry.capacity_bytes())
     }
 }
 

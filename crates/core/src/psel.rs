@@ -68,11 +68,19 @@ impl Psel {
     /// Saturating increment by `amount` (the cost_q of a divergent miss).
     pub fn inc_by(&mut self, amount: u32) {
         self.value = self.value.saturating_add(amount).min(self.max);
+        crate::invariant!(
+            self.value <= self.max,
+            "PSEL must saturate at its width's maximum"
+        );
     }
 
     /// Saturating decrement by `amount`.
     pub fn dec_by(&mut self, amount: u32) {
         self.value = self.value.saturating_sub(amount);
+        crate::invariant!(
+            self.value <= self.max,
+            "PSEL must saturate at its width's maximum"
+        );
     }
 
     /// Whether the counter is pinned at either rail (0 or max). Useful for

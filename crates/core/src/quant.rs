@@ -20,6 +20,9 @@ use mlpsim_cache::meta::{CostQ, COST_Q_MAX};
 /// Width of one quantization interval in cycles (Fig. 3b).
 pub const COST_Q_INTERVAL_CYCLES: f64 = 60.0;
 
+/// Integer twin of [`COST_Q_INTERVAL_CYCLES`] for exact label arithmetic.
+pub const COST_Q_INTERVAL_CYCLES_INT: u32 = 60;
+
 /// Quantizes an `mlp-cost` value (in cycles) into the 3-bit `cost_q`.
 ///
 /// Negative inputs (which cannot arise from Algorithm 1 but might from
@@ -39,8 +42,11 @@ pub fn quantize(mlp_cost_cycles: f64) -> CostQ {
     if mlp_cost_cycles <= 0.0 {
         return 0;
     }
-    let bucket = (mlp_cost_cycles / COST_Q_INTERVAL_CYCLES) as u64;
-    bucket.min(u64::from(COST_Q_MAX)) as CostQ
+    let bucket = crate::convert::trunc_u64(mlp_cost_cycles / COST_Q_INTERVAL_CYCLES);
+    let q = CostQ::try_from(bucket.min(u64::from(COST_Q_MAX)))
+        .expect("min with COST_Q_MAX (7) always fits in the 3-bit CostQ");
+    crate::invariant!(q <= COST_Q_MAX, "cost_q is a 3-bit value");
+    q
 }
 
 /// The inclusive-exclusive cycle range `[lo, hi)` covered by a `cost_q`
@@ -68,7 +74,7 @@ pub fn bucket_range(cost_q: CostQ) -> (f64, f64) {
 /// Panics if `cost_q > 7`.
 pub fn bucket_label(cost_q: CostQ) -> String {
     assert!(cost_q <= COST_Q_MAX, "cost_q is a 3-bit value");
-    let lo = u32::from(cost_q) * COST_Q_INTERVAL_CYCLES as u32;
+    let lo = u32::from(cost_q) * COST_Q_INTERVAL_CYCLES_INT;
     if cost_q == COST_Q_MAX {
         format!("{lo}+")
     } else {
@@ -133,5 +139,13 @@ mod tests {
     #[should_panic(expected = "3-bit")]
     fn bucket_range_rejects_wide_values() {
         let _ = bucket_range(8);
+    }
+
+    #[test]
+    fn integer_interval_twin_stays_consistent() {
+        assert_eq!(
+            f64::from(COST_Q_INTERVAL_CYCLES_INT),
+            COST_Q_INTERVAL_CYCLES
+        );
     }
 }

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)] // test/bench code: panics are failures, not bugs
+
 //! Property-based tests for the MLP-aware replacement mechanisms.
 
 use mlpsim_cache::addr::LineAddr;
@@ -62,6 +64,58 @@ proptest! {
         }
     }
 
+    /// The event-driven CCL still matches the per-cycle reference when
+    /// Algorithm 1's `N` divisor changes via promotions and demotions
+    /// (prefetch merges, wrong-path resolution), not just alloc/free.
+    /// Run with `--features invariants` this also asserts every increment
+    /// is finite and non-negative and recounts the MSHR's demand slots.
+    #[test]
+    fn ccl_divisor_tracks_promotions(
+        events in prop::collection::vec((0u8..4, 0u64..40, 1u64..200), 1..40)
+    ) {
+        let mut fast_mshr = Mshr::new(8);
+        let mut slow_mshr = Mshr::new(8);
+        let mut ccl = Ccl::new(AdderMode::PerEntry);
+        let mut now = 0u64;
+        let mut next_line = 0u64;
+        for &(op, pick, dt) in &events {
+            ccl.advance(&mut fast_mshr, now + dt);
+            update_mlp_cost_per_cycle(&mut slow_mshr, dt);
+            now += dt;
+            let ids: Vec<_> = fast_mshr.iter().map(|(id, _)| id).collect();
+            match op {
+                0 if !fast_mshr.is_full() => {
+                    let line = LineAddr(next_line);
+                    next_line += 1;
+                    let demand = pick % 3 != 0;
+                    fast_mshr.allocate(line, now, now + 444, demand).unwrap();
+                    slow_mshr.allocate(line, now, now + 444, demand).unwrap();
+                }
+                1 if !ids.is_empty() => {
+                    let id = ids[pick as usize % ids.len()];
+                    fast_mshr.promote_to_demand(id);
+                    slow_mshr.promote_to_demand(id);
+                }
+                2 if !ids.is_empty() => {
+                    let id = ids[pick as usize % ids.len()];
+                    fast_mshr.demote_from_demand(id);
+                    slow_mshr.demote_from_demand(id);
+                }
+                _ if !ids.is_empty() => {
+                    let id = ids[pick as usize % ids.len()];
+                    let a = fast_mshr.free(id);
+                    let b = slow_mshr.free(id);
+                    prop_assert!((a.mlp_cost - b.mlp_cost).abs() < 1e-6);
+                }
+                _ => {}
+            }
+            prop_assert_eq!(fast_mshr.demand_count(), slow_mshr.demand_count());
+        }
+        for ((_, a), (_, b)) in fast_mshr.iter().zip(slow_mshr.iter()) {
+            prop_assert!((a.mlp_cost - b.mlp_cost).abs() < 1e-6);
+        }
+    }
+
     /// Shared adders never overshoot the ideal accumulation and lose less
     /// than one visit-stride worth of cost.
     #[test]
@@ -92,6 +146,33 @@ proptest! {
             if up { p.inc_by(amount) } else { p.dec_by(amount) }
             prop_assert!(p.value() <= p.max());
         }
+    }
+
+    /// PSEL saturates rather than wraps at both rails, even for update
+    /// amounts far beyond the counter width. Run with
+    /// `--features invariants` each step also fires the counter's
+    /// internal saturation assertion.
+    #[test]
+    fn psel_saturates_at_extremes(
+        bits in 1u32..12,
+        updates in prop::collection::vec((prop::bool::ANY, 0u32..u32::MAX), 0..60)
+    ) {
+        let mut p = Psel::new(bits);
+        for (up, amount) in updates {
+            let before = p.value();
+            if up {
+                p.inc_by(amount);
+                prop_assert!(p.value() >= before, "inc must never wrap below");
+            } else {
+                p.dec_by(amount);
+                prop_assert!(p.value() <= before, "dec must never wrap above");
+            }
+            prop_assert!(p.value() <= p.max());
+        }
+        p.inc_by(u32::MAX);
+        prop_assert_eq!(p.value(), p.max(), "top rail is sticky under overflow");
+        p.dec_by(u32::MAX);
+        prop_assert_eq!(p.value(), 0, "bottom rail is sticky under underflow");
     }
 
     /// Leader-set maps always choose exactly one leader per constituency,
@@ -142,7 +223,10 @@ fn lin_victim_is_argmin() {
                 .map(|i| WayMeta {
                     valid: true,
                     tag: i,
-                    lru_stamp: rng() % 1000,
+                    // Distinct by construction: the tag store's monotonic
+                    // stamp source never hands out duplicates, and the
+                    // recency ranks are only a permutation without them.
+                    lru_stamp: (rng() % 1000) * 8 + i,
                     fill_stamp: 0,
                     cost_q: (rng() % 8) as u8,
                     dirty: false,

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 //! Deterministic parallel execution for simulation sweeps.
 //!
@@ -17,6 +18,23 @@
 //! The worker count defaults to [`std::thread::available_parallelism`],
 //! overridable with the `MLPSIM_JOBS` environment variable or the
 //! experiment binaries' `--jobs N` flag (see [`default_jobs`]).
+
+/// Model-checking assertion for the worker-pool ordering contract (one
+/// result per submitted job, reassembled in submission order). Compiled to
+/// a real `assert!` only under the `invariants` feature; a no-op (zero
+/// cost, in release and debug alike) otherwise. See DESIGN.md §10.
+#[cfg(feature = "invariants")]
+#[macro_export]
+macro_rules! invariant {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// No-op twin of the `invariants`-enabled assertion (feature disabled).
+#[cfg(not(feature = "invariants"))]
+#[macro_export]
+macro_rules! invariant {
+    ($($arg:tt)*) => {};
+}
 
 pub mod pool;
 

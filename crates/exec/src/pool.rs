@@ -112,6 +112,10 @@ impl WorkerPool {
         let mut slots: Vec<Option<thread::Result<T>>> = (0..n).map(|_| None).collect();
         for _ in 0..n {
             let (idx, out) = rx.recv().expect("every job sends exactly once");
+            crate::invariant!(
+                idx < n && slots[idx].is_none(),
+                "each submission index is delivered exactly once"
+            );
             slots[idx] = Some(out);
         }
         slots

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)] // test/bench code: panics are failures, not bugs
+
 //! Property tests for the ordered worker pool: for any job list, any
 //! thread count, and any per-job completion skew, `map_ordered` must
 //! return exactly the serial `map` result.

@@ -1,3 +1,5 @@
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 //! Runs every experiment binary (by invoking the siblings), regenerating
 //! all of the paper's tables and figures.
 //!
@@ -20,7 +22,7 @@
 
 use mlpsim_exec::WorkerPool;
 use std::io::Write;
-use std::process::Command;
+use std::process::{Command, ExitCode};
 
 const EXPERIMENTS: &[&str] = &[
     "fig1",
@@ -120,14 +122,29 @@ fn telemetry_path_for(base: &str, name: &str) -> String {
     }
 }
 
-fn main() {
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let cli = parse_args(&args).unwrap_or_else(|e| {
-        eprintln!("{e}");
-        std::process::exit(2);
-    });
-    let exe = std::env::current_exe().expect("own path");
-    let dir = exe.parent().expect("target dir").to_path_buf();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: cannot locate own executable ({e})");
+            return ExitCode::from(3);
+        }
+    };
+    let Some(dir) = exe.parent().map(std::path::Path::to_path_buf) else {
+        eprintln!(
+            "error: executable path {} has no parent directory",
+            exe.display()
+        );
+        return ExitCode::from(3);
+    };
 
     let pool = WorkerPool::new(cli.jobs);
     let launches = EXPERIMENTS
@@ -160,12 +177,13 @@ fn main() {
         println!("================================================================");
         match out {
             Ok(o) => {
-                std::io::stdout()
-                    .write_all(&o.stdout)
-                    .expect("write captured stdout");
-                std::io::stderr()
-                    .write_all(&o.stderr)
-                    .expect("write captured stderr");
+                // A broken stdout pipe (e.g. `all | head`) is a signal to
+                // stop producing output, not a crash.
+                if std::io::stdout().write_all(&o.stdout).is_err()
+                    || std::io::stderr().write_all(&o.stderr).is_err()
+                {
+                    return ExitCode::from(3);
+                }
                 if !o.status.success() {
                     eprintln!("{name} exited with {}", o.status);
                     failures.push(name);
@@ -179,9 +197,10 @@ fn main() {
     }
     if failures.is_empty() {
         println!("\nAll {} experiments completed.", EXPERIMENTS.len());
+        ExitCode::SUCCESS
     } else {
         eprintln!("\nFailed experiments: {failures:?}");
-        std::process::exit(1);
+        ExitCode::FAILURE
     }
 }
 

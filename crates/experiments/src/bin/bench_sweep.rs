@@ -11,9 +11,11 @@
 //! scheduler regression from a small machine.
 
 use mlpsim_cpu::policy::PolicyKind;
+use mlpsim_experiments::cli;
 use mlpsim_experiments::runner::{jobs_from_env, run_matrix, RunOptions};
 use mlpsim_trace::spec::SpecBench;
 use std::io::Write;
+use std::process::ExitCode;
 use std::time::Instant;
 
 const BENCHES: [SpecBench; 4] = [
@@ -24,7 +26,7 @@ const BENCHES: [SpecBench; 4] = [
 ];
 const ACCESSES: usize = 150_000;
 
-fn main() {
+fn main() -> ExitCode {
     let jobs = jobs_from_env();
     let policies = [
         PolicyKind::Lru,
@@ -72,8 +74,10 @@ fn main() {
         policies.len(),
     );
     let path = "BENCH_sweep.json";
-    let mut f = std::fs::File::create(path).expect("create BENCH_sweep.json");
-    f.write_all(json.as_bytes())
-        .expect("write BENCH_sweep.json");
+    let write = std::fs::File::create(path).and_then(|mut f| f.write_all(json.as_bytes()));
+    if let Err(e) = write {
+        return cli::io_error(&format!("cannot write {path}: {e}"));
+    }
     println!("wrote {path}");
+    ExitCode::SUCCESS
 }

@@ -6,15 +6,18 @@
 use mlpsim_cpu::config::SystemConfig;
 use mlpsim_cpu::policy::PolicyKind;
 use mlpsim_cpu::system::System;
-use mlpsim_trace::spec::SpecBench;
+use mlpsim_experiments::cli;
+use std::process::ExitCode;
 
-fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "ammp".into());
-    let interval: u64 = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(400_000);
-    let bench = SpecBench::from_name(&name).expect("unknown benchmark");
+fn main() -> ExitCode {
+    let bench = match cli::bench_from_arg(std::env::args().nth(1), "ammp") {
+        Ok(b) => b,
+        Err(msg) => return cli::usage_error(&msg),
+    };
+    let interval = match cli::u64_from_arg(std::env::args().nth(2), "interval", 400_000) {
+        Ok(n) => n,
+        Err(msg) => return cli::usage_error(&msg),
+    };
     let trace = bench.generate(420_000, 42);
     let mut results = Vec::new();
     for policy in [
@@ -52,4 +55,5 @@ fn main() {
             s[2].avg_cost_q
         );
     }
+    ExitCode::SUCCESS
 }

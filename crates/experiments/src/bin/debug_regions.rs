@@ -6,12 +6,16 @@
 use mlpsim_cpu::config::SystemConfig;
 use mlpsim_cpu::policy::PolicyKind;
 use mlpsim_cpu::system::System;
-use mlpsim_trace::spec::SpecBench;
+use mlpsim_experiments::cli;
 use std::collections::HashMap;
+use std::process::ExitCode;
 
-fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "twolf".into());
-    let bench = SpecBench::from_name(&name).expect("unknown benchmark");
+fn main() -> ExitCode {
+    let bench = match cli::bench_from_arg(std::env::args().nth(1), "twolf") {
+        Ok(b) => b,
+        Err(msg) => return cli::usage_error(&msg),
+    };
+    let name = bench.name();
     let trace = bench.generate(420_000, 42);
     let mut acc: HashMap<u64, u64> = HashMap::new();
     for a in trace.iter() {
@@ -50,4 +54,5 @@ fn main() {
             );
         }
     }
+    ExitCode::SUCCESS
 }

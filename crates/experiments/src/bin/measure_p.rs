@@ -12,10 +12,25 @@ use mlpsim_analysis::sampling::p_best;
 use mlpsim_analysis::table::Table;
 use mlpsim_analysis::util::percent_improvement;
 use mlpsim_cpu::policy::PolicyKind;
+use mlpsim_experiments::cli;
 use mlpsim_experiments::runner::{run_matrix, RunOptions};
 use mlpsim_trace::spec::SpecBench;
+use std::process::ExitCode;
 
-fn main() {
+/// Parses the CBS-local engine's `psel_lin=<lin>/<total>` census string.
+fn parse_census(debug: Option<&str>) -> Result<(usize, usize), String> {
+    let debug = debug.ok_or("CBS-local reported no census in policy_debug")?;
+    let body = debug.trim_start_matches("psel_lin=");
+    let (lin, total) = body
+        .split_once('/')
+        .ok_or_else(|| format!("malformed census {debug:?}: want psel_lin=<lin>/<total>"))?;
+    match (lin.parse(), total.parse()) {
+        (Ok(l), Ok(t)) => Ok((l, t)),
+        _ => Err(format!("malformed census {debug:?}: non-numeric fields")),
+    }
+}
+
+fn main() -> ExitCode {
     println!("Measured per-set policy preference p (via CBS-local PSEL census)\n");
     let mut t = Table::with_headers(&[
         "bench",
@@ -36,13 +51,10 @@ fn main() {
         let (lru, lin) = (&results[0], &results[1]);
         let cbs = results[2].clone();
         // Parse "psel_lin=<lin>/<total>" from the engine's debug state.
-        let debug = cbs.policy_debug.expect("CBS exposes a census");
-        let nums: Vec<usize> = debug
-            .trim_start_matches("psel_lin=")
-            .split('/')
-            .map(|x| x.parse().expect("census format"))
-            .collect();
-        let (lin_sets, total) = (nums[0], nums[1]);
+        let (lin_sets, total) = match parse_census(cbs.policy_debug.as_deref()) {
+            Ok(pair) => pair,
+            Err(msg) => return cli::io_error(&format!("{}: {msg}", bench.name())),
+        };
         let lin_frac = lin_sets as f64 / total as f64;
         let lin_wins = percent_improvement(lin.ipc(), lru.ipc()) >= 0.0;
         let p = if lin_wins { lin_frac } else { 1.0 - lin_frac };
@@ -68,4 +80,5 @@ fn main() {
          benchmark's p into Eqs. 4-5 gives the per-benchmark probability that SBAR's 32\n\
          sampled leader sets pick the right policy."
     );
+    ExitCode::SUCCESS
 }

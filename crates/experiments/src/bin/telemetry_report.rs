@@ -214,7 +214,10 @@ fn main() -> ExitCode {
         println!("== MSHR occupancy ==\n(no MSHR events in stream)\n");
     } else {
         let total: u64 = occ_cycles.values().sum();
-        let max_occ = *occ_cycles.keys().max().unwrap();
+        let max_occ = *occ_cycles
+            .keys()
+            .max()
+            .expect("is_empty checked in the branch above");
         let mut t = Table::with_headers(&["outstanding", "cycles", "%", ""]);
         for occ in 0..=max_occ {
             let c = occ_cycles.get(&occ).copied().unwrap_or(0);

@@ -1,0 +1,94 @@
+//! Shared command-line plumbing for the experiment binaries.
+//!
+//! The binaries take free-form arguments from users (benchmark names,
+//! interval sizes, output paths). Bad input must produce a one-line
+//! diagnostic and a nonzero exit, not a panic with a backtrace — lint
+//! rule D4 bans `unwrap`/`panic!` on these paths (see DESIGN.md §10).
+
+use mlpsim_trace::spec::SpecBench;
+use std::process::ExitCode;
+
+/// Exit code for invalid command-line input, following the BSD `EX_USAGE`
+/// convention well enough for scripts to distinguish it from crashes.
+pub const EXIT_USAGE: u8 = 2;
+
+/// Exit code for runtime I/O failures (cannot create/write an output file).
+pub const EXIT_IO: u8 = 3;
+
+/// Prints `error: <msg>` to stderr and returns the usage exit code.
+/// Binaries `return` the result from `main() -> ExitCode`.
+#[must_use]
+pub fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::from(EXIT_USAGE)
+}
+
+/// Prints `error: <msg>` to stderr and returns the I/O exit code.
+#[must_use]
+pub fn io_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::from(EXIT_IO)
+}
+
+/// Resolves a benchmark name from the command line, defaulting to
+/// `default` when absent.
+///
+/// # Errors
+///
+/// An unknown name yields a message listing every valid benchmark, so a
+/// typo is a one-line fix rather than a trip to the source.
+pub fn bench_from_arg(arg: Option<String>, default: &str) -> Result<SpecBench, String> {
+    let name = arg.unwrap_or_else(|| default.to_string());
+    SpecBench::from_name(&name).ok_or_else(|| {
+        let known: Vec<&str> = SpecBench::ALL.iter().map(|b| b.name()).collect();
+        format!("unknown benchmark {name:?}; known: {}", known.join(", "))
+    })
+}
+
+/// Parses an optional positional integer argument, defaulting when absent.
+///
+/// # Errors
+///
+/// A present-but-unparsable value is an error (silently falling back to
+/// the default would hide the typo).
+pub fn u64_from_arg(arg: Option<String>, what: &str, default: u64) -> Result<u64, String> {
+    match arg {
+        None => Ok(default),
+        Some(raw) => raw
+            .trim()
+            .parse()
+            .map_err(|_| format!("invalid {what} {raw:?}: want a non-negative integer")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_bench_resolves() {
+        assert_eq!(bench_from_arg(None, "twolf").map(|b| b.name()), Ok("twolf"));
+    }
+
+    #[test]
+    fn explicit_bench_resolves() {
+        assert_eq!(
+            bench_from_arg(Some("ammp".into()), "twolf").map(|b| b.name()),
+            Ok("ammp")
+        );
+    }
+
+    #[test]
+    fn unknown_bench_lists_alternatives() {
+        let err = bench_from_arg(Some("gcc".into()), "twolf").unwrap_err();
+        assert!(err.contains("unknown benchmark"));
+        assert!(err.contains("twolf"), "message lists valid names: {err}");
+    }
+
+    #[test]
+    fn u64_arg_defaults_and_parses() {
+        assert_eq!(u64_from_arg(None, "interval", 7), Ok(7));
+        assert_eq!(u64_from_arg(Some(" 42 ".into()), "interval", 7), Ok(42));
+        assert!(u64_from_arg(Some("x".into()), "interval", 7).is_err());
+    }
+}

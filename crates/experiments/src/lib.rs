@@ -1,3 +1,5 @@
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 //! Experiment harness: one binary per paper table/figure.
 //!
 //! Binaries (run with `cargo run -p mlpsim-experiments --release --bin <name>`):
@@ -47,6 +49,7 @@
 //! The library part hosts the shared [`runner`] plus the paper's reference
 //! numbers ([`paper`]) used to print paper-vs-measured tables.
 
+pub mod cli;
 pub mod paper;
 pub mod runner;
 

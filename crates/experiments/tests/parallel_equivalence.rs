@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)] // test/bench code: panics are failures, not bugs
+
 //! The executor's determinism contract, tested end to end: a
 //! [`run_matrix`] sweep must produce the same `SimResult` for every cell
 //! — and the same telemetry byte stream — at `-j1` and at any `-jN`.

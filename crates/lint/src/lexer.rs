@@ -1,0 +1,347 @@
+//! A minimal Rust lexer — just enough structure for the workspace rules.
+//!
+//! The rules in [`crate::rules`] only need a token stream with comments,
+//! string literals, and character literals stripped out (so that pattern
+//! text inside docs or test fixtures can never trip a rule), plus the
+//! comments themselves (so allow-pragmas can be recognized). Full Rust
+//! grammar is deliberately out of scope: no macro expansion, no type
+//! resolution. Every rule is written to be robust against that — see the
+//! per-rule notes in `rules.rs` for the accepted approximations.
+
+/// One significant token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based source line.
+    pub line: u32,
+    pub kind: TokenKind,
+}
+
+/// The token classes the rules care about. Numeric/string/char literals
+/// are dropped entirely: no rule needs their value, and dropping them is
+/// what makes planted-violation fixtures inside test strings invisible.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`for`, `as`, `unwrap`, `HashMap`, …).
+    Ident(String),
+    /// A single punctuation byte (`.`, `!`, `{`, `<`, …).
+    Punct(char),
+}
+
+/// A comment (line or block) with its starting line, text included —
+/// allow-pragmas live here.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment body without the `//` / `/*` markers.
+    pub text: String,
+}
+
+/// Lexer output: the significant tokens and the comments, both in source
+/// order.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenizes `src`. Unterminated constructs (string, block comment) are
+/// tolerated — the lexer consumes to end of input rather than erroring,
+/// which is the right behavior for a best-effort style checker.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Advances `idx` past one character, maintaining the line counter.
+    // All multi-byte UTF-8 continuation bytes are simply consumed.
+    macro_rules! bump {
+        () => {{
+            if b[i] == b'\n' {
+                line += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' | b' ' | b'\t' | b'\r' => bump!(),
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                // Line comment (incl. doc comments).
+                let start_line = line;
+                let mut text = String::new();
+                i += 2;
+                while i < b.len() && b[i] != b'\n' {
+                    text.push(b[i] as char);
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    line: start_line,
+                    text,
+                });
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                // Block comment, possibly nested.
+                let start_line = line;
+                let mut text = String::new();
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        text.push(b[i] as char);
+                        bump!();
+                    }
+                }
+                out.comments.push(Comment {
+                    line: start_line,
+                    text,
+                });
+            }
+            b'"' => {
+                bump!();
+                skip_string_body(b, &mut i, &mut line);
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(b, i) => {
+                // r"…", r#"…"#, b"…", br#"…"# and friends.
+                let mut raw = false;
+                while i < b.len() && (b[i] == b'r' || b[i] == b'b') {
+                    raw |= b[i] == b'r';
+                    i += 1;
+                }
+                let mut hashes = 0usize;
+                while i < b.len() && b[i] == b'#' {
+                    hashes += 1;
+                    i += 1;
+                }
+                if i < b.len() && b[i] == b'"' {
+                    bump!();
+                    if raw {
+                        skip_raw_string_body(b, &mut i, &mut line, hashes);
+                    } else {
+                        // b"…" — a plain byte string with escape rules.
+                        skip_string_body(b, &mut i, &mut line);
+                    }
+                }
+            }
+            b'\'' => {
+                // Char literal or lifetime. A lifetime is `'ident` not
+                // followed by a closing quote.
+                let mut j = i + 1;
+                if j < b.len() && (b[j].is_ascii_alphabetic() || b[j] == b'_') && b[j] != b'\\' {
+                    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                        j += 1;
+                    }
+                    if j < b.len() && b[j] == b'\'' {
+                        // 'x' — a char literal; consume through the quote.
+                        i = j + 1;
+                    } else {
+                        // Lifetime: consume the quote + identifier, emit
+                        // nothing (no rule needs lifetimes).
+                        i = j;
+                    }
+                } else {
+                    // Escaped or non-alphabetic char literal: '\n', '\'',
+                    // '\u{…}', '0'…
+                    i += 1;
+                    while i < b.len() && b[i] != b'\'' {
+                        if b[i] == b'\\' {
+                            i += 1;
+                        }
+                        if i < b.len() {
+                            bump!();
+                        }
+                    }
+                    if i < b.len() {
+                        i += 1; // closing quote
+                    }
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                // Numeric literal (with optional suffix / float part);
+                // dropped.
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.')
+                {
+                    // `0..10` — don't swallow the range operator.
+                    if b[i] == b'.' && i + 1 < b.len() && b[i + 1] == b'.' {
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let text = String::from_utf8_lossy(&b[start..i]).into_owned();
+                out.tokens.push(Token {
+                    line,
+                    kind: TokenKind::Ident(text),
+                });
+            }
+            _ => {
+                if c.is_ascii() {
+                    out.tokens.push(Token {
+                        line,
+                        kind: TokenKind::Punct(c as char),
+                    });
+                }
+                bump!();
+            }
+        }
+    }
+    out
+}
+
+/// After an opening `"`, consume through the closing `"` honoring `\`
+/// escapes.
+fn skip_string_body(b: &[u8], i: &mut usize, line: &mut u32) {
+    while *i < b.len() {
+        match b[*i] {
+            b'\\' => {
+                *i += 1;
+                if *i < b.len() {
+                    if b[*i] == b'\n' {
+                        *line += 1;
+                    }
+                    *i += 1;
+                }
+            }
+            b'"' => {
+                *i += 1;
+                return;
+            }
+            b'\n' => {
+                *line += 1;
+                *i += 1;
+            }
+            _ => *i += 1,
+        }
+    }
+}
+
+/// After the opening `"` of a raw string with `hashes` `#`s, consume
+/// through the matching `"##…#`. With zero hashes this is escape-free
+/// (raw) termination on the first `"`.
+fn skip_raw_string_body(b: &[u8], i: &mut usize, line: &mut u32, hashes: usize) {
+    while *i < b.len() {
+        if b[*i] == b'"' {
+            let mut j = *i + 1;
+            let mut seen = 0usize;
+            while seen < hashes && j < b.len() && b[j] == b'#' {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                *i = j;
+                return;
+            }
+        }
+        if b[*i] == b'\n' {
+            *line += 1;
+        }
+        *i += 1;
+    }
+}
+
+/// Is `b[i..]` the start of a raw/byte string (`r"`, `r#`, `b"`, `br"`,
+/// `rb`… prefixes)? Identifiers like `result` must not match.
+fn starts_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    while j < b.len() && (b[j] == b'r' || b[j] == b'b') && j - i < 2 {
+        j += 1;
+    }
+    if j == i {
+        return false;
+    }
+    while j < b.len() && b[j] == b'#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == b'"'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                TokenKind::Punct(_) => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_stripped() {
+        let src = r###"
+            // a comment mentioning unwrap()
+            /* block with panic! inside */
+            let x = "string with thread_rng";
+            let y = r#"raw with SystemTime"#;
+            let z = 'q';
+            real_ident(x);
+        "###;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        for banned in ["unwrap", "panic", "thread_rng", "SystemTime"] {
+            assert!(!ids.contains(&banned.to_string()), "{banned} leaked");
+        }
+    }
+
+    #[test]
+    fn comments_are_collected_with_lines() {
+        let src = "let a = 1;\n// lint: allow(D4, \"why\")\nlet b = 2;\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert!(lexed.comments[0].text.contains("lint: allow"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        // If the lexer mis-lexed `'a` as an open char literal it would
+        // swallow the rest of the line including `drain`.
+        let ids = idents("fn f<'a>(x: &'a mut M) { x.drain(); }");
+        assert!(ids.contains(&"drain".to_string()));
+    }
+
+    #[test]
+    fn escaped_char_literals_terminate() {
+        let ids = idents(r"let c = '\n'; after('\'');");
+        assert!(ids.contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let lexed = lex("a\nb\n\nc");
+        let lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn numeric_literals_with_suffixes_vanish() {
+        let ids = idents("let x = 1u32 + 0.5f64; for i in 0..10 {}");
+        assert!(!ids.contains(&"u32".to_string()));
+        assert!(!ids.contains(&"f64".to_string()));
+        assert!(ids.contains(&"for".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let ids = idents("/* outer /* inner */ still comment */ visible");
+        assert_eq!(ids, vec!["visible".to_string()]);
+    }
+}

@@ -1,0 +1,172 @@
+//! `mlpsim-lint` — workspace static analysis for simulator determinism
+//! and cost-model soundness.
+//!
+//! ```text
+//! cargo run -p mlpsim-lint            # lint the workspace, exit 1 on violations
+//! cargo run -p mlpsim-lint -- --rules # describe the rules
+//! cargo run -p mlpsim-lint -- <root>  # lint an explicit workspace root
+//! ```
+//!
+//! The rules (see [`rules`] for details and the pragma escape):
+//!
+//! - **D1** no iteration over `HashMap`/`HashSet` in `cache`/`core`/`mem`/
+//!   `exec` — unordered iteration leaks nondeterminism into victim
+//!   selection and sweep output.
+//! - **D2** no `SystemTime`/`Instant`/`thread_rng` in simulation logic —
+//!   wall-clock and ambient randomness break replayability.
+//! - **D3** no bare `as` numeric casts in `core` cost/quantization code —
+//!   conversions must be checked or documented.
+//! - **D4** no `unwrap()`/`panic!` outside tests — errors must surface.
+//!
+//! Scanned: `src/` of the root package and every `crates/*/src`, skipping
+//! `tests/`, `benches/`, `vendor/`, and `target/`. Files are visited in
+//! sorted order so output is deterministic (the linter holds itself to
+//! its own standard).
+
+mod lexer;
+mod rules;
+
+use rules::{check_file, FileScope};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--rules" || a == "--help") {
+        print!("{}", RULES_HELP);
+        return ExitCode::SUCCESS;
+    }
+    let root = match args.first() {
+        Some(p) => PathBuf::from(p),
+        None => workspace_root(),
+    };
+    if !root.join("Cargo.toml").is_file() {
+        eprintln!(
+            "mlpsim-lint: {} does not look like a workspace root (no Cargo.toml)",
+            root.display()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let mut files = Vec::new();
+    collect_rs_files(&root.join("src"), &mut files);
+    let crates_dir = root.join("crates");
+    match std::fs::read_dir(&crates_dir) {
+        Ok(entries) => {
+            let mut crates: Vec<PathBuf> = entries
+                .filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| p.is_dir())
+                .collect();
+            crates.sort();
+            for c in crates {
+                collect_rs_files(&c.join("src"), &mut files);
+            }
+        }
+        Err(e) => {
+            eprintln!("mlpsim-lint: cannot read {}: {e}", crates_dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    files.sort();
+
+    let mut violations = 0usize;
+    let mut read_errors = 0usize;
+    for f in &files {
+        let src = match std::fs::read_to_string(f) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("mlpsim-lint: cannot read {}: {e}", f.display());
+                read_errors += 1;
+                continue;
+            }
+        };
+        let key = crate_key(&root, f);
+        let rel = f.strip_prefix(&root).unwrap_or(f);
+        for d in check_file(FileScope { crate_key: &key }, &src) {
+            println!("{}:{}: {}: {}", rel.display(), d.line, d.rule.name(), d.msg);
+            violations += 1;
+        }
+    }
+
+    eprintln!(
+        "mlpsim-lint: {} files checked, {} violation{}",
+        files.len(),
+        violations,
+        if violations == 1 { "" } else { "s" }
+    );
+    if violations > 0 || read_errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// The workspace root: two levels above this crate's manifest (set by
+/// cargo at compile time; correct for `cargo run -p mlpsim-lint` from
+/// anywhere inside the repo), falling back to the current directory.
+fn workspace_root() -> PathBuf {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map_or_else(|| PathBuf::from("."), Path::to_path_buf)
+}
+
+/// Directory key gating rule scope: `cache`, `core`, … for
+/// `crates/<key>/…`, `mlpsim` for the root package's `src/`.
+fn crate_key(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    let mut comps = rel.components().map(|c| c.as_os_str().to_string_lossy());
+    match comps.next().as_deref() {
+        Some("crates") => comps
+            .next()
+            .map_or_else(|| "mlpsim".to_string(), |c| c.into_owned()),
+        _ => "mlpsim".to_string(),
+    }
+}
+
+/// Recursively collects `.rs` files, skipping test/bench/vendor trees.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    const SKIP_DIRS: &[&str] = &["tests", "benches", "vendor", "target", ".git"];
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return; // a crate without src/ (or unreadable) is simply not linted
+    };
+    for e in entries.filter_map(Result::ok) {
+        let p = e.path();
+        if p.is_dir() {
+            let name = e.file_name();
+            if !SKIP_DIRS.contains(&name.to_string_lossy().as_ref()) {
+                collect_rs_files(&p, out);
+            }
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+const RULES_HELP: &str = "\
+mlpsim-lint rules (escape: `// lint: allow(D<n>, \"justification\")` on or
+above the offending line; the justification string is mandatory):
+
+  D1  no HashMap/HashSet iteration in crates cache, core, mem, exec.
+      Unordered iteration feeds victim selection and sweep output, making
+      results depend on the process's hash seed. Point lookups (get/entry/
+      remove/contains_key) are fine; iterate a Vec/BTreeMap or sort first.
+
+  D2  no SystemTime / Instant / thread_rng in crates cache, core, mem,
+      cpu, exec, trace. Simulated time is cycle counts; randomness must be
+      a seeded generator owned by the workload spec. (Experiment binaries
+      may time wall-clock — they are outside this rule.)
+
+  D3  no bare `as` numeric casts in crate core (the paper's cost model:
+      Algorithm 1 accumulation, cost_q quantization, PSEL arithmetic).
+      Use From/TryFrom or the documented helpers in mlpsim_core::convert.
+
+  D4  no unwrap()/panic! outside #[cfg(test)] code, in any crate. CLI
+      input and IO failures must print an error and exit nonzero;
+      genuine invariants use expect(\"proof\") or assert!.
+
+Exit status: 0 clean, 1 violations (or IO errors). Output lines are
+`path:line: rule: message`, deterministic across runs.
+";

@@ -180,6 +180,7 @@ impl Mshr {
             live: self.live as u64,
             demand_live: self.demand_live as u64,
         });
+        self.check_invariants();
         Ok(MshrId(idx))
     }
 
@@ -199,6 +200,7 @@ impl Mshr {
             self.demand_live += 1;
             self.peak_demand = self.peak_demand.max(self.demand_live);
         }
+        self.check_invariants();
     }
 
     /// Demotes a demand entry to non-demand status — the paper's
@@ -213,6 +215,7 @@ impl Mshr {
             e.is_demand = false;
             self.demand_live -= 1;
         }
+        self.check_invariants();
     }
 
     /// Shared access to a live entry.
@@ -257,6 +260,7 @@ impl Mshr {
             live: self.live as u64,
             cost: e.mlp_cost,
         });
+        self.check_invariants();
         e
     }
 
@@ -284,6 +288,47 @@ impl Mshr {
             .min_by_key(|(_, e)| e.done_cycle)
             .map(|(id, e)| (id, e.done_cycle))
     }
+
+    /// Model check (under the `invariants` feature) after any occupancy
+    /// change: the cached `live`/`demand_live` counters equal a recount of
+    /// the slots (the `N` of Algorithm 1 must never drift), the peak never
+    /// trails the current demand count, and every accumulated `mlp_cost` is
+    /// finite and non-negative.
+    #[cfg(feature = "invariants")]
+    fn check_invariants(&self) {
+        let live = self.slots.iter().filter(|s| s.is_some()).count();
+        let demand = self
+            .slots
+            .iter()
+            .filter(|s| s.as_ref().is_some_and(|e| e.is_demand))
+            .count();
+        crate::invariant!(
+            self.live == live,
+            "live counter must match a recount of occupied slots"
+        );
+        crate::invariant!(
+            self.demand_live == demand,
+            "demand-live counter is Algorithm 1's N and must never drift"
+        );
+        crate::invariant!(
+            self.peak_demand >= self.demand_live,
+            "peak demand is a high-water mark"
+        );
+        for e in self.slots.iter().flatten() {
+            crate::invariant!(
+                e.mlp_cost.is_finite() && e.mlp_cost >= 0.0,
+                "mlp_cost accumulates non-negative finite increments"
+            );
+            crate::invariant!(
+                e.done_cycle >= e.alloc_cycle,
+                "a miss cannot complete before it was issued"
+            );
+        }
+    }
+
+    #[cfg(not(feature = "invariants"))]
+    #[inline]
+    fn check_invariants(&self) {}
 }
 
 #[cfg(test)]

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)] // test/bench code: panics are failures, not bugs
+
 //! Property-based tests for the memory-system substrate.
 
 use mlpsim_cache::addr::LineAddr;
@@ -47,6 +49,43 @@ proptest! {
         dones.sort_unstable();
         for w in dones.windows(2) {
             prop_assert!(w[1] - w[0] >= 16, "transfers occupy 16 exclusive cycles");
+        }
+    }
+
+    /// The demand-miss count — Algorithm 1's `N` divisor — tracks
+    /// promotions and demotions exactly, not just allocations and frees.
+    /// Run with `--features invariants` every mutation here also recounts
+    /// the slot array against the cached counters.
+    #[test]
+    fn demand_divisor_tracks_promotions(
+        ops in prop::collection::vec((0u8..4, 0usize..16), 1..300)
+    ) {
+        let mut m = Mshr::new(16);
+        let mut next = 0u64;
+        for &(op, pick) in &ops {
+            match op {
+                0 if !m.is_full() => {
+                    m.allocate(LineAddr(next), 0, next + 444, pick % 2 == 0).unwrap();
+                    next += 1;
+                }
+                1 if !m.is_empty() => {
+                    let ids: Vec<_> = m.iter().map(|(id, _)| id).collect();
+                    m.promote_to_demand(ids[pick % ids.len()]);
+                }
+                2 if !m.is_empty() => {
+                    let ids: Vec<_> = m.iter().map(|(id, _)| id).collect();
+                    m.demote_from_demand(ids[pick % ids.len()]);
+                }
+                _ if !m.is_empty() => {
+                    let ids: Vec<_> = m.iter().map(|(id, _)| id).collect();
+                    m.free(ids[pick % ids.len()]);
+                }
+                _ => {}
+            }
+            let recount = m.iter().filter(|(_, e)| e.is_demand).count();
+            prop_assert_eq!(m.demand_count(), recount,
+                "cached divisor must equal a recount of demand slots");
+            prop_assert!(m.peak_demand() >= m.demand_count());
         }
     }
 

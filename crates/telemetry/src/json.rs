@@ -315,7 +315,9 @@ impl<'a> Parser<'a> {
                     // boundaries are already valid.
                     let rest = &self.bytes[self.pos..];
                     let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = s.chars().next().unwrap();
+                    let c = s.chars().next().expect(
+                        "Some(_) peeked above guarantees at least one byte, hence one char",
+                    );
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

@@ -1,3 +1,5 @@
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 //! Zero-cost telemetry for the MLP-aware cache replacement simulator.
 //!
 //! The paper's argument (Qureshi et al., ISCA 2006) rests on *internal*

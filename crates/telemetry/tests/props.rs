@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)] // test/bench code: panics are failures, not bugs
+
 //! Property tests: NDJSON round-trips for randomized field values, and
 //! counter-registry monotonicity over arbitrary event sequences.
 

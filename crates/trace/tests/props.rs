@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)] // test/bench code: panics are failures, not bugs
+
 //! Property-based tests for workload generation.
 
 use mlpsim_trace::gen::activity::{Activity, ISOLATING_GAP};
