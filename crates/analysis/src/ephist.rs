@@ -1,0 +1,170 @@
+//! Log-bucketed stall-episode-length histogram.
+//!
+//! Full-window stall episodes span three orders of magnitude: a few
+//! cycles of bus staggering between overlapped misses, the paper's
+//! 444-cycle isolated round trip, and multi-thousand-cycle bank-conflict
+//! pileups. Linear 60-cycle bins (the [`crate::hist::CostHistogram`]
+//! axis) flatten that range, so episode *lengths* get power-of-two
+//! buckets instead: `[1,2) [2,4) … [2^(B-2), ∞)`.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of buckets: lengths `1..2^14` resolved, longer in the last.
+pub const EPISODE_BUCKETS: usize = 16;
+
+/// A histogram of stall-episode lengths with power-of-two bucketing.
+///
+/// # Example
+///
+/// ```
+/// use mlpsim_analysis::ephist::EpisodeHistogram;
+/// let mut h = EpisodeHistogram::new();
+/// h.record(1);   // bucket 0: [1,2)
+/// h.record(444); // bucket 8: [256,512)
+/// assert_eq!(h.count(), 2);
+/// assert_eq!(h.bucket(8), 1);
+/// assert_eq!(h.mean(), 222.5);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EpisodeHistogram {
+    buckets: [u64; EPISODE_BUCKETS],
+    total_cycles: u64,
+    count: u64,
+}
+
+/// The bucket a length falls in: `floor(log2(len))`, clamped.
+fn bucket_of(len: u64) -> usize {
+    if len == 0 {
+        return 0;
+    }
+    (63 - len.leading_zeros() as usize).min(EPISODE_BUCKETS - 1)
+}
+
+impl EpisodeHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        EpisodeHistogram::default()
+    }
+
+    /// Records one episode of `len` cycles. Zero-length episodes are
+    /// counted in the first bucket (they cannot occur in a well-formed
+    /// span stream, but a histogram must not panic on its input).
+    pub fn record(&mut self, len: u64) {
+        self.buckets[bucket_of(len)] += 1;
+        self.total_cycles += len;
+        self.count += 1;
+    }
+
+    /// Raw count in a bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket >= EPISODE_BUCKETS`.
+    pub fn bucket(&self, bucket: usize) -> u64 {
+        self.buckets[bucket]
+    }
+
+    /// Episodes recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Total cycles across all episodes.
+    pub fn total_cycles(&self) -> u64 {
+        self.total_cycles
+    }
+
+    /// Mean episode length in cycles.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_cycles as f64 / self.count as f64
+        }
+    }
+
+    /// Human label for a bucket: `"[256,512)"`, `"[32768,inf)"` for the
+    /// last.
+    pub fn bucket_label(bucket: usize) -> String {
+        let lo = 1u64 << bucket;
+        if bucket + 1 >= EPISODE_BUCKETS {
+            format!("[{lo},inf)")
+        } else {
+            format!("[{lo},{})", 1u64 << (bucket + 1))
+        }
+    }
+
+    /// Index of the highest non-empty bucket, if any episode was recorded.
+    pub fn max_bucket(&self) -> Option<usize> {
+        (0..EPISODE_BUCKETS).rev().find(|&b| self.buckets[b] > 0)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &EpisodeHistogram) {
+        for i in 0..EPISODE_BUCKETS {
+            self.buckets[i] += other.buckets[i];
+        }
+        self.total_cycles += other.total_cycles;
+        self.count += other.count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_of_two_bucketing() {
+        let mut h = EpisodeHistogram::new();
+        h.record(1); // [1,2)
+        h.record(2); // [2,4)
+        h.record(3); // [2,4)
+        h.record(4); // [4,8)
+        h.record(444); // [256,512)
+        h.record(1 << 20); // clamped to the last bucket
+        assert_eq!(h.bucket(0), 1);
+        assert_eq!(h.bucket(1), 2);
+        assert_eq!(h.bucket(2), 1);
+        assert_eq!(h.bucket(8), 1);
+        assert_eq!(h.bucket(EPISODE_BUCKETS - 1), 1);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.max_bucket(), Some(EPISODE_BUCKETS - 1));
+    }
+
+    #[test]
+    fn zero_length_is_tolerated() {
+        let mut h = EpisodeHistogram::new();
+        h.record(0);
+        assert_eq!(h.bucket(0), 1);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn labels_cover_the_axis() {
+        assert_eq!(EpisodeHistogram::bucket_label(0), "[1,2)");
+        assert_eq!(EpisodeHistogram::bucket_label(8), "[256,512)");
+        assert_eq!(
+            EpisodeHistogram::bucket_label(EPISODE_BUCKETS - 1),
+            "[32768,inf)"
+        );
+    }
+
+    #[test]
+    fn merge_adds_counts_and_cycles() {
+        let mut a = EpisodeHistogram::new();
+        let mut b = EpisodeHistogram::new();
+        a.record(100);
+        b.record(300);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.total_cycles(), 400);
+        assert_eq!(a.mean(), 200.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_inert() {
+        let h = EpisodeHistogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max_bucket(), None);
+    }
+}

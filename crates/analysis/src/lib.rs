@@ -13,6 +13,7 @@
 //! * [`util`] — small numeric helpers (percent improvement, means).
 
 pub mod delta;
+pub mod ephist;
 pub mod hist;
 pub mod sampling;
 pub mod stats;
@@ -20,6 +21,7 @@ pub mod table;
 pub mod util;
 
 pub use delta::{DeltaStats, DeltaTracker};
+pub use ephist::EpisodeHistogram;
 pub use hist::CostHistogram;
 pub use sampling::p_best;
 pub use table::Table;

@@ -187,6 +187,61 @@ fn telemetry_probe_overhead(c: &mut Criterion) {
     );
 }
 
+/// The stall-attribution layer rides the same probe generic as the rest
+/// of telemetry: with `NoProbe` (and `invariants` off) the
+/// `AttribTracker` is never even constructed, so span tracing must cost
+/// nothing when it is off. This A/B times an *isolated-miss-dominated*
+/// run — `twolf`, where nearly every miss opens a full-window stall
+/// episode, maximizing span open/charge/flush traffic — across the same
+/// three tiers as [`telemetry_probe_overhead`]:
+///
+/// 1. `no_probe` — tracker compiled away entirely.
+/// 2. `runtime_off` — `SinkProbe` (`ENABLED = true`): the tracker runs
+///    and apportions every span, but emissions hit a disabled handle.
+/// 3. `enabled` — tracker plus full event delivery to a counting sink.
+///
+/// Tier 1 within 2% of tier 2 proves the attribution machinery imposes
+/// no tax on plain simulation runs; the tier-2/tier-3 spread printed
+/// below is the price of *using* span tracing on its worst-case input.
+fn span_tracing_overhead(c: &mut Criterion) {
+    let _ = c; // timings below are A/B minimums, not per-op criterion runs
+    let trace = SpecBench::Twolf.generate(40_000, 11);
+    let cfg = || SystemConfig::baseline(PolicyKind::lin4());
+
+    let mut no_probe = || {
+        black_box(System::new(cfg()).run(trace.iter()));
+    };
+    let mut runtime_off = || {
+        let probe = SinkProbe::new(SinkHandle::disabled());
+        black_box(System::with_probe(cfg(), probe).run(trace.iter()));
+    };
+    let mut enabled = || {
+        let probe = SinkProbe::new(SinkHandle::of(CountingSink(0)));
+        black_box(System::with_probe(cfg(), probe).run(trace.iter()));
+    };
+
+    let [t_off, t_attrib, t_on] =
+        interleaved_minimums([&mut no_probe, &mut runtime_off, &mut enabled], 11);
+    println!(
+        "bench span_tracing/no_probe                              best   {t_off:>12.1} ns/run"
+    );
+    println!(
+        "bench span_tracing/attrib_runtime_disabled               best   {t_attrib:>12.1} ns/run"
+    );
+    println!("bench span_tracing/attrib_enabled_counting_sink          best   {t_on:>12.1} ns/run");
+    println!(
+        "bench span_tracing: disabled overhead {:+.2}%  enabled cost {:+.2}%",
+        (t_off / t_attrib - 1.0) * 100.0,
+        (t_on / t_off - 1.0) * 100.0,
+    );
+    assert!(
+        t_off <= t_attrib * 1.02,
+        "System<NoProbe> ({t_off:.0} ns) runs >2% slower than the span-tracing \
+         build ({t_attrib:.0} ns) on a stall-heavy run: the attribution \
+         tracker is not compiling away"
+    );
+}
+
 criterion_group!(
     overheads,
     victim_selection,
@@ -194,6 +249,7 @@ criterion_group!(
     quantizer,
     psel_updates,
     leader_lookup,
-    telemetry_probe_overhead
+    telemetry_probe_overhead,
+    span_tracing_overhead
 );
 criterion_main!(overheads);

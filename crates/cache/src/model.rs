@@ -111,6 +111,13 @@ impl CacheModel {
         self.engine.name()
     }
 
+    /// The policy governing victim selection in `set_index` right now
+    /// (see [`ReplacementEngine::policy_for_set`]); distinguishes leader
+    /// from PSEL-following sets in the dueling engines.
+    pub fn policy_for_set(&self, set_index: u32) -> &'static str {
+        self.engine.policy_for_set(set_index)
+    }
+
     /// Immutable view of the tag store (for diagnostics and hybrid engines
     /// built *around* a `CacheModel`).
     pub fn tags(&self) -> &TagStore {

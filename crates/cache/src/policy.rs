@@ -69,6 +69,18 @@ pub trait ReplacementEngine {
     /// Human-readable policy name (used in experiment tables).
     fn name(&self) -> &'static str;
 
+    /// The policy that actually governs victim selection in `set_index`
+    /// right now. Uniform policies return [`ReplacementEngine::name`]
+    /// (the default); set-dueling engines distinguish leader sets from
+    /// followers and report the PSEL-selected component ("lin", "lru",
+    /// "lin-leader", ...). The stall-attribution ledger tags every
+    /// charged cycle with this, so attributed stall can be split
+    /// LIN-vs-LRU per set.
+    fn policy_for_set(&self, set_index: u32) -> &'static str {
+        let _ = set_index;
+        self.name()
+    }
+
     /// Hands the engine a telemetry sink. Engines with internal adaptive
     /// state (PSEL counters, leader sets) emit `psel_update`/`psel_flip`/
     /// `leader_divergence` events through it; stateless policies ignore
@@ -101,6 +113,10 @@ impl ReplacementEngine for Box<dyn ReplacementEngine> {
 
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+
+    fn policy_for_set(&self, set_index: u32) -> &'static str {
+        (**self).policy_for_set(set_index)
     }
 
     fn attach_sink(&mut self, sink: SinkHandle) {
@@ -148,5 +164,12 @@ mod tests {
         assert_eq!(engine.name(), "zero");
         engine.on_access(LineAddr(9), 1, false, None);
         engine.on_serviced(LineAddr(9), 3);
+    }
+
+    #[test]
+    fn policy_for_set_defaults_to_name_through_the_box() {
+        let engine: Box<dyn ReplacementEngine> = Box::new(AlwaysZero);
+        assert_eq!(engine.policy_for_set(0), "zero");
+        assert_eq!(engine.policy_for_set(1023), "zero");
     }
 }

@@ -264,6 +264,15 @@ impl ReplacementEngine for CbsEngine {
         }
     }
 
+    fn policy_for_set(&self, set_index: u32) -> &'static str {
+        // Mirrors `victim`: the governing PSEL's MSB picks the component.
+        if self.psel_for(set_index).msb_set() {
+            "lin"
+        } else {
+            "lru"
+        }
+    }
+
     fn debug_state(&self) -> Option<String> {
         let (lin, total) = self.psel_census();
         Some(format!("psel_lin={lin}/{total}"))
@@ -315,6 +324,29 @@ mod tests {
         assert!(local.psel_for(3).value() > Psel::new(6).value());
         assert_eq!(local.psel_for(0).value(), Psel::new(6).value());
         assert!(global.psel_for(0).value() > Psel::new(7).value());
+    }
+
+    #[test]
+    fn policy_for_set_follows_each_governing_psel() {
+        let g = Geometry::from_sets(8, 2, 64);
+        let mut e = CbsEngine::new(g, CbsConfig::local());
+        assert_eq!(e.policy_for_set(3), "lru");
+        // Drive set 3's PSEL over its midpoint (same divergence pattern
+        // as `mode_controls_psel_count_and_name`, repeated until the MSB
+        // sets); other sets' PSELs stay on the LRU side.
+        let mut seq = 0u64;
+        while !e.psel_for(3).msb_set() {
+            e.on_access(LineAddr(3), seq, false, None);
+            e.on_serviced(LineAddr(3), 7);
+            e.on_access(LineAddr(11), seq + 1, false, None);
+            e.on_serviced(LineAddr(11), 0);
+            e.on_access(LineAddr(19), seq + 2, false, None);
+            e.on_serviced(LineAddr(19), 0);
+            e.on_access(LineAddr(3), seq + 3, true, Some(7));
+            seq += 4;
+        }
+        assert_eq!(e.policy_for_set(3), "lin");
+        assert_eq!(e.policy_for_set(0), "lru");
     }
 
     #[test]

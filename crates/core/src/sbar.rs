@@ -297,6 +297,18 @@ impl ReplacementEngine for SbarEngine {
         "sbar"
     }
 
+    fn policy_for_set(&self, set_index: u32) -> &'static str {
+        // Mirrors `victim`: leaders always run LIN (§6.4); followers
+        // track the PSEL's most-significant bit.
+        if self.leaders.is_leader(set_index) {
+            "lin-leader"
+        } else if self.psel.msb_set() {
+            "lin"
+        } else {
+            "lru"
+        }
+    }
+
     fn attach_sink(&mut self, sink: SinkHandle) {
         self.sink = sink;
     }
@@ -337,6 +349,23 @@ mod tests {
         let engine = SbarEngine::new(g, cfg);
         let leaders: Vec<u32> = engine.leaders().leaders().collect();
         assert_eq!(leaders, vec![0, 3]);
+    }
+
+    #[test]
+    fn policy_for_set_tracks_leaders_and_psel() {
+        let (g, mut cfg) = tiny();
+        cfg.leader_sets = 2;
+        let mut engine = SbarEngine::new(g, cfg);
+        // PSEL starts below its MSB: followers run LRU, leaders run LIN.
+        assert!(!engine.followers_use_lin());
+        assert_eq!(engine.policy_for_set(0), "lin-leader");
+        assert_eq!(engine.policy_for_set(1), "lru");
+        // Push the PSEL over the midpoint: followers flip to LIN.
+        while !engine.followers_use_lin() {
+            engine.psel.inc_by(64);
+        }
+        assert_eq!(engine.policy_for_set(0), "lin-leader");
+        assert_eq!(engine.policy_for_set(1), "lin");
     }
 
     #[test]

@@ -18,6 +18,10 @@
 //! substitution argument.
 //!
 //! * [`window`] — the instruction window (in-order retirement, 8-wide),
+//! * [`attrib`] — stall-cycle attribution: full-window memory stalls are
+//!   apportioned `1/N` across outstanding demand misses into a ledger
+//!   keyed by (set, cost_q, policy) that reconciles exactly with
+//!   `mem_stall_cycles`,
 //! * [`icache`] — optional instruction-fetch modeling (I-misses are
 //!   demand misses in the paper's cost accounting),
 //! * [`storebuf`] — the 128-entry store buffer (store misses do not block
@@ -31,6 +35,25 @@
 //! * [`wrongpath`] — optional synthetic wrong-path traffic (demand until
 //!   confirmed wrong-path, then demoted — the paper's §3.1 rule).
 
+/// Model-checking assertion for the CPU-side attribution invariants
+/// (span nesting, divisor recount, ledger/`mem_stall_cycles`
+/// reconciliation). Compiled to a real `assert!` only under the
+/// `invariants` feature; a no-op (zero cost, in release and debug alike)
+/// otherwise. See DESIGN.md §10–§11.
+#[cfg(feature = "invariants")]
+#[macro_export]
+macro_rules! invariant {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// No-op twin of the `invariants`-enabled assertion (feature disabled).
+#[cfg(not(feature = "invariants"))]
+#[macro_export]
+macro_rules! invariant {
+    ($($arg:tt)*) => {};
+}
+
+pub mod attrib;
 pub mod config;
 pub mod icache;
 pub mod policy;

@@ -5,6 +5,7 @@ use mlpsim_analysis::delta::DeltaStats;
 use mlpsim_analysis::hist::CostHistogram;
 use mlpsim_cache::model::CacheStats;
 use mlpsim_mem::MemStats;
+use mlpsim_telemetry::StallLedger;
 
 /// Everything a single simulation run produces.
 ///
@@ -63,6 +64,10 @@ pub struct SimResult {
     /// [`collect_miss_log`](crate::config::SystemConfig::collect_miss_log)
     /// was enabled.
     pub miss_log: Vec<(u64, f64)>,
+    /// Stall-cycle attribution ledger — `mem_stall_cycles` partitioned
+    /// exactly over (set, cost_q, policy) keys (see `mlpsim-cpu::attrib`).
+    /// `Some` when a probe was attached or the `invariants` feature is on.
+    pub stall_ledger: Option<StallLedger>,
     /// The L2 engine's final diagnostic state (PSEL values and adaptation
     /// counters for hybrid policies), if it exposes one.
     pub policy_debug: Option<String>,

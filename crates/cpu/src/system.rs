@@ -23,6 +23,7 @@
 //! are skipped in O(1); the CCL accrues `Δcycles / N` at each MSHR event,
 //! which is arithmetically identical to the paper's per-cycle Algorithm 1.
 
+use crate::attrib::AttribTracker;
 use crate::config::SystemConfig;
 use crate::icache::FetchWalker;
 use crate::stats::SimResult;
@@ -109,6 +110,10 @@ pub struct System<P: Probe = NoProbe> {
     last_retire_cycle: u64,
     sampler: Option<Sampler>,
     miss_log: Option<Vec<(u64, f64)>>,
+    /// Stall-cycle attribution (see [`crate::attrib`]). `Some` when the
+    /// probe is enabled or the `invariants` feature is on; `None`
+    /// otherwise, so the uninstrumented hot path carries no tracker work.
+    attrib: Option<AttribTracker>,
     policy_label: String,
 }
 
@@ -180,6 +185,11 @@ impl<P: Probe> System<P> {
             .wrong_path
             .map(|w| w.interval_insts.max(1))
             .unwrap_or(u64::MAX);
+        // The attribution ledger rides the probe: it feeds `stall_attrib`/
+        // `stall_span` events when telemetry is on, and its reconciliation
+        // invariant is checked on every run under `--features invariants`.
+        let attrib = (P::ENABLED || cfg!(feature = "invariants"))
+            .then(|| AttribTracker::new(cfg.mem.mshr_entries));
         System {
             l1,
             icache,
@@ -212,6 +222,7 @@ impl<P: Probe> System<P> {
             stall_episodes: 0,
             last_retire_cycle: 0,
             miss_log: cfg.collect_miss_log.then(Vec::new),
+            attrib,
             sampler,
             policy_label: label,
             cfg,
@@ -248,10 +259,7 @@ impl<P: Probe> System<P> {
             for _ in 0..n {
                 self.fetch_one();
                 self.ensure_dispatch_slot();
-                self.window.push(WinEntry {
-                    done: self.now + 1,
-                    l2_miss: false,
-                });
+                self.window.push(WinEntry::compute(self.now + 1));
                 self.dispatched_this_cycle += 1;
                 self.dispatched_total += 1;
                 self.maybe_mispredict();
@@ -265,10 +273,7 @@ impl<P: Probe> System<P> {
             let burst = remaining.min(width_left).min(self.window.free() as u32);
             let done = self.now + 1;
             for _ in 0..burst {
-                self.window.push(WinEntry {
-                    done,
-                    l2_miss: false,
-                });
+                self.window.push(WinEntry::compute(done));
             }
             self.dispatched_this_cycle += burst;
             self.dispatched_total += u64::from(burst);
@@ -301,14 +306,12 @@ impl<P: Probe> System<P> {
         if is_store {
             // Stores retire immediately; the buffer owns the latency.
             self.stbuf.push(mem_done);
-            self.window.push(WinEntry {
-                done: self.now + 1,
-                l2_miss: false,
-            });
+            self.window.push(WinEntry::compute(self.now + 1));
         } else {
             self.window.push(WinEntry {
                 done: mem_done,
                 l2_miss,
+                line: a.line,
             });
         }
         self.dispatched_this_cycle += 1;
@@ -375,6 +378,7 @@ impl<P: Probe> System<P> {
                 .mshr
                 .allocate(line, self.now, done, true)
                 .expect("fullness checked above");
+            self.note_mshr_alloc(id, line);
             self.wrong_path_mshr_misses += 1;
             self.squashes.push(Reverse((
                 self.now + wp.resolve_cycles,
@@ -450,9 +454,11 @@ impl<P: Probe> System<P> {
         // Charge the interval up to now at the old occupancy, then admit
         // the new demand miss (Algorithm 1's init_mlp_cost).
         self.ccl.advance(&mut self.mshr, self.now);
-        self.mshr
+        let id = self
+            .mshr
             .allocate(line, self.now, done, true)
             .expect("an MSHR slot was freed above");
+        self.note_mshr_alloc(id, line);
         self.issue_prefetches(line, seq);
         (done, true)
     }
@@ -502,9 +508,11 @@ impl<P: Probe> System<P> {
             }
             let done = self.mem.request_fill(target, self.now);
             self.ccl.advance(&mut self.mshr, self.now);
-            self.mshr
+            let id = self
+                .mshr
                 .allocate(target, self.now, done, false)
                 .expect("fullness checked above");
+            self.note_mshr_alloc(id, target);
             if let Some(ev) = self.l2.insert_prefetched(target, seq) {
                 if ev.dirty {
                     self.mem.writeback(ev.line, self.now);
@@ -573,6 +581,7 @@ impl<P: Probe> System<P> {
     fn step(&mut self, draining: bool) {
         let mut target = self.now + 1;
         let mut memory_stall_span = false;
+        let mut span_head_line = 0u64;
         if self.window.is_full() || draining {
             if let Some(head) = self.window.head() {
                 if head.done > self.now {
@@ -581,6 +590,7 @@ impl<P: Probe> System<P> {
                     if head.l2_miss {
                         self.mem_stall_cycles += stall;
                         memory_stall_span = true;
+                        span_head_line = head.line;
                         if stall >= LONG_STALL_CYCLES {
                             self.stall_episodes += 1;
                             if P::ENABLED {
@@ -595,6 +605,9 @@ impl<P: Probe> System<P> {
                 }
             }
         }
+        if memory_stall_span {
+            self.open_stall_span(span_head_line);
+        }
         if self.gated_cost && memory_stall_span {
             // Footnote 4: accrue cost only across the stall span.
             self.ccl.advance(&mut self.mshr, self.now); // settle pre-span (gate closed)
@@ -604,6 +617,63 @@ impl<P: Probe> System<P> {
             self.ccl.set_gate(false);
         } else {
             self.advance_to(target);
+        }
+        if memory_stall_span {
+            self.close_stall_span();
+        }
+    }
+
+    /// Captures a fresh MSHR entry's ledger identity — the L2 set its line
+    /// maps to and the policy governing that set right now — so stall
+    /// cycles attributed to the entry land in the right ledger bucket.
+    fn note_mshr_alloc(&mut self, id: mlpsim_mem::MshrId, line: LineAddr) {
+        if self.attrib.is_none() {
+            return;
+        }
+        let set = self.l2.geometry().set_index(line);
+        let policy = self.l2.policy_for_set(set);
+        if let Some(tracker) = &mut self.attrib {
+            tracker.on_alloc(id.0, u64::from(set), policy);
+        }
+    }
+
+    /// Opens an attribution span for the memory stall beginning now, keyed
+    /// by the window-head miss's line/set/policy.
+    fn open_stall_span(&mut self, line: u64) {
+        if self.attrib.is_none() {
+            return;
+        }
+        let set = self.l2.geometry().set_index(LineAddr(line));
+        let policy = self.l2.policy_for_set(set);
+        if let Some(tracker) = &mut self.attrib {
+            tracker.open(self.now, line, u64::from(set), policy, &self.mshr);
+        }
+    }
+
+    /// Closes the attribution span at the (post-advance) current cycle:
+    /// charges the tail interval, folds any zero-demand residual into the
+    /// span head's key, and mirrors both as events when a probe is on.
+    fn close_stall_span(&mut self) {
+        let Some(tracker) = &mut self.attrib else {
+            return;
+        };
+        tracker.charge(&self.mshr, self.now);
+        let residual = tracker.residual_charge();
+        let span = tracker.close(self.now, 0);
+        if P::ENABLED {
+            if let Some(c) = residual {
+                // The residual lands under the span's resolved bucket (the
+                // head's cost_q when its entry freed mid-span).
+                self.probe.emit(Event::StallAttrib {
+                    cycle: self.now,
+                    line: c.line,
+                    set: c.set,
+                    cost_q: span.cost_q,
+                    policy: span.policy.clone(),
+                    cycles: c.cycles,
+                });
+            }
+            self.probe.emit(span.to_event());
         }
     }
 
@@ -643,6 +713,11 @@ impl<P: Probe> System<P> {
                     // merged into it: confirm wrong-path and demote.
                     if e.line.0 == raw_line && e.alloc_cycle == alloc && e.merged == 0 {
                         self.ccl.advance(&mut self.mshr, at);
+                        if let Some(tracker) = &mut self.attrib {
+                            // Freeze the attribution interval at the same
+                            // occupancy boundary the CCL sees.
+                            tracker.charge(&self.mshr, at);
+                        }
                         self.mshr.demote_from_demand(id);
                     }
                 }
@@ -655,6 +730,28 @@ impl<P: Probe> System<P> {
                 break;
             }
             self.ccl.advance(&mut self.mshr, done);
+            if let Some(tracker) = &mut self.attrib {
+                tracker.charge(&self.mshr, done);
+                let (eline, ecost) = {
+                    let e = self.mshr.entry(id);
+                    (e.line.0, e.mlp_cost)
+                };
+                // Every free flushes: the entry's cost_q is final here, and
+                // clearing the slot's tag keeps reuse sound.
+                let flushed = tracker.flush_slot(id.0, eline, ecost);
+                if P::ENABLED {
+                    if let Some(c) = flushed {
+                        self.probe.emit(Event::StallAttrib {
+                            cycle: done,
+                            line: c.line,
+                            set: c.set,
+                            cost_q: c.cost_q,
+                            policy: c.policy.to_string(),
+                            cycles: c.cycles,
+                        });
+                    }
+                }
+            }
             let entry = self.mshr.free(id);
             if entry.is_demand {
                 let cost = entry.mlp_cost;
@@ -733,6 +830,18 @@ impl<P: Probe> System<P> {
     }
 
     fn finalize(mut self) -> SimResult {
+        let stall_ledger = self.attrib.take().map(|t| t.finalize(&self.mshr));
+        #[cfg(feature = "invariants")]
+        if let Some(ledger) = &stall_ledger {
+            // The whole point of exact apportionment: the ledger is a
+            // partition of the memory-stall cycles, not an estimate.
+            crate::invariant!(
+                ledger.total() == self.mem_stall_cycles,
+                "attributed stall cycles ({}) must reconcile exactly with mem_stall_cycles ({})",
+                ledger.total(),
+                self.mem_stall_cycles
+            );
+        }
         if P::ENABLED {
             let ev = Event::RunEnd {
                 label: self.policy_label.clone(),
@@ -741,6 +850,7 @@ impl<P: Probe> System<P> {
                 instructions: self.retired,
                 l2_misses: self.l2.stats().misses,
                 peak_mlp: self.mshr.peak_demand() as u64,
+                mem_stall_cycles: self.mem_stall_cycles,
             };
             self.probe.emit(ev);
             self.probe.sink().flush();
@@ -775,6 +885,7 @@ impl<P: Probe> System<P> {
             peak_mlp: self.mshr.peak_demand(),
             samples: self.sampler.map(Sampler::into_samples).unwrap_or_default(),
             miss_log: self.miss_log.unwrap_or_default(),
+            stall_ledger,
             policy_debug,
         }
     }

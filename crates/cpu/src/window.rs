@@ -17,6 +17,22 @@ pub struct WinEntry {
     /// Whether this is a load waiting on an L2 miss (used to attribute
     /// full-window stalls to the memory system).
     pub l2_miss: bool,
+    /// Block address the instruction is waiting on — meaningful only when
+    /// `l2_miss` is set. Lets a full-window stall on this entry be
+    /// attributed to the miss's L2 set (see `mlpsim-cpu::attrib`).
+    pub line: u64,
+}
+
+impl WinEntry {
+    /// An entry that completes at `done` without touching memory (or
+    /// hitting everywhere): never the cause of a memory stall.
+    pub fn compute(done: u64) -> Self {
+        WinEntry {
+            done,
+            l2_miss: false,
+            line: 0,
+        }
+    }
 }
 
 /// A fixed-capacity instruction window with in-order retirement.
@@ -26,8 +42,8 @@ pub struct WinEntry {
 /// ```
 /// use mlpsim_cpu::window::{InstructionWindow, WinEntry};
 /// let mut w = InstructionWindow::new(4);
-/// w.push(WinEntry { done: 5, l2_miss: false });
-/// w.push(WinEntry { done: 3, l2_miss: false });
+/// w.push(WinEntry::compute(5));
+/// w.push(WinEntry::compute(3));
 /// // At cycle 4 the head (done=5) blocks retirement even though the
 /// // younger instruction is complete: retirement is in-order.
 /// assert_eq!(w.retire_ready(4, 8), 0);
@@ -112,10 +128,7 @@ mod tests {
     use super::*;
 
     fn e(done: u64) -> WinEntry {
-        WinEntry {
-            done,
-            l2_miss: false,
-        }
+        WinEntry::compute(done)
     }
 
     #[test]
@@ -165,7 +178,9 @@ mod tests {
         w.push(WinEntry {
             done: 500,
             l2_miss: true,
+            line: 9,
         });
         assert!(w.head().unwrap().l2_miss);
+        assert_eq!(w.head().unwrap().line, 9);
     }
 }

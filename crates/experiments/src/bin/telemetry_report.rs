@@ -15,11 +15,20 @@
 //! * per-set L2 miss skew (are misses concentrated in a few hot sets?),
 //! * the cost_q transition matrix: for consecutive misses to the *same
 //!   line*, how the quantized MLP-based cost moved between buckets
-//!   (the paper's §4 stability argument: most mass near the diagonal).
+//!   (the paper's §4 stability argument: most mass near the diagonal),
+//! * the stall attribution ledger (`stall_attrib` events folded by
+//!   (set, cost_q, policy)): top sets by attributed stall, per-cost_q
+//!   stall shares (the stall-weighted sibling of Fig. 5), LIN-vs-LRU
+//!   attributed-stall split per set, and the reconciliation line against
+//!   `run_end`'s `mem_stall_cycles`,
+//! * a log-bucketed stall-episode-length histogram from `stall_span`
+//!   events.
 
+use mlpsim_analysis::ephist::{EpisodeHistogram, EPISODE_BUCKETS};
 use mlpsim_analysis::stats::percentile;
 use mlpsim_analysis::table::Table;
-use mlpsim_telemetry::{read_ndjson, Event};
+use mlpsim_core::quant::bucket_label;
+use mlpsim_telemetry::{read_ndjson, Event, StallLedger};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -77,8 +86,15 @@ fn main() -> ExitCode {
     // cost_q transitions keyed by line (within a run).
     let mut last_cost_q: HashMap<(u64, u64), u8> = HashMap::new();
     let mut transitions = [[0u64; 8]; 8];
+    // Stall attribution: the folded ledger, the run_end totals it must
+    // reconcile against, and the span-length histogram.
+    let mut ledger = StallLedger::new();
+    let mut run_end_stall: u64 = 0;
+    let mut saw_run_end = false;
+    let mut episodes = EpisodeHistogram::new();
 
     for ev in &events {
+        ledger.observe(ev);
         match ev {
             Event::RunStart { label, policy, .. } => {
                 run_idx += 1;
@@ -100,7 +116,10 @@ fn main() -> ExitCode {
                 instructions,
                 l2_misses,
                 peak_mlp,
+                mem_stall_cycles,
             } => {
+                run_end_stall += mem_stall_cycles;
+                saw_run_end = true;
                 // Rewrite the run's row with its final numbers (or add one
                 // if the stream started mid-run).
                 let row = vec![
@@ -166,6 +185,9 @@ fn main() -> ExitCode {
                 if let Some(prev) = last_cost_q.insert((run_idx, *line), *cost_q) {
                     transitions[prev.min(7) as usize][q] += 1;
                 }
+            }
+            Event::StallSpan { begin, end, .. } => {
+                episodes.record(end.saturating_sub(*begin));
             }
             _ => {}
         }
@@ -282,6 +304,107 @@ fn main() -> ExitCode {
             "== cost_q transitions (same line, consecutive misses; {trans_total} pairs, \
              {:.1}% on the diagonal) ==\n{}",
             100.0 * diagonal as f64 / trans_total as f64,
+            t.render()
+        );
+    }
+
+    // ---- Stall attribution ledger. ----
+    if ledger.is_empty() {
+        println!("\n== Stall attribution ledger ==\n(no stall_attrib events in stream)");
+    } else {
+        let total = ledger.total();
+        println!(
+            "\n== Stall attribution ledger ({total} cycles over {} (set, cost_q, policy) keys) ==",
+            ledger.len()
+        );
+        // The invariant the simulator enforces under `--features
+        // invariants`, re-checked here from the stream alone.
+        if saw_run_end {
+            if total == run_end_stall {
+                println!(
+                    "reconciliation: attributed {total} == run_end mem_stall_cycles \
+                     {run_end_stall} (exact)"
+                );
+            } else {
+                println!(
+                    "reconciliation: attributed {total} != run_end mem_stall_cycles \
+                     {run_end_stall} (STREAM INCONSISTENT — truncated file?)"
+                );
+            }
+        } else {
+            println!("reconciliation: no run_end in stream (truncated file?)");
+        }
+
+        let mut t = Table::with_headers(&["set", "stall cycles", "%"]);
+        for (set, cycles) in ledger.top_sets(8) {
+            t.row(vec![
+                set.to_string(),
+                cycles.to_string(),
+                format!("{:.1}", 100.0 * cycles as f64 / total as f64),
+            ]);
+        }
+        println!("\n-- top sets by attributed stall --\n{}", t.render());
+
+        // The stall-weighted sibling of Fig. 5: not "how many misses had
+        // cost_q = q" but "how many stall cycles did they cost".
+        let by_q = ledger.cost_q_totals();
+        let mut t = Table::with_headers(&["cost_q", "stall cycles", "%", ""]);
+        for (q, &cycles) in by_q.iter().enumerate() {
+            let pct = 100.0 * cycles as f64 / total as f64;
+            let bar = "#".repeat((pct / 2.0).round() as usize);
+            t.row(vec![
+                bucket_label(q as u8),
+                cycles.to_string(),
+                format!("{pct:.1}"),
+                bar,
+            ]);
+        }
+        println!("-- stall share by cost_q bucket --\n{}", t.render());
+
+        let split = ledger.lin_lru_split_by_set();
+        if split.iter().any(|&(_, lin, lru)| lin > 0 && lru > 0) {
+            let mut rows = split;
+            rows.sort_by(|a, b| (b.1 + b.2).cmp(&(a.1 + a.2)).then(a.0.cmp(&b.0)));
+            let mut t = Table::with_headers(&["set", "lin cycles", "lru cycles", "lin-lru"]);
+            for &(set, lin, lru) in rows.iter().take(8) {
+                t.row(vec![
+                    set.to_string(),
+                    lin.to_string(),
+                    lru.to_string(),
+                    format!("{:+}", lin as i64 - lru as i64),
+                ]);
+            }
+            println!(
+                "-- LIN vs LRU attributed stall per set (dueling runs/leader sets) --\n{}",
+                t.render()
+            );
+        }
+    }
+
+    // ---- Stall episode lengths. ----
+    if episodes.count() == 0 {
+        println!("\n== Stall episodes ==\n(no stall_span events in stream)");
+    } else {
+        let max_b = episodes
+            .max_bucket()
+            .expect("count() > 0 in the branch above");
+        let mut t = Table::with_headers(&["length (cycles)", "episodes", "%", ""]);
+        for b in 0..=max_b.min(EPISODE_BUCKETS - 1) {
+            let n = episodes.bucket(b);
+            let pct = 100.0 * n as f64 / episodes.count() as f64;
+            let bar = "#".repeat((pct / 2.0).round() as usize);
+            t.row(vec![
+                EpisodeHistogram::bucket_label(b),
+                n.to_string(),
+                format!("{pct:.1}"),
+                bar,
+            ]);
+        }
+        println!(
+            "\n== Stall episodes ({} spans, {} cycles, mean {:.0}) ==\n{}",
+            episodes.count(),
+            episodes.total_cycles(),
+            episodes.mean(),
             t.render()
         );
     }

@@ -1,0 +1,112 @@
+//! `trace-check` — validate a Chrome trace-event JSON file.
+//!
+//! ```text
+//! trace-check <trace.json>
+//! ```
+//!
+//! Checks the file any `--trace-out`-enabled binary wrote:
+//!
+//! * the document parses and carries a `traceEvents` array,
+//! * every complete (`"ph": "X"`) slice has numeric `ts`/`dur` and
+//!   `pid`/`tid` row coordinates,
+//! * within each `(pid, tid)` row the slices are disjoint in file order —
+//!   MSHR slot occupancies and stall episodes are interval timelines, so
+//!   an overlap means the simulator emitted a corrupt stream.
+//!
+//! Exits 0 on a valid trace, [`EXIT_USAGE`](mlpsim_experiments::cli) on
+//! bad arguments, `EXIT_IO` on an unreadable file, and 1 on a trace that
+//! parses but violates the interval contract.
+
+use mlpsim_experiments::cli::{io_error, usage_error};
+use mlpsim_telemetry::span::check_disjoint;
+use mlpsim_telemetry::Json;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.first() else {
+        return usage_error("usage: trace-check <trace.json>");
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return io_error(&format!("cannot read {path}: {e}")),
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("{path}: invalid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(Json::Arr(events)) = doc.get("traceEvents") else {
+        eprintln!("{path}: no traceEvents array");
+        return ExitCode::FAILURE;
+    };
+
+    // Row timelines in file order; names for diagnostics.
+    let mut rows: BTreeMap<(u64, u64), Vec<(u64, u64)>> = BTreeMap::new();
+    let mut names: BTreeMap<(u64, u64), String> = BTreeMap::new();
+    let mut slices = 0u64;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev.get("ph").and_then(Json::as_str).unwrap_or("");
+        let pid = ev.get("pid").and_then(Json::as_u64).unwrap_or(0);
+        let tid = ev.get("tid").and_then(Json::as_u64).unwrap_or(0);
+        match ph {
+            "X" => {
+                let (Some(ts), Some(dur)) = (
+                    ev.get("ts").and_then(Json::as_u64),
+                    ev.get("dur").and_then(Json::as_u64),
+                ) else {
+                    eprintln!("{path}: slice #{i} lacks numeric ts/dur");
+                    return ExitCode::FAILURE;
+                };
+                rows.entry((pid, tid)).or_default().push((ts, ts + dur));
+                slices += 1;
+            }
+            "M" => {
+                if let Some(name) = ev
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                {
+                    names.insert((pid, tid), name.to_string());
+                }
+            }
+            other => {
+                eprintln!("{path}: event #{i} has unexpected phase {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    for (coord, intervals) in &rows {
+        if let Err(i) = check_disjoint(intervals) {
+            let row = names
+                .get(coord)
+                .cloned()
+                .unwrap_or_else(|| format!("pid {} tid {}", coord.0, coord.1));
+            eprintln!(
+                "{path}: overlapping slices on row {row:?}: interval #{i} \
+                 ({:?}) starts before its predecessor ends",
+                intervals[i]
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let dropped = doc
+        .get("droppedSliceCount")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    println!(
+        "{path}: ok — {slices} slices over {} rows, all disjoint{}",
+        rows.len(),
+        if dropped > 0 {
+            format!(" ({dropped} slices dropped at the cap)")
+        } else {
+            String::new()
+        }
+    );
+    ExitCode::SUCCESS
+}

@@ -25,7 +25,9 @@ use mlpsim_cpu::policy::PolicyKind;
 use mlpsim_cpu::stats::SimResult;
 use mlpsim_cpu::system::System;
 use mlpsim_exec::WorkerPool;
-use mlpsim_telemetry::{Event, EventSink, NdjsonSink, SinkHandle, SinkProbe, VecSink};
+use mlpsim_telemetry::{
+    ChromeTraceSink, Event, EventSink, FanoutSink, NdjsonSink, SinkHandle, SinkProbe, VecSink,
+};
 use mlpsim_trace::record::Trace;
 use mlpsim_trace::spec::SpecBench;
 use std::sync::{Arc, Mutex};
@@ -74,15 +76,47 @@ impl Default for RunOptions {
 }
 
 impl RunOptions {
-    /// Default options with `--telemetry` and `--jobs` parsed from the
-    /// process's command line; exits with a message on a malformed flag.
+    /// Default options with `--telemetry`, `--trace-out`, `--accesses`,
+    /// and `--jobs` parsed from the process's command line; exits with a
+    /// message on a malformed flag.
     pub fn from_env() -> Self {
         RunOptions {
-            telemetry: telemetry_from_env(),
+            telemetry: sinks_from_env(),
+            accesses: accesses_from_env(),
             jobs: jobs_from_env(),
             ..RunOptions::default()
         }
     }
+}
+
+/// Scans `args` for `<flag> <path>` (or `<flag>=<path>`). The two-token
+/// form refuses flag-like paths (`--telemetry --accesses` must not
+/// silently eat `--accesses`; spell a genuinely dash-prefixed filename
+/// with the `=` form), and the `=` form refuses an empty path.
+fn path_flag(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    let mut path: Option<String> = None;
+    let eq_form = format!("{flag}=");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == flag {
+            match it.next() {
+                Some(p) if p.starts_with("--") => {
+                    return Err(format!(
+                        "{flag} requires a path argument, got the flag-like {p:?} \
+                         (use {flag}={p} for a path that really starts with \"--\")"
+                    ));
+                }
+                Some(p) => path = Some(p.clone()),
+                None => return Err(format!("{flag} requires a path argument")),
+            }
+        } else if let Some(p) = a.strip_prefix(&eq_form) {
+            if p.is_empty() {
+                return Err(format!("{eq_form} requires a non-empty path"));
+            }
+            path = Some(p.to_string());
+        }
+    }
+    Ok(path)
 }
 
 /// Builds [`RunOptions::telemetry`] from a command line: scans `args` for
@@ -94,28 +128,7 @@ impl RunOptions {
 /// created (an experiment run whose requested telemetry silently vanishes
 /// is worse than no run).
 pub fn telemetry_from_args(args: &[String]) -> Result<SinkHandle, String> {
-    let mut path: Option<String> = None;
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        if a == "--telemetry" {
-            match it.next() {
-                Some(p) if p.starts_with("--") => {
-                    return Err(format!(
-                        "--telemetry requires a path argument, got the flag-like {p:?} \
-                         (use --telemetry={p} for a path that really starts with \"--\")"
-                    ));
-                }
-                Some(p) => path = Some(p.clone()),
-                None => return Err("--telemetry requires a path argument".into()),
-            }
-        } else if let Some(p) = a.strip_prefix("--telemetry=") {
-            if p.is_empty() {
-                return Err("--telemetry= requires a non-empty path".into());
-            }
-            path = Some(p.to_string());
-        }
-    }
-    match path {
+    match path_flag(args, "--telemetry")? {
         None => Ok(SinkHandle::disabled()),
         Some(p) => match NdjsonSink::create(&p) {
             Ok(sink) => Ok(SinkHandle::of(sink)),
@@ -128,6 +141,75 @@ pub fn telemetry_from_args(args: &[String]) -> Result<SinkHandle, String> {
 /// the parse error on a malformed flag.
 pub fn telemetry_from_env() -> SinkHandle {
     telemetry_from_args(&env_args()).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    })
+}
+
+/// Builds the full event sink from a command line: `--telemetry <path>`
+/// opens an NDJSON stream, `--trace-out <path>` a Chrome trace-event JSON
+/// file (load it in `chrome://tracing` or Perfetto). Either alone, both
+/// fanned out from one stream ([`FanoutSink`]), or a disabled handle when
+/// neither flag is present.
+pub fn sinks_from_args(args: &[String]) -> Result<SinkHandle, String> {
+    let ndjson = path_flag(args, "--telemetry")?;
+    let trace = path_flag(args, "--trace-out")?;
+    let open_ndjson = |p: &str| {
+        NdjsonSink::create(p).map_err(|e| format!("cannot create telemetry file {p}: {e}"))
+    };
+    let open_trace = |p: &str| {
+        ChromeTraceSink::create(p).map_err(|e| format!("cannot create trace file {p}: {e}"))
+    };
+    Ok(match (ndjson, trace) {
+        (None, None) => SinkHandle::disabled(),
+        (Some(np), None) => SinkHandle::of(open_ndjson(&np)?),
+        (None, Some(tp)) => SinkHandle::of(open_trace(&tp)?),
+        (Some(np), Some(tp)) => SinkHandle::of(
+            FanoutSink::new()
+                .with(open_ndjson(&np)?)
+                .with(open_trace(&tp)?),
+        ),
+    })
+}
+
+/// [`sinks_from_args`] over the process's own command line; exits with the
+/// parse error on a malformed flag.
+pub fn sinks_from_env() -> SinkHandle {
+    sinks_from_args(&env_args()).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    })
+}
+
+/// Scans `args` for `--accesses <N>` (or `--accesses=<N>`): the per-run
+/// access count, defaulting to [`DEFAULT_ACCESSES`]. Zero is rejected —
+/// an empty run renders every table meaningless.
+pub fn accesses_from_args(args: &[String]) -> Result<usize, String> {
+    let mut accesses: Option<usize> = None;
+    let parse = |raw: &str| -> Result<usize, String> {
+        match raw.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(format!("--accesses wants a positive integer, got {raw:?}")),
+        }
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--accesses" {
+            match it.next() {
+                Some(n) => accesses = Some(parse(n)?),
+                None => return Err("--accesses requires a count argument".into()),
+            }
+        } else if let Some(n) = a.strip_prefix("--accesses=") {
+            accesses = Some(parse(n)?);
+        }
+    }
+    Ok(accesses.unwrap_or(DEFAULT_ACCESSES))
+}
+
+/// [`accesses_from_args`] over the process's own command line; exits with
+/// the parse error on a malformed flag.
+pub fn accesses_from_env() -> usize {
+    accesses_from_args(&env_args()).unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2);
     })
@@ -339,6 +421,66 @@ mod tests {
         assert!(weird.enabled());
         drop(weird);
         let _ = std::fs::remove_file(dir);
+    }
+
+    #[test]
+    fn trace_out_and_combined_sinks() {
+        let none = sinks_from_args(&[]).unwrap();
+        assert!(!none.enabled());
+        let tdir = std::env::temp_dir();
+        let tpath = tdir.join("mlpsim-trace-out-flag-test.json");
+        let only_trace = sinks_from_args(&[format!("--trace-out={}", tpath.display())]).unwrap();
+        assert!(only_trace.enabled());
+        drop(only_trace);
+        let npath = tdir.join("mlpsim-combined-flag-test.ndjson");
+        let both = sinks_from_args(&[
+            "--telemetry".into(),
+            npath.display().to_string(),
+            "--trace-out".into(),
+            tpath.display().to_string(),
+        ])
+        .unwrap();
+        assert!(both.enabled());
+        drop(both);
+        // The same flag-eating rules as --telemetry apply.
+        assert!(sinks_from_args(&["--trace-out".into(), "--jobs".into()]).is_err());
+        assert!(sinks_from_args(&["--trace-out=".into()]).is_err());
+        let _ = std::fs::remove_file(tpath);
+        let _ = std::fs::remove_file(npath);
+    }
+
+    #[test]
+    fn trace_out_run_writes_a_parseable_chrome_trace() {
+        let path = std::env::temp_dir().join("mlpsim-runner-trace-test.json");
+        let opts = RunOptions {
+            accesses: 2_000,
+            telemetry: SinkHandle::of(ChromeTraceSink::create(&path).unwrap()),
+            ..RunOptions::default()
+        };
+        let r = run_bench_with(SpecBench::Mcf, PolicyKind::Lru, &opts);
+        drop(opts); // last handle: the trace document is written on drop
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let doc = mlpsim_telemetry::Json::parse(&text).expect("valid JSON document");
+        let events = match doc.get("traceEvents") {
+            Some(mlpsim_telemetry::Json::Arr(items)) => items.len(),
+            other => panic!("traceEvents array missing: {other:?}"),
+        };
+        assert!(events > 0, "a stall-heavy run produces trace slices");
+        assert!(r.mem_stall_cycles > 0);
+    }
+
+    #[test]
+    fn accesses_flag_parsing() {
+        let parse = |args: &[&str]| {
+            accesses_from_args(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+        };
+        assert_eq!(parse(&[]).unwrap(), DEFAULT_ACCESSES);
+        assert_eq!(parse(&["--accesses", "4000"]).unwrap(), 4000);
+        assert_eq!(parse(&["--accesses=9"]).unwrap(), 9);
+        assert!(parse(&["--accesses", "0"]).is_err());
+        assert!(parse(&["--accesses"]).is_err());
+        assert!(parse(&["--accesses", "many"]).is_err());
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //! - **D3** no bare `as` numeric casts in `core` cost/quantization code —
 //!   conversions must be checked or documented.
 //! - **D4** no `unwrap()`/`panic!` outside tests — errors must surface.
+//! - **D5** every `probe.emit(..)` must sit under an `if P::ENABLED`
+//!   guard — unguarded emissions build event payloads in `NoProbe`
+//!   builds, breaking the zero-cost-when-off telemetry contract.
 //!
 //! Scanned: `src/` of the root package and every `crates/*/src`, skipping
 //! `tests/`, `benches/`, `vendor/`, and `target/`. Files are visited in
@@ -166,6 +169,13 @@ above the offending line; the justification string is mandatory):
   D4  no unwrap()/panic! outside #[cfg(test)] code, in any crate. CLI
       input and IO failures must print an error and exit nonzero;
       genuine invariants use expect(\"proof\") or assert!.
+
+  D5  every probe.emit(..) call, in any crate, must sit under an
+      `if P::ENABLED` guard (compound conditions like
+      `P::ENABLED && n > 0` count). The Probe trait's const gate is
+      what makes NoProbe telemetry compile to nothing; an unguarded
+      emission still builds its event payload. Runtime-gated
+      SinkHandle::emit is a different mechanism and exempt.
 
 Exit status: 0 clean, 1 violations (or IO errors). Output lines are
 `path:line: rule: message`, deterministic across runs.

@@ -1,4 +1,4 @@
-//! The workspace rules: D1–D4 plus pragma validation.
+//! The workspace rules: D1–D5 plus pragma validation.
 //!
 //! Each rule is a pattern over the lexed token stream of one file. The
 //! rules are deliberately conservative approximations — no type inference,
@@ -35,6 +35,11 @@ pub enum RuleId {
     /// must surface errors (`expect` with a proof-of-impossibility string
     /// is the sanctioned form for genuine invariants).
     D4,
+    /// Every `probe.emit(..)` call must sit under an `if` whose condition
+    /// names `ENABLED` (the `P::ENABLED` const-bool gate): an unguarded
+    /// emission builds its event payload even in `NoProbe` builds, which
+    /// breaks the zero-cost-when-off telemetry contract.
+    D5,
     /// A `lint: allow` pragma that is malformed (unknown rule or missing
     /// justification string).
     Pragma,
@@ -48,6 +53,7 @@ impl RuleId {
             RuleId::D2 => "D2",
             RuleId::D3 => "D3",
             RuleId::D4 => "D4",
+            RuleId::D5 => "D5",
             RuleId::Pragma => "pragma",
         }
     }
@@ -58,6 +64,7 @@ impl RuleId {
             "D2" => Some(RuleId::D2),
             "D3" => Some(RuleId::D3),
             "D4" => Some(RuleId::D4),
+            "D5" => Some(RuleId::D5),
             _ => None,
         }
     }
@@ -128,6 +135,8 @@ pub fn check_file(scope: FileScope<'_>, src: &str) -> Vec<Diagnostic> {
         rule_d3(&lexed.tokens, &in_test, &mut diags);
     }
     rule_d4(&lexed.tokens, &in_test, &mut diags);
+    let under_enabled = enabled_mask(&lexed.tokens);
+    rule_d5(&lexed.tokens, &in_test, &under_enabled, &mut diags);
 
     // Apply pragma suppression: an allow on line L covers L and L+1.
     diags.retain(|d| {
@@ -195,6 +204,52 @@ fn is_cfg_test_at(tokens: &[Token], i: usize) -> bool {
             .iter()
             .zip(&tokens[i..])
             .all(|(want, tok)| want(&tok.kind))
+}
+
+/// For each token, whether it sits inside a block opened by an `if`
+/// whose condition names `ENABLED` (the `P::ENABLED` telemetry gate).
+/// Same brace-region machinery as [`test_mask`]: the `if` header is
+/// scanned up to its `{` (a `;` cancels — no such header exists here);
+/// compound conditions (`P::ENABLED && new_samples > 0`) count, because
+/// the gate still short-circuits the emission.
+fn enabled_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut depth: i32 = 0;
+    let mut pending = false;
+    let mut regions: Vec<i32> = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if ident(t) == Some("if") {
+            for tok in &tokens[i + 1..tokens.len().min(i + 30)] {
+                match &tok.kind {
+                    TokenKind::Punct('{' | ';') => break,
+                    TokenKind::Ident(s) if s == "ENABLED" => {
+                        pending = true;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        match t.kind {
+            TokenKind::Punct('{') => {
+                depth += 1;
+                if pending {
+                    regions.push(depth);
+                    pending = false;
+                }
+            }
+            TokenKind::Punct('}') => {
+                if regions.last().is_some_and(|d| *d == depth) {
+                    regions.pop();
+                }
+                depth -= 1;
+            }
+            TokenKind::Punct(';') => pending = false,
+            _ => {}
+        }
+        mask[i] = !regions.is_empty();
+    }
+    mask
 }
 
 /// Whether token `i` is still inside an attribute's `[...]` (so a `;`
@@ -458,6 +513,36 @@ fn rule_d4(tokens: &[Token], in_test: &[bool], diags: &mut Vec<Diagnostic>) {
     }
 }
 
+/// D5 — `probe.emit(..)` outside an `if …ENABLED…` region and outside
+/// tests. The pattern is the token sequence `probe . emit (`, which also
+/// matches `self.probe.emit(..)`; runtime-gated `sink.emit` handles are a
+/// different mechanism and exempt.
+fn rule_d5(
+    tokens: &[Token],
+    in_test: &[bool],
+    under_enabled: &[bool],
+    diags: &mut Vec<Diagnostic>,
+) {
+    for i in 2..tokens.len().saturating_sub(1) {
+        if in_test[i] || under_enabled[i] {
+            continue;
+        }
+        if ident(&tokens[i]) == Some("emit")
+            && is_punct(&tokens[i - 1], '.')
+            && ident(&tokens[i - 2]) == Some("probe")
+            && is_punct(&tokens[i + 1], '(')
+        {
+            diags.push(Diagnostic {
+                line: tokens[i].line,
+                rule: RuleId::D5,
+                msg: "`probe.emit(..)` outside an `if P::ENABLED` guard — the event payload \
+                      is built even in NoProbe builds; wrap the emission in the const gate"
+                    .to_string(),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -570,6 +655,75 @@ mod tests {
         // expect/unwrap_or are sanctioned.
         let ok = "fn f(x: Option<u8>) -> u8 { x.expect(\"proof\").min(x.unwrap_or(1)) }";
         assert!(check("trace", ok).is_empty());
+    }
+
+    #[test]
+    fn d5_catches_unguarded_probe_emit() {
+        let src = "
+            impl<P: Probe> System<P> {
+                fn f(&mut self) { self.probe.emit(Event::Stall { cycle: 1, len: 2 }); }
+            }
+        ";
+        let d = check("cpu", src);
+        assert_eq!(rules(&d), vec![RuleId::D5], "{d:?}");
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn d5_accepts_guarded_emissions() {
+        let src = "
+            impl<P: Probe> System<P> {
+                fn plain(&mut self) {
+                    if P::ENABLED {
+                        self.probe.emit(Event::Stall { cycle: 1, len: 2 });
+                    }
+                }
+                fn compound(&mut self, fresh: usize) {
+                    if P::ENABLED && fresh > 0 {
+                        for _ in 0..fresh { self.probe.emit(Event::Stall { cycle: 1, len: 2 }); }
+                    }
+                }
+            }
+        ";
+        assert!(check("cpu", src).is_empty());
+    }
+
+    #[test]
+    fn d5_flags_emission_after_the_guard_closes() {
+        let src = "
+            fn f(&mut self) {
+                if P::ENABLED { self.probe.emit(a()); }
+                self.probe.emit(b());
+            }
+        ";
+        let d = check("cpu", src);
+        assert_eq!(rules(&d), vec![RuleId::D5], "{d:?}");
+        assert_eq!(d[0].line, 4);
+    }
+
+    #[test]
+    fn d5_ignores_sink_handles_and_tests() {
+        // SinkHandle::emit is runtime-gated — not this rule's target.
+        let src = "fn f(&mut self) { self.sink.emit(ev()); }";
+        assert!(check("core", src).is_empty());
+        let test_src = "
+            #[cfg(test)]
+            mod tests {
+                fn t() { probe.emit(ev()); }
+            }
+        ";
+        assert!(check("cpu", test_src).is_empty());
+    }
+
+    #[test]
+    fn d5_pragma_escape_works() {
+        let src = "
+            fn f(&mut self) {
+                // lint: allow(D5, \"bench harness measures the unguarded path\")
+                self.probe.emit(ev());
+            }
+        ";
+        assert!(check("cpu", src).is_empty());
     }
 
     #[test]

@@ -179,6 +179,7 @@ impl Mshr {
             demand: is_demand,
             live: self.live as u64,
             demand_live: self.demand_live as u64,
+            slot: idx as u64,
         });
         self.check_invariants();
         Ok(MshrId(idx))
@@ -259,6 +260,7 @@ impl Mshr {
             demand: e.is_demand,
             live: self.live as u64,
             cost: e.mlp_cost,
+            slot: id.0 as u64,
         });
         self.check_invariants();
         e

@@ -310,14 +310,26 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
-                Some(_) => {
-                    // Consume one UTF-8 scalar; input is a &str so byte
-                    // boundaries are already valid.
-                    let rest = &self.bytes[self.pos..];
+                Some(b) if b < 0x80 => {
+                    out.push(char::from(b));
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // Consume one multi-byte UTF-8 scalar. Validate only a
+                    // bounded window: re-validating the whole tail per
+                    // character would make string parsing quadratic in the
+                    // document size.
+                    let width = if b >= 0xF0 {
+                        4
+                    } else if b >= 0xE0 {
+                        3
+                    } else {
+                        2
+                    };
+                    let end = (self.pos + width).min(self.bytes.len());
+                    let rest = &self.bytes[self.pos..end];
                     let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = s.chars().next().expect(
-                        "Some(_) peeked above guarantees at least one byte, hence one char",
-                    );
+                    let c = s.chars().next().ok_or_else(|| self.err("invalid UTF-8"))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

@@ -30,14 +30,27 @@
 //! interleaves periodic `snapshot` lines so long streams carry their own
 //! running totals.
 
+//!
+//! On top of the stream sit the attribution types ([`attrib`], [`span`]):
+//! the stall-cycle ledger keyed by (set, cost_q, policy) whose grand
+//! total reconciles exactly with `mem_stall_cycles`, and the stall-span
+//! interval form. [`traceevent`] renders MSHR slot occupancy and stall
+//! spans as Chrome trace-event JSON for `chrome://tracing`/Perfetto.
+
+pub mod attrib;
 pub mod event;
 pub mod json;
 pub mod probe;
 pub mod registry;
 pub mod sink;
+pub mod span;
+pub mod traceevent;
 
+pub use attrib::{exact_share, LedgerKey, StallLedger};
 pub use event::Event;
 pub use json::Json;
 pub use probe::{NoProbe, Probe, SinkProbe};
 pub use registry::Registry;
-pub use sink::{read_ndjson, EventSink, NdjsonSink, SinkHandle, VecSink};
+pub use sink::{read_ndjson, EventSink, FanoutSink, NdjsonSink, SinkHandle, VecSink};
+pub use span::Span;
+pub use traceevent::ChromeTraceSink;

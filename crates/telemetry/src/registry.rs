@@ -107,6 +107,7 @@ mod tests {
             demand: true,
             live: 5,
             demand_live: 5,
+            slot: 0,
         });
         assert_eq!(r.gauge("mshr_live"), Some(5.0));
         r.observe(&Event::MshrRelease {
@@ -115,6 +116,7 @@ mod tests {
             demand: true,
             live: 4,
             cost: 1.0,
+            slot: 0,
         });
         assert_eq!(r.gauge("mshr_live"), Some(4.0));
     }

@@ -118,15 +118,70 @@ impl EventSink for VecSink {
     }
 }
 
+/// Fan events out to several sinks — e.g. an NDJSON stream *and* a
+/// Chrome trace file from one `--telemetry --trace-out` run. Each sink
+/// receives its own clone of every event, in order.
+#[derive(Default)]
+pub struct FanoutSink {
+    sinks: Vec<Box<dyn EventSink + Send>>,
+}
+
+impl FanoutSink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a downstream sink; builder-style.
+    #[must_use]
+    pub fn with(mut self, sink: impl EventSink + Send + 'static) -> Self {
+        self.sinks.push(Box::new(sink));
+        self
+    }
+
+    /// Number of downstream sinks.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// True when no sinks are attached.
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+impl EventSink for FanoutSink {
+    fn record(&mut self, ev: Event) {
+        if let Some((last, rest)) = self.sinks.split_last_mut() {
+            for sink in rest {
+                sink.record(ev.clone());
+            }
+            last.record(ev);
+        }
+    }
+
+    fn flush(&mut self) {
+        for sink in &mut self.sinks {
+            sink.flush();
+        }
+    }
+}
+
 /// Streaming NDJSON writer with interval snapshotting.
 ///
 /// Every event becomes one line. Every `snapshot_every` events a
 /// `snapshot` line with cumulative per-kind counts is interleaved, so a
 /// partially-read (or truncated) stream still carries running totals.
+/// Closing (or dropping) the sink writes one final cumulative snapshot,
+/// so even a short run — fewer events than the interval — ends in its
+/// totals.
 pub struct NdjsonSink<W: Write> {
     out: BufWriter<W>,
     registry: Registry,
     snapshot_every: u64,
+    /// `events_seen` at the last snapshot written, so close/drop skips
+    /// the final snapshot when the count landed exactly on the interval.
+    last_snapshot_at: u64,
+    closed: bool,
     io_error: bool,
 }
 
@@ -147,6 +202,8 @@ impl<W: Write> NdjsonSink<W> {
             out: BufWriter::new(writer),
             registry: Registry::new(),
             snapshot_every: DEFAULT_SNAPSHOT_EVERY,
+            last_snapshot_at: 0,
+            closed: false,
             io_error: false,
         }
     }
@@ -172,6 +229,28 @@ impl<W: Write> NdjsonSink<W> {
             self.io_error = true;
         }
     }
+
+    fn write_final_snapshot(&mut self) {
+        if self.closed {
+            return;
+        }
+        self.closed = true;
+        // Skip when nothing was recorded, or when the interval snapshot
+        // already captured the exact final count — no duplicate line.
+        if self.registry.events_seen() > 0 && self.registry.events_seen() != self.last_snapshot_at {
+            let snap = self.registry.snapshot();
+            self.write_line(&snap);
+        }
+        EventSink::flush(self);
+    }
+
+    /// Write the final cumulative snapshot and flush. Idempotent; drop
+    /// calls this if the caller didn't. After `close` further events are
+    /// still written (the sink stays usable) but no second final
+    /// snapshot will be emitted.
+    pub fn close(&mut self) {
+        self.write_final_snapshot();
+    }
 }
 
 impl<W: Write> EventSink for NdjsonSink<W> {
@@ -183,6 +262,7 @@ impl<W: Write> EventSink for NdjsonSink<W> {
             .events_seen()
             .is_multiple_of(self.snapshot_every)
         {
+            self.last_snapshot_at = self.registry.events_seen();
             let snap = self.registry.snapshot();
             self.write_line(&snap);
         }
@@ -198,11 +278,7 @@ impl<W: Write> EventSink for NdjsonSink<W> {
 impl<W: Write> Drop for NdjsonSink<W> {
     fn drop(&mut self) {
         // Final snapshot so every complete stream ends with its totals.
-        if self.registry.events_seen() > 0 {
-            let snap = self.registry.snapshot();
-            self.write_line(&snap);
-        }
-        EventSink::flush(self);
+        self.write_final_snapshot();
     }
 }
 
@@ -274,6 +350,94 @@ mod tests {
         }
         for line in lines {
             Event::parse_line(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn short_run_still_ends_in_a_final_snapshot() {
+        // Fewer events than the snapshot interval: the only snapshot is
+        // the cumulative one written at close/drop.
+        let mut buf: Vec<u8> = Vec::new();
+        {
+            let mut sink = NdjsonSink::new(&mut buf).with_snapshot_every(1_000);
+            sink.record(Event::Stall { cycle: 1, len: 150 });
+            sink.record(Event::Stall { cycle: 2, len: 151 });
+        }
+        let text = String::from_utf8(buf).unwrap();
+        let last = text.lines().last().expect("stream is non-empty");
+        match Event::parse_line(last).unwrap() {
+            Event::Snapshot { events, counts } => {
+                assert_eq!(events, 2);
+                assert_eq!(counts, vec![("stall".to_string(), 2)]);
+            }
+            other => panic!("expected final snapshot, got {other:?}"),
+        }
+        assert_eq!(text.lines().count(), 3, "{text}");
+    }
+
+    #[test]
+    fn exact_interval_multiple_does_not_duplicate_final_snapshot() {
+        // events_seen lands exactly on the interval: the interval
+        // snapshot doubles as the final one.
+        let mut buf: Vec<u8> = Vec::new();
+        {
+            let mut sink = NdjsonSink::new(&mut buf).with_snapshot_every(2);
+            sink.record(Event::Stall { cycle: 1, len: 150 });
+            sink.record(Event::Stall { cycle: 2, len: 151 });
+        }
+        let text = String::from_utf8(buf).unwrap();
+        let snapshots = text
+            .lines()
+            .filter(|l| l.contains("\"type\":\"snapshot\""))
+            .count();
+        assert_eq!(snapshots, 1, "{text}");
+    }
+
+    #[test]
+    fn close_is_idempotent_and_drop_adds_nothing_after() {
+        let mut buf: Vec<u8> = Vec::new();
+        {
+            let mut sink = NdjsonSink::new(&mut buf).with_snapshot_every(1_000);
+            sink.record(Event::Stall { cycle: 1, len: 150 });
+            sink.close();
+            sink.close();
+        }
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 2, "{text}");
+    }
+
+    #[test]
+    fn empty_stream_gets_no_snapshot() {
+        let mut buf: Vec<u8> = Vec::new();
+        {
+            let _sink = NdjsonSink::new(&mut buf);
+        }
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn fanout_reaches_every_sink_in_order() {
+        let a = Arc::new(Mutex::new(VecSink::new()));
+        let b = Arc::new(Mutex::new(VecSink::new()));
+
+        struct Tee(Arc<Mutex<VecSink>>);
+        impl EventSink for Tee {
+            fn record(&mut self, ev: Event) {
+                self.0.lock().unwrap().record(ev);
+            }
+        }
+
+        let mut fan = FanoutSink::new()
+            .with(Tee(Arc::clone(&a)))
+            .with(Tee(Arc::clone(&b)));
+        assert_eq!(fan.len(), 2);
+        fan.record(Event::Stall { cycle: 1, len: 2 });
+        fan.record(Event::Stall { cycle: 3, len: 4 });
+        fan.flush();
+        for sink in [&a, &b] {
+            let events = &sink.lock().unwrap().events;
+            assert_eq!(events.len(), 2);
+            assert_eq!(events[0], Event::Stall { cycle: 1, len: 2 });
         }
     }
 

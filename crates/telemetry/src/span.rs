@@ -1,0 +1,143 @@
+//! Stall-episode spans: the interval form of the attribution story.
+//!
+//! A span is one full-window memory stall — opened when the pipeline
+//! stalls on an L2-missing window head, closed when that head's fill
+//! arrives. Spans carry enough identity (head line, set, `cost_q`,
+//! deciding policy) for trace viewers and reports to say *what* the
+//! pipeline was waiting on, and their cycles are apportioned into the
+//! [`crate::attrib::StallLedger`] by the CPU-side tracker.
+
+use crate::event::Event;
+
+/// One closed stall span `[begin, end)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Cycle the pipeline stalled on the window head.
+    pub begin: u64,
+    /// Cycle the head's fill arrived and retirement resumed.
+    pub end: u64,
+    /// Block address of the head-of-window miss.
+    pub line: u64,
+    /// L2 set index the head line mapped to.
+    pub set: u64,
+    /// Quantized mlp-cost of the head miss (known at close).
+    pub cost_q: u8,
+    /// Replacement policy governing the head's set.
+    pub policy: String,
+    /// Demand misses outstanding in the MSHR when the span opened.
+    pub n_begin: u64,
+}
+
+impl Span {
+    /// Span length in cycles.
+    pub fn len(&self) -> u64 {
+        self.end.saturating_sub(self.begin)
+    }
+
+    /// True for a degenerate (zero-length) span.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.begin
+    }
+
+    /// Encode as the streaming event form.
+    pub fn to_event(&self) -> Event {
+        Event::StallSpan {
+            begin: self.begin,
+            end: self.end,
+            line: self.line,
+            set: self.set,
+            cost_q: self.cost_q,
+            policy: self.policy.clone(),
+            n_begin: self.n_begin,
+        }
+    }
+
+    /// Decode from the streaming event form; `None` for other kinds.
+    pub fn from_event(ev: &Event) -> Option<Span> {
+        match ev {
+            Event::StallSpan {
+                begin,
+                end,
+                line,
+                set,
+                cost_q,
+                policy,
+                n_begin,
+            } => Some(Span {
+                begin: *begin,
+                end: *end,
+                line: *line,
+                set: *set,
+                cost_q: *cost_q,
+                policy: policy.clone(),
+                n_begin: *n_begin,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Collect every span from an event stream, in emission order.
+    pub fn collect<'a>(events: impl IntoIterator<Item = &'a Event>) -> Vec<Span> {
+        events.into_iter().filter_map(Span::from_event).collect()
+    }
+}
+
+/// Check that `[begin, end)` intervals never overlap, in the order given.
+///
+/// Stall spans come from one retirement head, so a well-formed stream
+/// emits them already sorted and disjoint; the trace validator leans on
+/// this to certify one-row-per-timeline exports. Returns the index of
+/// the first offending interval, or `Ok(())`.
+pub fn check_disjoint(intervals: &[(u64, u64)]) -> Result<(), usize> {
+    let mut prev_end = 0u64;
+    for (i, &(begin, end)) in intervals.iter().enumerate() {
+        if begin < prev_end || end < begin {
+            return Err(i);
+        }
+        prev_end = end;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(begin: u64, end: u64) -> Span {
+        Span {
+            begin,
+            end,
+            line: 7,
+            set: 3,
+            cost_q: 7,
+            policy: "lin".into(),
+            n_begin: 1,
+        }
+    }
+
+    #[test]
+    fn event_round_trip() {
+        let s = span(100, 544);
+        assert_eq!(Span::from_event(&s.to_event()), Some(s.clone()));
+        assert_eq!(Span::from_event(&Event::Stall { cycle: 1, len: 2 }), None);
+        assert_eq!(s.len(), 444);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn collect_filters_spans() {
+        let evs = vec![
+            Event::Stall { cycle: 1, len: 2 },
+            span(10, 20).to_event(),
+            span(30, 40).to_event(),
+        ];
+        assert_eq!(Span::collect(&evs).len(), 2);
+    }
+
+    #[test]
+    fn disjoint_checker() {
+        assert_eq!(check_disjoint(&[(0, 5), (5, 9), (12, 12)]), Ok(()));
+        assert_eq!(check_disjoint(&[(0, 5), (4, 9)]), Err(1));
+        assert_eq!(check_disjoint(&[(3, 2)]), Err(0));
+    }
+}

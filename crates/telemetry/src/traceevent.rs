@@ -1,0 +1,452 @@
+//! Chrome trace-event JSON exporter: the timeline view of a run.
+//!
+//! Encodes MSHR slot occupancy and stall spans in the Trace Event
+//! Format understood by `chrome://tracing` and Perfetto: one JSON
+//! object `{"traceEvents": [...]}` whose entries are complete events
+//! (`"ph": "X"`) with microsecond timestamps. We map one simulated
+//! cycle to one microsecond, so the viewer's time axis reads directly
+//! in cycles.
+//!
+//! Row layout (one process per simulated run):
+//!
+//! - **pid**: each `run_start` in the stream opens a new process,
+//!   named `"label [policy]"` via `process_name` metadata. Runs restart
+//!   their cycle clocks at zero, so giving every run its own process
+//!   keeps each row an honest timeline — a sweep binary (`fig5`) fans
+//!   many runs into one file. A stream with no `run_start` stays under
+//!   pid 1.
+//! - **tid 0 — "stall episodes"**: one slice per full-window memory
+//!   stall span, named by the head miss's set/`cost_q`/policy. Slices
+//!   on this row never overlap (one retirement head at a time).
+//! - **tid `s + 1` — "mshr slot s"**: one slice per occupancy interval
+//!   of MSHR slot `s`, from `mshr_alloc` to the matching
+//!   `mshr_release`. A slot holds one entry at a time, so these rows
+//!   are disjoint too — a property `trace_check` validates per
+//!   `(pid, tid)` row.
+//!
+//! The sink buffers slices in memory and writes the file on
+//! [`ChromeTraceSink::close`] (or drop), because the trace format is
+//! one JSON document, not a line stream. A cap bounds memory on long
+//! runs; beyond it slices are counted and dropped, and the count is
+//! reported in a final metadata entry so a truncated trace is visibly
+//! truncated.
+
+use crate::event::Event;
+use crate::json::Json;
+use crate::sink::EventSink;
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Process id the first (or only) run's rows live under.
+const FIRST_PID: u64 = 1;
+
+/// Default cap on buffered slices (~a few hundred bytes each).
+pub const DEFAULT_TRACE_CAP: usize = 500_000;
+
+fn num(n: u64) -> Json {
+    Json::Num(n as f64)
+}
+
+fn str_json(s: &str) -> Json {
+    Json::Str(s.to_string())
+}
+
+/// Build one complete ("X") trace event.
+fn complete_event(
+    name: &str,
+    ts: u64,
+    dur: u64,
+    pid: u64,
+    tid: u64,
+    args: Vec<(String, Json)>,
+) -> Json {
+    Json::Obj(vec![
+        ("name".to_string(), str_json(name)),
+        ("ph".to_string(), str_json("X")),
+        ("ts".to_string(), num(ts)),
+        ("dur".to_string(), num(dur)),
+        ("pid".to_string(), num(pid)),
+        ("tid".to_string(), num(tid)),
+        ("args".to_string(), Json::Obj(args)),
+    ])
+}
+
+/// Build one metadata ("M") event naming a process or thread row.
+fn name_event(kind: &str, pid: u64, tid: u64, name: &str) -> Json {
+    Json::Obj(vec![
+        ("name".to_string(), str_json(kind)),
+        ("ph".to_string(), str_json("M")),
+        ("pid".to_string(), num(pid)),
+        ("tid".to_string(), num(tid)),
+        (
+            "args".to_string(),
+            Json::Obj(vec![("name".to_string(), str_json(name))]),
+        ),
+    ])
+}
+
+/// [`EventSink`] that renders `mshr_alloc`/`mshr_release`/`stall_span`
+/// events into a Chrome trace-event JSON file.
+///
+/// Other event kinds pass through unrendered, so the sink composes with
+/// the NDJSON stream under one [`crate::sink::FanoutSink`].
+pub struct ChromeTraceSink<W: Write> {
+    out: Option<W>,
+    slices: Vec<Json>,
+    /// slot -> (alloc cycle, line, demand) for in-flight entries.
+    open_slots: BTreeMap<u64, (u64, u64, bool)>,
+    /// `(pid, tid)` rows that appeared, for thread-name metadata.
+    seen_tids: BTreeMap<(u64, u64), String>,
+    /// Process id slices are currently filed under; advances on each
+    /// `run_start` after the first so every run owns its own timeline.
+    pid: u64,
+    /// `run_start` events seen so far.
+    runs_seen: u64,
+    /// pid -> run label, for process-name metadata.
+    proc_names: BTreeMap<u64, String>,
+    cap: usize,
+    dropped: u64,
+    written: bool,
+}
+
+impl ChromeTraceSink<File> {
+    /// Create/truncate `path`; the trace is written when the sink is
+    /// closed or dropped.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self::new(File::create(path)?))
+    }
+}
+
+impl<W: Write> ChromeTraceSink<W> {
+    pub fn new(writer: W) -> Self {
+        ChromeTraceSink {
+            out: Some(writer),
+            slices: Vec::new(),
+            open_slots: BTreeMap::new(),
+            seen_tids: BTreeMap::new(),
+            pid: FIRST_PID,
+            runs_seen: 0,
+            proc_names: BTreeMap::new(),
+            cap: DEFAULT_TRACE_CAP,
+            dropped: 0,
+            written: false,
+        }
+    }
+
+    /// Override the buffered-slice cap (minimum 1).
+    pub fn with_cap(mut self, cap: usize) -> Self {
+        self.cap = cap.max(1);
+        self
+    }
+
+    fn push_slice(&mut self, ev: Json) {
+        if self.slices.len() < self.cap {
+            self.slices.push(ev);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    fn note_tid(&mut self, tid: u64, name: String) {
+        self.seen_tids.entry((self.pid, tid)).or_insert(name);
+    }
+
+    /// Render the buffered slices as the final JSON document.
+    fn document(&self) -> Json {
+        let mut events: Vec<Json> =
+            Vec::with_capacity(self.slices.len() + self.seen_tids.len() + self.proc_names.len());
+        for (pid, name) in &self.proc_names {
+            events.push(name_event("process_name", *pid, 0, name));
+        }
+        for ((pid, tid), name) in &self.seen_tids {
+            events.push(name_event("thread_name", *pid, *tid, name));
+        }
+        events.extend(self.slices.iter().cloned());
+        let mut top = vec![("traceEvents".to_string(), Json::Arr(events))];
+        if self.dropped > 0 {
+            top.push(("droppedSliceCount".to_string(), num(self.dropped)));
+        }
+        Json::Obj(top)
+    }
+
+    /// Write the trace document and release the writer. Idempotent; the
+    /// drop impl calls this if the caller didn't.
+    pub fn close(&mut self) -> io::Result<()> {
+        if self.written {
+            return Ok(());
+        }
+        self.written = true;
+        let doc = self.document().to_string_compact();
+        match self.out.take() {
+            Some(mut w) => {
+                w.write_all(doc.as_bytes())?;
+                w.write_all(b"\n")?;
+                w.flush()
+            }
+            None => Ok(()),
+        }
+    }
+}
+
+impl<W: Write> EventSink for ChromeTraceSink<W> {
+    fn record(&mut self, ev: Event) {
+        match ev {
+            Event::RunStart { label, policy, .. } => {
+                self.runs_seen += 1;
+                if self.runs_seen > 1 {
+                    self.pid += 1;
+                    // Entries still open belong to the previous run;
+                    // a well-formed stream released them all before its
+                    // `run_end`, so anything left is stale.
+                    self.open_slots.clear();
+                }
+                self.proc_names
+                    .insert(self.pid, format!("{label} [{policy}]"));
+            }
+            Event::MshrAlloc {
+                cycle,
+                line,
+                demand,
+                slot,
+                ..
+            } => {
+                self.open_slots.insert(slot, (cycle, line, demand));
+            }
+            Event::MshrRelease {
+                cycle,
+                line,
+                cost,
+                slot,
+                ..
+            } => {
+                if let Some((begin, alloc_line, demand)) = self.open_slots.remove(&slot) {
+                    let tid = slot + 1;
+                    self.note_tid(tid, format!("mshr slot {slot}"));
+                    let name = if demand { "demand miss" } else { "prefetch" };
+                    let slice = complete_event(
+                        name,
+                        begin,
+                        cycle.saturating_sub(begin),
+                        self.pid,
+                        tid,
+                        vec![
+                            ("line".to_string(), num(alloc_line)),
+                            ("line_at_release".to_string(), num(line)),
+                            ("mlp_cost".to_string(), Json::Num(cost)),
+                        ],
+                    );
+                    self.push_slice(slice);
+                }
+            }
+            Event::StallSpan {
+                begin,
+                end,
+                line,
+                set,
+                cost_q,
+                policy,
+                n_begin,
+            } => {
+                self.note_tid(0, "stall episodes".to_string());
+                let name = format!("stall set={set} cost_q={cost_q} {policy}");
+                let slice = complete_event(
+                    &name,
+                    begin,
+                    end.saturating_sub(begin),
+                    self.pid,
+                    0,
+                    vec![
+                        ("line".to_string(), num(line)),
+                        ("set".to_string(), num(set)),
+                        ("cost_q".to_string(), num(u64::from(cost_q))),
+                        ("policy".to_string(), str_json(&policy)),
+                        ("n_begin".to_string(), num(n_begin)),
+                    ],
+                );
+                self.push_slice(slice);
+            }
+            _ => {}
+        }
+    }
+
+    fn flush(&mut self) {}
+}
+
+impl<W: Write> Drop for ChromeTraceSink<W> {
+    fn drop(&mut self) {
+        // Telemetry must never take the simulation down: swallow I/O
+        // failures on the implicit close, like NdjsonSink does.
+        let _ = self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alloc(cycle: u64, line: u64, slot: u64) -> Event {
+        Event::MshrAlloc {
+            cycle,
+            line,
+            demand: true,
+            live: 1,
+            demand_live: 1,
+            slot,
+        }
+    }
+
+    fn release(cycle: u64, line: u64, slot: u64) -> Event {
+        Event::MshrRelease {
+            cycle,
+            line,
+            demand: true,
+            live: 0,
+            cost: 444.0,
+            slot,
+        }
+    }
+
+    fn spans_of(doc: &Json) -> Vec<(u64, u64, u64)> {
+        // (tid, ts, dur) of every complete event.
+        let Some(Json::Arr(events)) = doc.get("traceEvents") else {
+            panic!("no traceEvents array");
+        };
+        events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .map(|e| {
+                (
+                    e.get("tid").and_then(Json::as_u64).unwrap(),
+                    e.get("ts").and_then(Json::as_u64).unwrap(),
+                    e.get("dur").and_then(Json::as_u64).unwrap(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn slot_intervals_become_slices() {
+        let mut buf: Vec<u8> = Vec::new();
+        {
+            let mut sink = ChromeTraceSink::new(&mut buf);
+            sink.record(alloc(10, 64, 0));
+            sink.record(alloc(12, 65, 1));
+            sink.record(release(454, 64, 0));
+            sink.record(release(460, 65, 1));
+            sink.record(Event::StallSpan {
+                begin: 20,
+                end: 454,
+                line: 64,
+                set: 3,
+                cost_q: 7,
+                policy: "lin".into(),
+                n_begin: 2,
+            });
+            sink.close().unwrap();
+        }
+        let text = String::from_utf8(buf).unwrap();
+        let doc = Json::parse(&text).unwrap();
+        let mut spans = spans_of(&doc);
+        spans.sort();
+        assert_eq!(spans, vec![(0, 20, 434), (1, 10, 444), (2, 12, 448)]);
+        // Thread metadata names every row that appeared.
+        let Some(Json::Arr(events)) = doc.get("traceEvents") else {
+            unreachable!()
+        };
+        let names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+            .map(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(names, vec!["stall episodes", "mshr slot 0", "mshr slot 1"]);
+    }
+
+    #[test]
+    fn each_run_start_opens_a_new_process() {
+        let run_start = |label: &str| Event::RunStart {
+            label: label.to_string(),
+            policy: "lru".to_string(),
+            cycle: 0,
+        };
+        let mut buf: Vec<u8> = Vec::new();
+        {
+            let mut sink = ChromeTraceSink::new(&mut buf);
+            sink.record(run_start("mcf"));
+            sink.record(alloc(10, 64, 0));
+            sink.record(release(454, 64, 0));
+            // Second run restarts the cycle clock; its slice overlaps the
+            // first run's in time and must land under a fresh pid.
+            sink.record(run_start("art"));
+            sink.record(alloc(5, 99, 0));
+            sink.record(release(300, 99, 0));
+            sink.close().unwrap();
+        }
+        let doc = Json::parse(std::str::from_utf8(&buf).unwrap()).unwrap();
+        let Some(Json::Arr(events)) = doc.get("traceEvents") else {
+            panic!("no traceEvents array");
+        };
+        let pids: Vec<u64> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .map(|e| e.get("pid").and_then(Json::as_u64).unwrap())
+            .collect();
+        assert_eq!(pids, vec![1, 2]);
+        let proc_names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("process_name"))
+            .map(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(proc_names, vec!["mcf [lru]", "art [lru]"]);
+    }
+
+    #[test]
+    fn release_without_alloc_is_ignored() {
+        let mut buf: Vec<u8> = Vec::new();
+        {
+            let mut sink = ChromeTraceSink::new(&mut buf);
+            sink.record(release(100, 64, 3));
+            sink.close().unwrap();
+        }
+        let doc = Json::parse(std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert_eq!(spans_of(&doc), vec![]);
+    }
+
+    #[test]
+    fn cap_drops_and_reports() {
+        let mut buf: Vec<u8> = Vec::new();
+        {
+            let mut sink = ChromeTraceSink::new(&mut buf).with_cap(1);
+            for i in 0..3u64 {
+                sink.record(alloc(i * 10, i, 0));
+                sink.record(release(i * 10 + 5, i, 0));
+            }
+            sink.close().unwrap();
+        }
+        let doc = Json::parse(std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert_eq!(spans_of(&doc).len(), 1);
+        assert_eq!(doc.get("droppedSliceCount").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn drop_writes_the_document() {
+        let mut buf: Vec<u8> = Vec::new();
+        {
+            let mut sink = ChromeTraceSink::new(&mut buf);
+            sink.record(alloc(1, 9, 0));
+            sink.record(release(5, 9, 0));
+        }
+        assert!(Json::parse(std::str::from_utf8(&buf).unwrap()).is_ok());
+    }
+}

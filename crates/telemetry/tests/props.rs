@@ -3,7 +3,7 @@
 //! Property tests: NDJSON round-trips for randomized field values, and
 //! counter-registry monotonicity over arbitrary event sequences.
 
-use mlpsim_telemetry::{Event, EventSink, NdjsonSink, Registry};
+use mlpsim_telemetry::{exact_share, Event, EventSink, NdjsonSink, Registry, StallLedger};
 use proptest::prelude::*;
 
 /// Builds one event of each shape class from randomized scalars: unsigned,
@@ -24,6 +24,7 @@ fn sample_events(
             demand: flag,
             live,
             demand_live: live / 2,
+            slot: live % 32,
         },
         Event::MshrRelease {
             cycle,
@@ -31,8 +32,26 @@ fn sample_events(
             demand: flag,
             live,
             cost,
+            slot: live % 32,
         },
         Event::Stall { cycle, len: live },
+        Event::StallSpan {
+            begin: cycle,
+            end: cycle + live,
+            line,
+            set: line % 1024,
+            cost_q: (live % 8) as u8,
+            policy: name.clone(),
+            n_begin: live % 32 + 1,
+        },
+        Event::StallAttrib {
+            cycle,
+            line,
+            set: line % 1024,
+            cost_q: (live % 8) as u8,
+            policy: name.clone(),
+            cycles: live,
+        },
         Event::Serviced {
             line,
             cycle,
@@ -97,9 +116,9 @@ proptest! {
             let ev = if i % 3 == 0 {
                 Event::Stall { cycle: c, len: 200 }
             } else if i % 3 == 1 {
-                Event::MshrAlloc { cycle: c, line: c, demand: true, live: 1, demand_live: 1 }
+                Event::MshrAlloc { cycle: c, line: c, demand: true, live: 1, demand_live: 1, slot: 0 }
             } else {
-                Event::MshrRelease { cycle: c, line: c, demand: true, live: 0, cost: 4.0 }
+                Event::MshrRelease { cycle: c, line: c, demand: true, live: 0, cost: 4.0, slot: 0 }
             };
             reg.observe(&ev);
             prop_assert!(reg.events_seen() > last_seen, "events_seen must strictly grow");
@@ -137,5 +156,44 @@ proptest! {
         prop_assert_eq!(stalls as usize, n_events);
         // The drop-time snapshot always reports the exact event total.
         prop_assert_eq!(final_snapshot_total, Some(n_events as u64));
+    }
+
+    #[test]
+    fn exact_share_partitions_any_delta(
+        delta in 0u64..5_000_000,
+        n in 1u64..64,
+    ) {
+        // The 1/N apportionment is integer-exact: shares sum to delta,
+        // and no share deviates from delta/n by more than one cycle.
+        let shares: Vec<u64> = (0..n).map(|i| exact_share(delta, n, i)).collect();
+        prop_assert_eq!(shares.iter().sum::<u64>(), delta);
+        for &s in &shares {
+            prop_assert!(s == delta / n || s == delta / n + 1);
+        }
+    }
+
+    #[test]
+    fn ledger_fold_conserves_attributed_cycles(
+        charges in prop::collection::vec((0u64..64, 0u8..8, 0u64..500), 0..50),
+    ) {
+        let events: Vec<Event> = charges
+            .iter()
+            .map(|&(set, cost_q, cycles)| Event::StallAttrib {
+                cycle: 0,
+                line: set * 64,
+                set,
+                cost_q,
+                policy: if cost_q % 2 == 0 { "lin".into() } else { "lru".into() },
+                cycles,
+            })
+            .collect();
+        let ledger = StallLedger::from_events(&events);
+        prop_assert_eq!(ledger.total(), charges.iter().map(|c| c.2).sum::<u64>());
+        // Roll-ups conserve the same total.
+        prop_assert_eq!(ledger.cost_q_totals().iter().sum::<u64>(), ledger.total());
+        prop_assert_eq!(
+            ledger.policy_totals().iter().map(|(_, v)| v).sum::<u64>(),
+            ledger.total()
+        );
     }
 }
