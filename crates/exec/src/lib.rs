@@ -38,4 +38,6 @@ macro_rules! invariant {
 
 pub mod pool;
 
-pub use pool::{default_jobs, map_ordered, WorkerPool, JOBS_ENV};
+pub use pool::{
+    default_jobs, jobs_from_var, map_ordered, CancelToken, Cancelled, WorkerPool, JOBS_ENV,
+};

@@ -1,6 +1,8 @@
 //! The worker pool and its ordered fan-out helper.
 
+use std::fmt;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
@@ -10,20 +12,107 @@ pub const JOBS_ENV: &str = "MLPSIM_JOBS";
 
 /// The default worker count: `MLPSIM_JOBS` when set to a positive integer,
 /// otherwise [`std::thread::available_parallelism`] (1 when even that is
-/// unknowable). An unparsable `MLPSIM_JOBS` falls back to the hardware
-/// default with a warning on stderr — a sweep silently running serial
-/// because of a typo'd variable would defeat the point of the pool.
+/// unknowable). A set-but-useless `MLPSIM_JOBS` — empty, `0`, or garbage —
+/// falls back to the hardware default *with a warning on stderr*: a sweep
+/// silently running serial (or at an unintended width) because of a typo'd
+/// variable would defeat the point of the pool.
 pub fn default_jobs() -> usize {
-    if let Ok(raw) = std::env::var(JOBS_ENV) {
-        match raw.trim().parse::<usize>() {
-            Ok(n) if n >= 1 => return n,
-            _ => {
-                eprintln!("warning: ignoring invalid {JOBS_ENV}={raw:?} (want a positive integer)")
-            }
-        }
+    let raw = std::env::var(JOBS_ENV).ok();
+    let (explicit, warning) = jobs_from_var(raw.as_deref());
+    if let Some(w) = warning {
+        eprintln!("warning: {w}");
     }
-    thread::available_parallelism().map_or(1, usize::from)
+    explicit.unwrap_or_else(|| thread::available_parallelism().map_or(1, usize::from))
 }
+
+/// Pure resolution of the `MLPSIM_JOBS` value: the explicitly requested
+/// worker count (if the value is a positive integer), plus the warning the
+/// caller should surface when the variable is set but unusable. `None`
+/// input means the variable is unset — no count, no warning.
+pub fn jobs_from_var(raw: Option<&str>) -> (Option<usize>, Option<String>) {
+    let Some(raw) = raw else {
+        return (None, None);
+    };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return (
+            None,
+            Some(format!(
+                "{JOBS_ENV} is set but empty; using the hardware default"
+            )),
+        );
+    }
+    match trimmed.parse::<usize>() {
+        Ok(n) if n >= 1 => (Some(n), None),
+        Ok(_) => (
+            None,
+            Some(format!(
+                "ignoring {JOBS_ENV}=0 (want a positive integer); using the hardware default"
+            )),
+        ),
+        Err(_) => (
+            None,
+            Some(format!(
+                "ignoring invalid {JOBS_ENV}={raw:?} (want a positive integer); \
+                 using the hardware default"
+            )),
+        ),
+    }
+}
+
+/// Cooperative cancellation flag shared between a job's submitter and the
+/// pool workers (and, in the serving layer, a deadline watchdog). The
+/// token carries no clock — deadlines are built *on top* by whoever owns
+/// wall time (lint rule D2 keeps this crate clock-free): a watchdog thread
+/// sleeps, then calls [`CancelToken::cancel`].
+///
+/// Cancellation is observed at job granularity by
+/// [`WorkerPool::try_map_ordered`] (a worker checks the token before
+/// starting each queued job) and may additionally be polled from inside a
+/// job closure for finer-grained early exit.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// Error returned by [`WorkerPool::try_map_ordered`] when the token fired
+/// before every job ran: `completed` of `submitted` jobs finished (their
+/// results are discarded — a partial ordered map is not a meaningful
+/// sweep).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Cancelled {
+    /// Jobs that ran to completion before the token was observed.
+    pub completed: usize,
+    /// Total jobs submitted to the batch.
+    pub submitted: usize,
+}
+
+impl fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cancelled after {} of {} jobs completed",
+            self.completed, self.submitted
+        )
+    }
+}
+
+impl std::error::Error for Cancelled {}
 
 /// A boxed unit of work.
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -96,20 +185,58 @@ impl WorkerPool {
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
+        match self.try_map_ordered(jobs, &CancelToken::new()) {
+            Ok(out) => out,
+            Err(_) => unreachable!("a private fresh token is never cancelled"),
+        }
+    }
+
+    /// [`WorkerPool::map_ordered`] with cooperative cancellation: each
+    /// worker consults `cancel` immediately before starting a queued job
+    /// and skips it once the token fired. When every job ran, the result
+    /// is exactly `map_ordered`'s — byte-identical sweeps, same panic
+    /// propagation. When any job was skipped, returns [`Cancelled`]
+    /// (partial results are discarded; jobs already executing when the
+    /// token fires still run to completion unless they poll the token
+    /// themselves).
+    ///
+    /// # Errors
+    ///
+    /// [`Cancelled`] when the token fired before every job started.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first (by submission index) panicking job's payload,
+    /// as [`WorkerPool::map_ordered`] does.
+    pub fn try_map_ordered<T, F>(
+        &self,
+        jobs: Vec<F>,
+        cancel: &CancelToken,
+    ) -> Result<Vec<T>, Cancelled>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
         let n = jobs.len();
-        let (tx, rx) = channel::<(usize, thread::Result<T>)>();
+        // `None` in the payload marks a job skipped by cancellation.
+        let (tx, rx) = channel::<(usize, Option<thread::Result<T>>)>();
         for (idx, job) in jobs.into_iter().enumerate() {
             let tx = tx.clone();
+            let cancel = cancel.clone();
             self.submit(move || {
+                if cancel.is_cancelled() {
+                    let _ = tx.send((idx, None));
+                    return;
+                }
                 // Catch so one bad cell doesn't kill the worker thread and
                 // strand the rest of the queue; the panic is re-raised on
                 // the submitting thread below.
                 let out = catch_unwind(AssertUnwindSafe(job));
-                let _ = tx.send((idx, out));
+                let _ = tx.send((idx, Some(out)));
             });
         }
         drop(tx);
-        let mut slots: Vec<Option<thread::Result<T>>> = (0..n).map(|_| None).collect();
+        let mut slots: Vec<Option<Option<thread::Result<T>>>> = (0..n).map(|_| None).collect();
         for _ in 0..n {
             let (idx, out) = rx.recv().expect("every job sends exactly once");
             crate::invariant!(
@@ -118,13 +245,36 @@ impl WorkerPool {
             );
             slots[idx] = Some(out);
         }
-        slots
+        let delivered: Vec<Option<thread::Result<T>>> = slots
             .into_iter()
-            .map(|slot| match slot.expect("all indices delivered") {
-                Ok(v) => v,
-                Err(payload) => resume_unwind(payload),
-            })
-            .collect()
+            .map(|slot| slot.expect("all indices delivered"))
+            .collect();
+        if delivered.iter().any(Option::is_none) {
+            // Re-raise a panic even on the cancelled path: a crashed cell
+            // must not be masked by a concurrent cancellation.
+            let completed = delivered
+                .into_iter()
+                .flatten()
+                .map(|out| {
+                    if let Err(payload) = out {
+                        resume_unwind(payload);
+                    }
+                })
+                .count();
+            return Err(Cancelled {
+                completed,
+                submitted: n,
+            });
+        }
+        Ok(delivered
+            .into_iter()
+            .map(
+                |slot| match slot.expect("checked above: no job was skipped") {
+                    Ok(v) => v,
+                    Err(payload) => resume_unwind(payload),
+                },
+            )
+            .collect())
     }
 }
 
@@ -242,5 +392,126 @@ mod tests {
         let pool = WorkerPool::new(0);
         assert_eq!(pool.threads(), 1);
         assert_eq!(pool.map_ordered(vec![|| 1]), vec![1]);
+    }
+
+    // ---- MLPSIM_JOBS resolution (pure; default_jobs is a thin shell) ----
+
+    #[test]
+    fn jobs_var_unset_is_silent() {
+        assert_eq!(jobs_from_var(None), (None, None));
+    }
+
+    #[test]
+    fn jobs_var_valid_is_used_without_warning() {
+        assert_eq!(jobs_from_var(Some("4")), (Some(4), None));
+        assert_eq!(jobs_from_var(Some(" 12 ")), (Some(12), None));
+    }
+
+    #[test]
+    fn jobs_var_empty_warns() {
+        for empty in ["", "   ", "\t"] {
+            let (n, warn) = jobs_from_var(Some(empty));
+            assert_eq!(n, None, "{empty:?}");
+            let warn = warn.expect("set-but-empty must warn, not silently fall back");
+            assert!(warn.contains("set but empty"), "{warn}");
+        }
+    }
+
+    #[test]
+    fn jobs_var_zero_warns() {
+        let (n, warn) = jobs_from_var(Some("0"));
+        assert_eq!(n, None);
+        assert!(warn.expect("zero must warn").contains("MLPSIM_JOBS=0"));
+    }
+
+    #[test]
+    fn jobs_var_garbage_warns() {
+        for garbage in ["many", "-3", "4.5", "3 threads"] {
+            let (n, warn) = jobs_from_var(Some(garbage));
+            assert_eq!(n, None, "{garbage:?}");
+            let warn = warn.expect("garbage must warn");
+            assert!(warn.contains(garbage), "{warn}");
+        }
+    }
+
+    // ---- cancellation ----
+
+    #[test]
+    fn fresh_token_matches_map_ordered() {
+        let pool = WorkerPool::new(4);
+        let jobs: Vec<_> = (0..20u64).map(|i| move || i * 3).collect();
+        let got = pool.try_map_ordered(jobs, &CancelToken::new());
+        assert_eq!(got, Ok((0..20u64).map(|i| i * 3).collect::<Vec<_>>()));
+    }
+
+    #[test]
+    fn pre_cancelled_token_skips_every_job() {
+        let token = CancelToken::new();
+        token.cancel();
+        assert!(token.is_cancelled());
+        let ran = Arc::new(AtomicUsize::new(0));
+        let jobs: Vec<_> = (0..8)
+            .map(|_| {
+                let r = Arc::clone(&ran);
+                move || r.fetch_add(1, Ordering::SeqCst)
+            })
+            .collect();
+        let pool = WorkerPool::new(2);
+        let err = pool
+            .try_map_ordered(jobs, &token)
+            .expect_err("a fired token must cancel the batch");
+        assert_eq!(err.completed, 0);
+        assert_eq!(err.submitted, 8);
+        assert_eq!(ran.load(Ordering::SeqCst), 0, "no job may start");
+    }
+
+    #[test]
+    fn mid_batch_cancel_reports_partial_completion() {
+        // Single worker, and the first job fires the token itself: the
+        // remaining jobs are deterministically skipped.
+        let pool = WorkerPool::new(1);
+        let token = CancelToken::new();
+        let t = token.clone();
+        let mut jobs: Vec<Box<dyn FnOnce() -> u64 + Send>> = vec![Box::new(move || {
+            t.cancel();
+            1
+        })];
+        for i in 0..5u64 {
+            jobs.push(Box::new(move || i + 100));
+        }
+        let err = pool
+            .try_map_ordered(jobs, &token)
+            .expect_err("token fired mid-batch");
+        assert_eq!(
+            err,
+            Cancelled {
+                completed: 1,
+                submitted: 6
+            }
+        );
+    }
+
+    #[test]
+    fn panic_is_not_masked_by_cancellation() {
+        let pool = WorkerPool::new(1);
+        let token = CancelToken::new();
+        let t = token.clone();
+        let jobs: Vec<Box<dyn FnOnce() -> u64 + Send>> = vec![
+            Box::new(move || {
+                t.cancel();
+                panic!("boom under cancellation")
+            }),
+            Box::new(|| 2),
+        ];
+        let result = catch_unwind(AssertUnwindSafe(|| pool.try_map_ordered(jobs, &token)));
+        assert!(result.is_err(), "the panic must surface, not the Cancelled");
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        b.cancel();
+        assert!(a.is_cancelled());
     }
 }

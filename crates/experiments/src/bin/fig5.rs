@@ -6,48 +6,15 @@
 //! isolated misses disappear; for some benchmarks misses go *up* while
 //! IPC also goes up (twolf, ammp) — the whole point of optimizing stalls
 //! rather than miss counts.
+//!
+//! The report itself lives in [`mlpsim_experiments::figures::fig5_report`]
+//! so that the `mlpsim-serve` job executor produces byte-identical output
+//! for the same spec — this binary is a thin shell around that one shared
+//! run path.
 
-use mlpsim_analysis::table::Table;
-use mlpsim_analysis::util::percent_improvement;
-use mlpsim_cpu::policy::PolicyKind;
-use mlpsim_experiments::paper::paper_row;
-use mlpsim_experiments::runner::{run_matrix, RunOptions};
-use mlpsim_trace::spec::SpecBench;
+use mlpsim_experiments::figures::fig5_report;
+use mlpsim_experiments::runner::RunOptions;
 
 fn main() {
-    println!("Figure 5 — mlp-cost distribution: LRU vs LIN(4), with inset deltas\n");
-    let mut t = Table::with_headers(&[
-        "bench", "policy", "0", "60", "120", "180", "240", "300", "360", "420+", "mean", "dMISS%",
-        "(paper)", "dIPC%", "(paper)",
-    ]);
-    let matrix = run_matrix(
-        &SpecBench::ALL,
-        &[PolicyKind::Lru, PolicyKind::lin4()],
-        &RunOptions::from_env(),
-    );
-    for (bench, results) in SpecBench::ALL.into_iter().zip(&matrix) {
-        let (lru, lin) = (results[0].clone(), results[1].clone());
-        let p = paper_row(bench);
-        let miss_delta = percent_improvement(lin.l2.misses as f64, lru.l2.misses as f64);
-        let ipc_delta = percent_improvement(lin.ipc(), lru.ipc());
-        for (label, r, insets) in [
-            ("lru", &lru, None),
-            ("lin", &lin, Some((miss_delta, ipc_delta))),
-        ] {
-            let mut row = vec![bench.name().to_string(), label.to_string()];
-            row.extend(r.cost_hist.percents().iter().map(|x| format!("{x:.1}")));
-            row.push(format!("{:.0}", r.cost_hist.mean()));
-            match insets {
-                Some((dm, di)) => {
-                    row.push(format!("{dm:+.1}"));
-                    row.push(format!("{:+.1}", p.lin_miss_pct));
-                    row.push(format!("{di:+.1}"));
-                    row.push(format!("{:+.1}", p.lin_ipc_pct));
-                }
-                None => row.extend(["".into(), "".into(), "".into(), "".into()]),
-            }
-            t.row(row);
-        }
-    }
-    println!("{}", t.render());
+    print!("{}", fig5_report(&RunOptions::from_env()));
 }

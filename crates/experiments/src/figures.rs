@@ -1,0 +1,170 @@
+//! Figure reports as library functions: the exact text the corresponding
+//! experiment binary prints, returned as a `String`.
+//!
+//! This is the single run path shared by the CLI binaries and the
+//! `mlpsim-serve` job executor — a figure submitted as a server job must
+//! return results **byte-identical** to the direct CLI invocation at any
+//! `--jobs` count, which only holds if both go through one function. The
+//! `try_*` variants additionally take a [`CancelToken`] so a server job
+//! can be cancelled (or deadline-killed) between matrix cells.
+
+use crate::paper::paper_row;
+use crate::runner::{try_run_matrix, RunOptions};
+use mlpsim_analysis::table::Table;
+use mlpsim_analysis::util::percent_improvement;
+use mlpsim_cpu::policy::PolicyKind;
+use mlpsim_exec::{CancelToken, Cancelled};
+use mlpsim_trace::spec::SpecBench;
+use std::fmt::Write as _;
+
+/// Figure 5 report: the mlp-cost distribution under LRU vs LIN(4) with
+/// the inset ΔMISS/ΔIPC numbers, byte-identical to the `fig5` binary's
+/// stdout.
+pub fn fig5_report(opts: &RunOptions) -> String {
+    match try_fig5_report(opts, &CancelToken::new()) {
+        Ok(s) => s,
+        Err(_) => unreachable!("a private fresh token is never cancelled"),
+    }
+}
+
+/// Cancellable [`fig5_report`].
+///
+/// # Errors
+///
+/// [`Cancelled`] when the token fired before the sweep completed.
+pub fn try_fig5_report(opts: &RunOptions, cancel: &CancelToken) -> Result<String, Cancelled> {
+    let mut out =
+        String::from("Figure 5 — mlp-cost distribution: LRU vs LIN(4), with inset deltas\n\n");
+    let mut t = Table::with_headers(&[
+        "bench", "policy", "0", "60", "120", "180", "240", "300", "360", "420+", "mean", "dMISS%",
+        "(paper)", "dIPC%", "(paper)",
+    ]);
+    let matrix = try_run_matrix(
+        &SpecBench::ALL,
+        &[PolicyKind::Lru, PolicyKind::lin4()],
+        opts,
+        cancel,
+    )?;
+    for (bench, results) in SpecBench::ALL.into_iter().zip(&matrix) {
+        let (lru, lin) = (results[0].clone(), results[1].clone());
+        let p = paper_row(bench);
+        let miss_delta = percent_improvement(lin.l2.misses as f64, lru.l2.misses as f64);
+        let ipc_delta = percent_improvement(lin.ipc(), lru.ipc());
+        for (label, r, insets) in [
+            ("lru", &lru, None),
+            ("lin", &lin, Some((miss_delta, ipc_delta))),
+        ] {
+            let mut row = vec![bench.name().to_string(), label.to_string()];
+            row.extend(r.cost_hist.percents().iter().map(|x| format!("{x:.1}")));
+            row.push(format!("{:.0}", r.cost_hist.mean()));
+            match insets {
+                Some((dm, di)) => {
+                    row.push(format!("{dm:+.1}"));
+                    row.push(format!("{:+.1}", p.lin_miss_pct));
+                    row.push(format!("{di:+.1}"));
+                    row.push(format!("{:+.1}", p.lin_ipc_pct));
+                }
+                None => row.extend(["".into(), "".into(), "".into(), "".into()]),
+            }
+            t.row(row);
+        }
+    }
+    let _ = writeln!(out, "{}", t.render());
+    Ok(out)
+}
+
+/// Generic sweep report: `benches` × `policies`, one row per cell with
+/// the headline aggregates (misses, MPKI, IPC, memory-stall cycles).
+/// This is the ad-hoc comparative-analysis query the serving layer
+/// exposes beyond the fixed paper figures.
+///
+/// # Errors
+///
+/// [`Cancelled`] when the token fired before the sweep completed.
+pub fn try_sweep_report(
+    benches: &[SpecBench],
+    policies: &[PolicyKind],
+    opts: &RunOptions,
+    cancel: &CancelToken,
+) -> Result<String, Cancelled> {
+    let mut out = String::from("Sweep — benchmarks x policies, headline aggregates\n\n");
+    let mut t = Table::with_headers(&[
+        "bench",
+        "policy",
+        "misses",
+        "mpki",
+        "ipc",
+        "mem_stall_cycles",
+    ]);
+    let matrix = try_run_matrix(benches, policies, opts, cancel)?;
+    for (bench, results) in benches.iter().zip(&matrix) {
+        for (policy, r) in policies.iter().zip(results) {
+            t.row(vec![
+                bench.name().to_string(),
+                policy.label(),
+                r.l2.misses.to_string(),
+                format!("{:.2}", r.l2_mpki()),
+                format!("{:.4}", r.ipc()),
+                r.mem_stall_cycles.to_string(),
+            ]);
+        }
+    }
+    let _ = writeln!(out, "{}", t.render());
+    Ok(out)
+}
+
+/// Uncancellable [`try_sweep_report`] for CLI-style callers.
+pub fn sweep_report(benches: &[SpecBench], policies: &[PolicyKind], opts: &RunOptions) -> String {
+    match try_sweep_report(benches, policies, opts, &CancelToken::new()) {
+        Ok(s) => s,
+        Err(_) => unreachable!("a private fresh token is never cancelled"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_opts() -> RunOptions {
+        RunOptions {
+            accesses: 1_000,
+            jobs: 2,
+            ..RunOptions::default()
+        }
+    }
+
+    #[test]
+    fn sweep_report_has_one_row_per_cell() {
+        let benches = [SpecBench::Mcf, SpecBench::Art];
+        let policies = [PolicyKind::Lru, PolicyKind::lin4()];
+        let report = sweep_report(&benches, &policies, &small_opts());
+        assert!(report.contains("mcf"));
+        assert!(report.contains("lin(4)"));
+        // header line + separator-free Table: 1 header + 4 rows inside.
+        assert!(report.lines().count() >= 5, "{report}");
+    }
+
+    #[test]
+    fn cancelled_sweep_returns_err() {
+        let token = CancelToken::new();
+        token.cancel();
+        let err = try_sweep_report(&[SpecBench::Mcf], &[PolicyKind::Lru], &small_opts(), &token)
+            .expect_err("pre-cancelled token must cancel the sweep");
+        assert_eq!(err.completed, 0);
+    }
+
+    #[test]
+    fn fig5_report_is_deterministic_across_job_counts() {
+        let a = fig5_report(&RunOptions {
+            accesses: 400,
+            jobs: 1,
+            ..RunOptions::default()
+        });
+        let b = fig5_report(&RunOptions {
+            accesses: 400,
+            jobs: 4,
+            ..RunOptions::default()
+        });
+        assert_eq!(a, b, "job count must never change output bytes");
+    }
+}

@@ -50,6 +50,8 @@
 //! numbers ([`paper`]) used to print paper-vs-measured tables.
 
 pub mod cli;
+pub mod figures;
+pub mod jobspec;
 pub mod paper;
 pub mod runner;
 

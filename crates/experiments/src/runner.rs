@@ -24,7 +24,7 @@ use mlpsim_cpu::config::SystemConfig;
 use mlpsim_cpu::policy::PolicyKind;
 use mlpsim_cpu::stats::SimResult;
 use mlpsim_cpu::system::System;
-use mlpsim_exec::WorkerPool;
+use mlpsim_exec::{CancelToken, Cancelled, WorkerPool};
 use mlpsim_telemetry::{
     ChromeTraceSink, Event, EventSink, FanoutSink, NdjsonSink, SinkHandle, SinkProbe, VecSink,
 };
@@ -294,14 +294,39 @@ pub fn run_matrix(
     policies: &[PolicyKind],
     opts: &RunOptions,
 ) -> Vec<Vec<SimResult>> {
+    match try_run_matrix(benches, policies, opts, &CancelToken::new()) {
+        Ok(rows) => rows,
+        Err(_) => unreachable!("a private fresh token is never cancelled"),
+    }
+}
+
+/// [`run_matrix`] with cooperative cancellation for the serving layer:
+/// `cancel` is consulted before each trace generation and each matrix
+/// cell (the [`WorkerPool::try_map_ordered`] contract), so a cancelled
+/// sweep stops within one cell's simulation time. Until the token fires
+/// the output — results *and* replayed telemetry — is byte-identical to
+/// [`run_matrix`]; once it fires, partial results are discarded and no
+/// buffered telemetry is replayed (the stream never carries a half
+/// sweep).
+///
+/// # Errors
+///
+/// [`Cancelled`] when the token fired before the sweep completed.
+pub fn try_run_matrix(
+    benches: &[SpecBench],
+    policies: &[PolicyKind],
+    opts: &RunOptions,
+    cancel: &CancelToken,
+) -> Result<Vec<Vec<SimResult>>, Cancelled> {
     let pool = WorkerPool::new(opts.jobs);
     let (accesses, seed) = (opts.accesses, opts.seed);
-    let traces: Vec<Arc<Trace>> = pool.map_ordered(
+    let traces: Vec<Arc<Trace>> = pool.try_map_ordered(
         benches
             .iter()
             .map(|&b| move || Arc::new(b.generate(accesses, seed)))
             .collect(),
-    );
+        cancel,
+    )?;
 
     let cell = CellOptions::of(opts);
     let mut jobs = Vec::with_capacity(benches.len() * policies.len());
@@ -311,7 +336,7 @@ pub fn run_matrix(
             jobs.push(move || cell.run(&trace, policy));
         }
     }
-    let cells = pool.map_ordered(jobs);
+    let cells = pool.try_map_ordered(jobs, cancel)?;
 
     let mut rows = Vec::with_capacity(benches.len());
     let mut it = cells.into_iter();
@@ -329,7 +354,7 @@ pub fn run_matrix(
         }
         rows.push(row);
     }
-    rows
+    Ok(rows)
 }
 
 /// The `Send + Copy` slice of [`RunOptions`] a worker needs to simulate

@@ -20,6 +20,9 @@
 //! - **D5** every `probe.emit(..)` must sit under an `if P::ENABLED`
 //!   guard — unguarded emissions build event payloads in `NoProbe`
 //!   builds, breaking the zero-cost-when-off telemetry contract.
+//! - **D6** a file accepting sockets must arm a read timeout on them —
+//!   a blocking read with no timeout lets one stalled client hang a
+//!   server thread.
 //!
 //! Scanned: `src/` of the root package and every `crates/*/src`, skipping
 //! `tests/`, `benches/`, `vendor/`, and `target/`. Files are visited in
@@ -176,6 +179,12 @@ above the offending line; the justification string is mandatory):
       what makes NoProbe telemetry compile to nothing; an unguarded
       emission still builds its event payload. Runtime-gated
       SinkHandle::emit is a different mechanism and exempt.
+
+  D6  any file calling `.accept(..)` or `.incoming(..)` outside tests
+      must also call `set_read_timeout` (or the serve crate's
+      `arm_read_timeout` helper) outside tests. Accepted sockets are
+      read by blocking server threads; without a timeout one stalled
+      client parks a thread forever (slow-loris).
 
 Exit status: 0 clean, 1 violations (or IO errors). Output lines are
 `path:line: rule: message`, deterministic across runs.

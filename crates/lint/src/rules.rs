@@ -40,6 +40,12 @@ pub enum RuleId {
     /// emission builds its event payload even in `NoProbe` builds, which
     /// breaks the zero-cost-when-off telemetry contract.
     D5,
+    /// A file that accepts sockets (`.accept(`/`.incoming(`) outside tests
+    /// must also arm a read timeout (`set_read_timeout`, or the workspace
+    /// helper `arm_read_timeout`) outside tests: a blocking read on an
+    /// accepted connection with no timeout lets one stalled client hang a
+    /// server thread forever.
+    D6,
     /// A `lint: allow` pragma that is malformed (unknown rule or missing
     /// justification string).
     Pragma,
@@ -54,6 +60,7 @@ impl RuleId {
             RuleId::D3 => "D3",
             RuleId::D4 => "D4",
             RuleId::D5 => "D5",
+            RuleId::D6 => "D6",
             RuleId::Pragma => "pragma",
         }
     }
@@ -65,6 +72,7 @@ impl RuleId {
             "D3" => Some(RuleId::D3),
             "D4" => Some(RuleId::D4),
             "D5" => Some(RuleId::D5),
+            "D6" => Some(RuleId::D6),
             _ => None,
         }
     }
@@ -137,6 +145,7 @@ pub fn check_file(scope: FileScope<'_>, src: &str) -> Vec<Diagnostic> {
     rule_d4(&lexed.tokens, &in_test, &mut diags);
     let under_enabled = enabled_mask(&lexed.tokens);
     rule_d5(&lexed.tokens, &in_test, &under_enabled, &mut diags);
+    rule_d6(&lexed.tokens, &in_test, &mut diags);
 
     // Apply pragma suppression: an allow on line L covers L and L+1.
     diags.retain(|d| {
@@ -543,6 +552,43 @@ fn rule_d5(
     }
 }
 
+/// D6 — socket accepts without a read timeout anywhere in the file. The
+/// pattern `.accept(` / `.incoming(` marks the accept path; the file must
+/// then also name `set_read_timeout` (or the workspace wrapper
+/// `arm_read_timeout`) outside tests. File granularity is the right
+/// approximation here: the timeout call sits on the accepted stream a few
+/// lines from the accept, or in a helper the same file defines/calls.
+fn rule_d6(tokens: &[Token], in_test: &[bool], diags: &mut Vec<Diagnostic>) {
+    let has_timeout = tokens.iter().enumerate().any(|(i, t)| {
+        !in_test[i] && matches!(ident(t), Some("set_read_timeout" | "arm_read_timeout"))
+    });
+    if has_timeout {
+        return;
+    }
+    for i in 1..tokens.len().saturating_sub(1) {
+        if in_test[i] {
+            continue;
+        }
+        let Some(m) = ident(&tokens[i]) else {
+            continue;
+        };
+        if (m == "accept" || m == "incoming")
+            && is_punct(&tokens[i - 1], '.')
+            && is_punct(&tokens[i + 1], '(')
+        {
+            diags.push(Diagnostic {
+                line: tokens[i].line,
+                rule: RuleId::D6,
+                msg: format!(
+                    "`.{m}(..)` with no read timeout in this file — a blocking read on an \
+                     accepted socket can hang on a stalled client; call `set_read_timeout` \
+                     (or `http::arm_read_timeout`) on every accepted stream"
+                ),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -724,6 +770,80 @@ mod tests {
             }
         ";
         assert!(check("cpu", src).is_empty());
+    }
+
+    #[test]
+    fn d6_catches_accept_without_read_timeout() {
+        let src = "
+            fn serve(listener: &TcpListener) {
+                loop {
+                    let (stream, _) = match listener.accept() {
+                        Ok(pair) => pair,
+                        Err(_) => continue,
+                    };
+                    handle(stream);
+                }
+            }
+        ";
+        let d = check("serve", src);
+        assert_eq!(rules(&d), vec![RuleId::D6], "{d:?}");
+        assert_eq!(d[0].line, 4);
+    }
+
+    #[test]
+    fn d6_catches_incoming_iterator_too() {
+        let src = "
+            fn serve(listener: TcpListener) {
+                for stream in listener.incoming() { handle(stream); }
+            }
+        ";
+        assert!(rules(&check("serve", src)).contains(&RuleId::D6));
+    }
+
+    #[test]
+    fn d6_accepts_files_that_arm_a_timeout() {
+        let direct = "
+            fn serve(listener: &TcpListener) {
+                let (stream, _) = listener.accept().expect(\"accept\");
+                stream.set_read_timeout(Some(TIMEOUT)).expect(\"sockopt\");
+                handle(stream);
+            }
+        ";
+        assert!(check("serve", direct).is_empty());
+        let via_helper = "
+            fn serve(listener: &TcpListener) {
+                let (stream, _) = listener.accept().expect(\"accept\");
+                if http::arm_read_timeout(&stream, 5_000).is_err() { return; }
+                handle(stream);
+            }
+        ";
+        assert!(check("serve", via_helper).is_empty());
+    }
+
+    #[test]
+    fn d6_ignores_test_code_and_non_socket_accepts() {
+        let test_src = "
+            #[cfg(test)]
+            mod tests {
+                fn t() { let (s, _) = listener.accept().unwrap(); use_it(s); }
+            }
+        ";
+        assert!(check("serve", test_src).is_empty());
+        // A method *named* accept that is not called on a receiver is not
+        // the accept loop (e.g. visitor pattern `accept(&mut v)`).
+        assert!(check("core", "fn f(v: &mut V) { accept(v); }").is_empty());
+    }
+
+    #[test]
+    fn d6_pragma_escape_works() {
+        let src = "
+            fn serve(listener: &TcpListener) {
+                // lint: allow(D6, \"stdin-driven oneshot; peer is the test harness\")
+                let (stream, _) = listener.accept().expect(\"accept\");
+                handle(stream);
+            }
+        ";
+        assert!(check("serve", src).is_empty());
     }
 
     #[test]

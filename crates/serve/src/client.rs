@@ -1,0 +1,304 @@
+//! A matching std-only HTTP client for the job API — what `mlpsim-client`
+//! and the smoke tests use. One request per connection, mirroring the
+//! server's `Connection: close` model.
+
+use mlpsim_telemetry::Json;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One decoded response.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Header pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Body (chunked transfer already decoded).
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// Body parsed as JSON.
+    ///
+    /// # Errors
+    ///
+    /// The parser's message when the body is not JSON.
+    pub fn json(&self) -> Result<Json, String> {
+        Json::parse(&self.text()).map_err(|e| e.to_string())
+    }
+}
+
+/// Strip an `http://` scheme and any trailing `/` from a server URL,
+/// leaving `host:port` for `TcpStream::connect`.
+pub fn host_of(server: &str) -> &str {
+    server
+        .strip_prefix("http://")
+        .unwrap_or(server)
+        .trim_end_matches('/')
+}
+
+/// Callback observing each decoded chunk of a streamed response.
+pub type ChunkObserver<'a> = &'a mut dyn FnMut(&[u8]);
+
+/// Issue one request. `on_chunk` (when given) observes each decoded chunk
+/// of a chunked response as it arrives — the live event stream — and the
+/// full body is still accumulated in the returned [`Response`].
+///
+/// # Errors
+///
+/// Connection, framing, or socket errors, as strings for the CLI.
+pub fn request(
+    server: &str,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+    mut on_chunk: Option<ChunkObserver<'_>>,
+) -> Result<Response, String> {
+    let host = host_of(server);
+    let stream = TcpStream::connect(host).map_err(|e| format!("cannot connect to {host}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(600)))
+        .map_err(|e| format!("cannot set read timeout: {e}"))?;
+    let mut stream = stream;
+    let body = body.unwrap_or(&[]);
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {host}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body))
+        .map_err(|e| format!("cannot send request: {e}"))?;
+
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("cannot read status line: {e}"))?;
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line {line:?}"))?;
+
+    let mut headers = Vec::new();
+    loop {
+        let mut h = String::new();
+        reader
+            .read_line(&mut h)
+            .map_err(|e| format!("cannot read headers: {e}"))?;
+        let h = h.trim_end_matches(['\r', '\n']);
+        if h.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = h.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+
+    let chunked = headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    let mut body = Vec::new();
+    if chunked {
+        loop {
+            let mut size_line = String::new();
+            reader
+                .read_line(&mut size_line)
+                .map_err(|e| format!("cannot read chunk size: {e}"))?;
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|_| format!("malformed chunk size {size_line:?}"))?;
+            if size == 0 {
+                break;
+            }
+            let mut chunk = vec![0u8; size];
+            reader
+                .read_exact(&mut chunk)
+                .map_err(|e| format!("cannot read chunk: {e}"))?;
+            let mut crlf = [0u8; 2];
+            reader
+                .read_exact(&mut crlf)
+                .map_err(|e| format!("cannot read chunk terminator: {e}"))?;
+            if let Some(cb) = on_chunk.as_deref_mut() {
+                cb(&chunk);
+            }
+            body.extend_from_slice(&chunk);
+        }
+    } else {
+        let declared = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .and_then(|(_, v)| v.parse::<usize>().ok());
+        match declared {
+            Some(n) => {
+                body.resize(n, 0);
+                reader
+                    .read_exact(&mut body)
+                    .map_err(|e| format!("cannot read body: {e}"))?;
+            }
+            None => {
+                reader
+                    .read_to_end(&mut body)
+                    .map_err(|e| format!("cannot read body: {e}"))?;
+            }
+        }
+    }
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// `POST /jobs` with a raw spec document; returns the assigned id.
+///
+/// # Errors
+///
+/// Transport errors and non-201 responses (the server's message).
+pub fn submit(server: &str, spec_json: &str) -> Result<u64, String> {
+    let resp = request(server, "POST", "/jobs", Some(spec_json.as_bytes()), None)?;
+    if resp.status != 201 {
+        return Err(format!(
+            "submit rejected ({}): {}",
+            resp.status,
+            resp.text().trim()
+        ));
+    }
+    resp.json()?
+        .get("id")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| "submit response lacks an id".to_string())
+}
+
+/// `GET /jobs/:id` → the status document.
+///
+/// # Errors
+///
+/// Transport errors and non-200 responses.
+pub fn status(server: &str, id: u64) -> Result<Json, String> {
+    let resp = request(server, "GET", &format!("/jobs/{id}"), None, None)?;
+    if resp.status != 200 {
+        return Err(format!(
+            "status failed ({}): {}",
+            resp.status,
+            resp.text().trim()
+        ));
+    }
+    resp.json()
+}
+
+/// `GET /jobs/:id/events`, feeding each decoded chunk to `on_chunk` live;
+/// returns the full stream when the job reaches a terminal state.
+///
+/// # Errors
+///
+/// Transport errors and non-200 responses.
+pub fn watch(server: &str, id: u64, on_chunk: &mut dyn FnMut(&[u8])) -> Result<Vec<u8>, String> {
+    let resp = request(
+        server,
+        "GET",
+        &format!("/jobs/{id}/events"),
+        None,
+        Some(on_chunk),
+    )?;
+    if resp.status != 200 {
+        return Err(format!(
+            "watch failed ({}): {}",
+            resp.status,
+            resp.text().trim()
+        ));
+    }
+    Ok(resp.body)
+}
+
+/// `GET /jobs/:id/result` → the report text.
+///
+/// # Errors
+///
+/// Transport errors and non-200 responses (including "not done yet").
+pub fn result(server: &str, id: u64) -> Result<String, String> {
+    let resp = request(server, "GET", &format!("/jobs/{id}/result"), None, None)?;
+    if resp.status != 200 {
+        return Err(format!(
+            "result failed ({}): {}",
+            resp.status,
+            resp.text().trim()
+        ));
+    }
+    Ok(resp.text())
+}
+
+/// `POST /jobs/:id/cancel` → the job's state after the request.
+///
+/// # Errors
+///
+/// Transport errors and non-200 responses.
+pub fn cancel(server: &str, id: u64) -> Result<String, String> {
+    let resp = request(server, "POST", &format!("/jobs/{id}/cancel"), None, None)?;
+    if resp.status != 200 {
+        return Err(format!(
+            "cancel failed ({}): {}",
+            resp.status,
+            resp.text().trim()
+        ));
+    }
+    Ok(resp
+        .json()?
+        .get("state")
+        .and_then(Json::as_str)
+        .unwrap_or("unknown")
+        .to_string())
+}
+
+/// `POST /drain` — ask the server to stop admitting and shut down.
+///
+/// # Errors
+///
+/// Transport errors and non-202 responses.
+pub fn drain(server: &str) -> Result<(), String> {
+    let resp = request(server, "POST", "/drain", None, None)?;
+    if resp.status != 202 {
+        return Err(format!(
+            "drain failed ({}): {}",
+            resp.status,
+            resp.text().trim()
+        ));
+    }
+    Ok(())
+}
+
+/// Poll `GET /jobs/:id` until the job is terminal; returns the final state
+/// name.
+///
+/// # Errors
+///
+/// Transport errors from any poll.
+pub fn wait(server: &str, id: u64) -> Result<String, String> {
+    loop {
+        let doc = status(server, id)?;
+        let state = doc
+            .get("state")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown")
+            .to_string();
+        if matches!(state.as_str(), "done" | "failed" | "cancelled") {
+            return Ok(state);
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}

@@ -1,0 +1,381 @@
+//! The HTTP front end and the single-job scheduler.
+//!
+//! Threading model: one accept loop (nonblocking, polling the shutdown
+//! flag), one connection thread per accepted socket (requests are tiny;
+//! `Connection: close`), one scheduler thread executing jobs strictly in
+//! admission order (a job may itself fan out over the worker pool via its
+//! spec's `jobs` field), plus a short-lived watchdog thread per deadlined
+//! job.
+//!
+//! API surface (all responses `Connection: close`):
+//!
+//! | route | effect |
+//! |---|---|
+//! | `POST /jobs` | admit a spec → `201 {"id":N,"state":"queued"}`, `400` bad spec, `429` + `Retry-After` full, `503` draining |
+//! | `GET /jobs` | all jobs, id order |
+//! | `GET /jobs/:id` | one job's status document |
+//! | `GET /jobs/:id/events` | chunked NDJSON live telemetry (ends when the job is terminal) |
+//! | `GET /jobs/:id/result` | the report text (`404` until done) |
+//! | `POST /jobs/:id/cancel` | cancel queued/running job (idempotent) |
+//! | `POST /drain` | stop admitting; finish the running job; exit |
+//! | `GET /healthz` | `200 ok` (`503` when draining) |
+//! | `GET /metrics` | counter/gauge text dump |
+
+use crate::http::{self, ChunkedWriter, HttpError, Request};
+use crate::journal::{JobStatus, Journal};
+use crate::state::{EventLog, LogSink, State, SubmitError};
+use mlpsim_exec::CancelToken;
+use mlpsim_experiments::jobspec::JobSpec;
+use mlpsim_telemetry::{Json, SinkHandle};
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Everything the server needs to start.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:0` (port 0 = ephemeral).
+    pub addr: String,
+    /// Journal + result files live here (created if absent).
+    pub data_dir: PathBuf,
+    /// Bounded admission queue length; `0` rejects every submit with 429.
+    pub queue_capacity: usize,
+    /// Seconds advertised in `Retry-After` on 429.
+    pub retry_after_secs: u64,
+    /// Read timeout armed on every accepted socket (rule D6).
+    pub read_timeout_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            data_dir: PathBuf::from("mlpsim-serve-data"),
+            queue_capacity: 64,
+            retry_after_secs: 1,
+            read_timeout_ms: 5_000,
+        }
+    }
+}
+
+/// A running server: listener bound, journal recovered, scheduler live.
+pub struct Server {
+    state: Arc<State>,
+    listener: TcpListener,
+    shutdown: Arc<AtomicBool>,
+    cfg: ServerConfig,
+    scheduler: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Recover the journal, re-enqueue unfinished jobs, bind the listener,
+    /// and start the scheduler. `serve` must be called to accept traffic.
+    ///
+    /// # Errors
+    ///
+    /// Bind/journal failures, or a journal that no longer parses.
+    pub fn start(cfg: ServerConfig) -> Result<Server, String> {
+        std::fs::create_dir_all(&cfg.data_dir)
+            .map_err(|e| format!("cannot create data dir {}: {e}", cfg.data_dir.display()))?;
+        let journal_path = cfg.data_dir.join("journal.ndjson");
+        let recovered = Journal::recover(&journal_path)?;
+        if recovered.torn_tail {
+            eprintln!(
+                "warning: journal {} had a torn final line (crash mid-append); dropped it",
+                journal_path.display()
+            );
+        }
+        let pending = recovered.pending().len();
+        if pending > 0 {
+            eprintln!("recovered {pending} unfinished job(s); re-enqueued in id order");
+        }
+        let journal = Journal::open(&journal_path)
+            .map_err(|e| format!("cannot open journal {}: {e}", journal_path.display()))?;
+        let state =
+            State::from_recovered(recovered, journal, cfg.data_dir.clone(), cfg.queue_capacity)?;
+        let listener =
+            TcpListener::bind(&cfg.addr).map_err(|e| format!("cannot bind {}: {e}", cfg.addr))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("cannot set nonblocking accept: {e}"))?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let scheduler = {
+            let state = Arc::clone(&state);
+            thread::spawn(move || scheduler_loop(&state))
+        };
+        Ok(Server {
+            state,
+            listener,
+            shutdown,
+            cfg,
+            scheduler: Some(scheduler),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `getsockname` failures.
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A flag external code (signal handlers, tests) may set to stop the
+    /// accept loop and begin the graceful drain.
+    pub fn shutdown_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// The shared state (tests submit/inspect through it directly).
+    pub fn state(&self) -> Arc<State> {
+        Arc::clone(&self.state)
+    }
+
+    /// Accept connections until the shutdown flag rises (via signal,
+    /// `POST /drain`, or `shutdown_handle`), then drain: the running job
+    /// finishes and is journaled; queued jobs stay journaled for the next
+    /// boot. Returns once the scheduler has exited.
+    pub fn serve(mut self) {
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let state = Arc::clone(&self.state);
+                    let shutdown = Arc::clone(&self.shutdown);
+                    let cfg = self.cfg.clone();
+                    thread::spawn(move || handle_connection(stream, &state, &shutdown, &cfg));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => {
+                    eprintln!("warning: accept failed: {e}");
+                    thread::sleep(Duration::from_millis(10));
+                }
+            }
+        }
+        // Graceful drain: no new admissions, scheduler stops after the
+        // in-flight job (its terminal op is journaled by `finish`).
+        self.state.begin_drain();
+        if let Some(h) = self.scheduler.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Execute jobs strictly in admission order until drain.
+fn scheduler_loop(state: &Arc<State>) {
+    while let Some((id, spec, log, token)) = state.take_next() {
+        let outcome = execute(&spec, &log, &token);
+        state.finish(id, outcome);
+    }
+}
+
+/// Run one job: wire its telemetry to the event log, arm the deadline
+/// watchdog, execute through the shared `figures` run path.
+fn execute(spec: &JobSpec, log: &Arc<EventLog>, token: &CancelToken) -> Result<String, JobStatus> {
+    let _watchdog = spec.deadline_ms.map(|ms| {
+        let token = token.clone();
+        let log = Arc::clone(log);
+        thread::spawn(move || {
+            let deadline = Instant::now() + Duration::from_millis(ms);
+            // Poll in short chunks so a finished job releases the thread
+            // promptly (the log closes when the job reaches a terminal
+            // state).
+            while Instant::now() < deadline {
+                if log.is_done() {
+                    return;
+                }
+                thread::sleep(Duration::from_millis(20));
+            }
+            token.cancel();
+        })
+    });
+    let telemetry = SinkHandle::of(LogSink(Arc::clone(log)));
+    let result = spec.run(telemetry, token);
+    match result {
+        // A fired token always reports Cancelled, even if the sweep
+        // happened to finish first — the client asked for it to stop.
+        Ok(_) if token.is_cancelled() => Err(JobStatus::Cancelled),
+        Ok(report) => Ok(report),
+        Err(_cancelled) => Err(JobStatus::Cancelled),
+    }
+}
+
+/// One request per connection.
+fn handle_connection(
+    mut stream: TcpStream,
+    state: &Arc<State>,
+    shutdown: &Arc<AtomicBool>,
+    cfg: &ServerConfig,
+) {
+    if http::arm_read_timeout(&stream, cfg.read_timeout_ms).is_err() {
+        return;
+    }
+    state.count("http_requests_total");
+    let req = match http::read_request(&mut stream) {
+        Ok(req) => req,
+        Err(HttpError::TooLarge) => {
+            let _ = respond_json(&mut stream, 413, &err_json("request body too large"));
+            return;
+        }
+        Err(HttpError::Malformed(m)) => {
+            let _ = respond_json(&mut stream, 400, &err_json(&m));
+            return;
+        }
+        Err(HttpError::Io(_)) => return, // stalled or vanished client
+    };
+    let _ = route(&mut stream, &req, state, shutdown, cfg);
+}
+
+/// Dispatch one parsed request. Socket errors mean the client went away —
+/// the caller drops the connection either way.
+fn route(
+    stream: &mut TcpStream,
+    req: &Request,
+    state: &Arc<State>,
+    shutdown: &Arc<AtomicBool>,
+    cfg: &ServerConfig,
+) -> io::Result<()> {
+    let segs = req.segments();
+    match (req.method.as_str(), segs.as_slice()) {
+        ("GET", ["healthz"]) => {
+            if state.draining() {
+                http::write_response(stream, 503, "text/plain", &[], b"draining\n")
+            } else {
+                http::write_response(stream, 200, "text/plain", &[], b"ok\n")
+            }
+        }
+        ("GET", ["metrics"]) => {
+            let text = state.metrics_text();
+            http::write_response(stream, 200, "text/plain", &[], text.as_bytes())
+        }
+        ("POST", ["jobs"]) => {
+            let body = String::from_utf8_lossy(&req.body);
+            let spec = match JobSpec::parse(&body) {
+                Ok(spec) => spec,
+                Err(e) => return respond_json(stream, 400, &err_json(&e)),
+            };
+            match state.submit(spec) {
+                Ok(id) => {
+                    let doc = Json::Obj(vec![
+                        ("id".into(), Json::Num(id as f64)),
+                        ("state".into(), Json::Str("queued".into())),
+                    ]);
+                    respond_json(stream, 201, &doc)
+                }
+                Err(SubmitError::Full) => {
+                    let retry = cfg.retry_after_secs.to_string();
+                    http::write_response(
+                        stream,
+                        429,
+                        "application/json",
+                        &[("Retry-After", retry.as_str())],
+                        err_json("queue full").to_string_compact().as_bytes(),
+                    )
+                }
+                Err(SubmitError::Draining) => {
+                    respond_json(stream, 503, &err_json("server is draining"))
+                }
+                Err(SubmitError::Journal(e)) => respond_json(stream, 500, &err_json(&e)),
+            }
+        }
+        ("GET", ["jobs"]) => respond_json(stream, 200, &state.list_json()),
+        ("GET", ["jobs", id]) => match parse_id(id) {
+            Some(id) => match state.status_json(id) {
+                Some(doc) => respond_json(stream, 200, &doc),
+                None => respond_json(stream, 404, &err_json("no such job")),
+            },
+            None => respond_json(stream, 400, &err_json("job id wants an integer")),
+        },
+        ("GET", ["jobs", id, "events"]) => {
+            let Some(id) = parse_id(id) else {
+                return respond_json(stream, 400, &err_json("job id wants an integer"));
+            };
+            let Some(log) = state.event_log(id) else {
+                return respond_json(stream, 404, &err_json("no such job"));
+            };
+            stream_events(stream, &log)
+        }
+        ("GET", ["jobs", id, "result"]) => {
+            let Some(id) = parse_id(id) else {
+                return respond_json(stream, 400, &err_json("job id wants an integer"));
+            };
+            if state.status_json(id).is_none() {
+                return respond_json(stream, 404, &err_json("no such job"));
+            }
+            match std::fs::read(state.result_path(id)) {
+                Ok(bytes) => http::write_response(stream, 200, "text/plain", &[], &bytes),
+                Err(_) => respond_json(stream, 404, &err_json("result not available yet")),
+            }
+        }
+        ("POST", ["jobs", id, "cancel"]) => match parse_id(id) {
+            Some(id) => match state.cancel(id) {
+                Some(status) => {
+                    let doc = Json::Obj(vec![
+                        ("id".into(), Json::Num(id as f64)),
+                        ("state".into(), Json::Str(status.name().into())),
+                    ]);
+                    respond_json(stream, 200, &doc)
+                }
+                None => respond_json(stream, 404, &err_json("no such job")),
+            },
+            None => respond_json(stream, 400, &err_json("job id wants an integer")),
+        },
+        ("POST", ["drain"]) => {
+            state.begin_drain();
+            shutdown.store(true, Ordering::SeqCst);
+            http::write_response(stream, 202, "text/plain", &[], b"draining\n")
+        }
+        (_, ["jobs", ..]) | (_, ["drain"]) | (_, ["healthz"]) | (_, ["metrics"]) => {
+            respond_json(stream, 405, &err_json("method not allowed"))
+        }
+        _ => respond_json(stream, 404, &err_json("no such route")),
+    }
+}
+
+/// Stream a job's NDJSON event lines as chunks until the job is terminal.
+fn stream_events(stream: &mut TcpStream, log: &EventLog) -> io::Result<()> {
+    let mut w = ChunkedWriter::begin(stream, 200, "application/x-ndjson")?;
+    let mut cursor = 0usize;
+    loop {
+        let (lines, done) = log.wait_from(cursor);
+        cursor += lines.len();
+        if !lines.is_empty() {
+            let mut payload = String::new();
+            for line in &lines {
+                payload.push_str(line);
+                payload.push('\n');
+            }
+            w.chunk(payload.as_bytes())?;
+        }
+        if done && lines.is_empty() {
+            return w.finish();
+        }
+        if done {
+            // Loop once more to pick up any lines racing the close.
+            continue;
+        }
+    }
+}
+
+fn parse_id(raw: &str) -> Option<u64> {
+    raw.parse().ok()
+}
+
+fn err_json(message: &str) -> Json {
+    Json::Obj(vec![("error".into(), Json::Str(message.into()))])
+}
+
+fn respond_json(stream: &mut TcpStream, status: u16, doc: &Json) -> io::Result<()> {
+    let mut body = doc.to_string_compact();
+    body.push('\n');
+    http::write_response(stream, status, "application/json", &[], body.as_bytes())
+}

@@ -1,0 +1,544 @@
+//! Shared server state: the job table, the bounded admission queue, the
+//! per-job live event logs, and the metrics registry.
+//!
+//! Everything here is plain `Mutex`/`Condvar` coordination — no async
+//! runtime. Locks use `unwrap_or_else(PoisonError::into_inner)` so a
+//! panicked connection thread cannot wedge the whole server.
+
+use crate::journal::{JobStatus, Journal, JournalOp, Recovered};
+use mlpsim_exec::CancelToken;
+use mlpsim_experiments::jobspec::JobSpec;
+use mlpsim_telemetry::{Event, EventSink, Json, Registry};
+use std::collections::{BTreeMap, VecDeque};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// Lock helper: a poisoned mutex yields its guard anyway (the protected
+/// data is simple enough that every mutation is atomic with respect to a
+/// panic).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A job's live telemetry stream: NDJSON lines appended by the executor,
+/// consumed by any number of `/jobs/:id/events` readers at their own
+/// cursors.
+#[derive(Debug, Default)]
+pub struct EventLog {
+    inner: Mutex<LogInner>,
+    cond: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct LogInner {
+    lines: Vec<String>,
+    done: bool,
+}
+
+impl EventLog {
+    /// A fresh, open log.
+    pub fn new() -> Arc<EventLog> {
+        Arc::new(EventLog::default())
+    }
+
+    /// A log that is already finished (recovered terminal jobs: the live
+    /// stream died with the previous process; results persist on disk).
+    pub fn finished() -> Arc<EventLog> {
+        let log = EventLog::default();
+        lock(&log.inner).done = true;
+        Arc::new(log)
+    }
+
+    /// Append one NDJSON line and wake waiting readers.
+    pub fn push(&self, line: String) {
+        lock(&self.inner).lines.push(line);
+        self.cond.notify_all();
+    }
+
+    /// Mark the stream complete and wake waiting readers.
+    pub fn close(&self) {
+        lock(&self.inner).done = true;
+        self.cond.notify_all();
+    }
+
+    /// Lines past `cursor`, blocking until there is something new or the
+    /// stream finishes. Returns `(new_lines, done)`; when `done` is true
+    /// and the lines are empty the reader has drained everything.
+    pub fn wait_from(&self, cursor: usize) -> (Vec<String>, bool) {
+        let mut inner = lock(&self.inner);
+        loop {
+            if inner.lines.len() > cursor || inner.done {
+                let fresh = inner.lines.get(cursor..).unwrap_or(&[]).to_vec();
+                return (fresh, inner.done);
+            }
+            let (next, _timeout) = self
+                .cond
+                .wait_timeout(inner, Duration::from_millis(200))
+                .unwrap_or_else(PoisonError::into_inner);
+            inner = next;
+        }
+    }
+
+    /// Whether the stream has finished (non-blocking; watchdogs poll it).
+    pub fn is_done(&self) -> bool {
+        lock(&self.inner).done
+    }
+
+    /// Total lines appended so far.
+    pub fn len(&self) -> usize {
+        lock(&self.inner).lines.len()
+    }
+
+    /// Whether no lines have been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// [`EventSink`] adapter: telemetry events from a running job become
+/// NDJSON lines on its [`EventLog`].
+pub struct LogSink(pub Arc<EventLog>);
+
+impl EventSink for LogSink {
+    fn record(&mut self, ev: Event) {
+        self.0.push(ev.to_ndjson_line());
+    }
+
+    fn flush(&mut self) {}
+}
+
+/// One job as the server tracks it.
+pub struct Job {
+    /// The parsed spec (canonical JSON via `spec.to_json()`).
+    pub spec: JobSpec,
+    /// Current status.
+    pub status: JobStatus,
+    /// Live telemetry stream.
+    pub log: Arc<EventLog>,
+    /// Cooperative cancellation token the executor checks per cell.
+    pub cancel: CancelToken,
+}
+
+/// Why a submission was not admitted.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The server is draining; no new work.
+    Draining,
+    /// The bounded queue is at capacity; retry later.
+    Full,
+    /// The write-ahead journal could not record the submit.
+    Journal(String),
+}
+
+struct Inner {
+    jobs: BTreeMap<u64, Job>,
+    queue: VecDeque<u64>,
+    next_id: u64,
+    draining: bool,
+}
+
+/// The server's shared state. One instance per process, behind `Arc`.
+pub struct State {
+    inner: Mutex<Inner>,
+    /// Wakes the scheduler on submit / drain.
+    sched_cond: Condvar,
+    journal: Mutex<Journal>,
+    metrics: Mutex<Registry>,
+    data_dir: PathBuf,
+    queue_capacity: usize,
+}
+
+impl State {
+    /// Build state from a recovered journal: terminal jobs are re-served
+    /// from disk, queued/running jobs are re-enqueued in id order, and a
+    /// `done` job whose result file vanished is demoted back to queued.
+    ///
+    /// # Errors
+    ///
+    /// A recovered spec that no longer parses (the journal predates a
+    /// format change) is reported rather than silently dropped.
+    pub fn from_recovered(
+        recovered: Recovered,
+        journal: Journal,
+        data_dir: PathBuf,
+        queue_capacity: usize,
+    ) -> Result<Arc<State>, String> {
+        let mut jobs = BTreeMap::new();
+        let mut queue = VecDeque::new();
+        let mut next_id = 1;
+        for r in &recovered.jobs {
+            let spec = JobSpec::from_json(&r.spec)
+                .map_err(|e| format!("journaled spec for job {} no longer parses: {e}", r.id))?;
+            let mut status = r.status.clone();
+            if status == JobStatus::Done && !result_path(&data_dir, r.id).exists() {
+                status = JobStatus::Queued; // result lost: rerun (deterministic)
+            }
+            if status == JobStatus::Running {
+                status = JobStatus::Queued; // died mid-run: rerun
+            }
+            let terminal = status.is_terminal();
+            if !terminal {
+                queue.push_back(r.id);
+            }
+            jobs.insert(
+                r.id,
+                Job {
+                    spec,
+                    status,
+                    log: if terminal {
+                        EventLog::finished()
+                    } else {
+                        EventLog::new()
+                    },
+                    cancel: CancelToken::new(),
+                },
+            );
+            next_id = next_id.max(r.id + 1);
+        }
+        let state = State {
+            inner: Mutex::new(Inner {
+                jobs,
+                queue,
+                next_id,
+                draining: false,
+            }),
+            sched_cond: Condvar::new(),
+            journal: Mutex::new(journal),
+            metrics: Mutex::new(Registry::new()),
+            data_dir,
+            queue_capacity,
+        };
+        state.refresh_queue_gauge();
+        Ok(Arc::new(state))
+    }
+
+    /// Where job `id`'s result text lives.
+    pub fn result_path(&self, id: u64) -> PathBuf {
+        result_path(&self.data_dir, id)
+    }
+
+    /// Admit a job: journal the submit write-ahead, then enqueue.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError`] when draining, at capacity, or unjournalable.
+    pub fn submit(&self, spec: JobSpec) -> Result<u64, SubmitError> {
+        let mut inner = lock(&self.inner);
+        if inner.draining {
+            self.count("jobs_rejected_total");
+            return Err(SubmitError::Draining);
+        }
+        if inner.queue.len() >= self.queue_capacity {
+            self.count("jobs_rejected_total");
+            return Err(SubmitError::Full);
+        }
+        let id = inner.next_id;
+        lock(&self.journal)
+            .append(&JournalOp::Submit {
+                id,
+                spec: spec.to_json(),
+            })
+            .map_err(|e| SubmitError::Journal(e.to_string()))?;
+        inner.next_id += 1;
+        inner.queue.push_back(id);
+        inner.jobs.insert(
+            id,
+            Job {
+                spec,
+                status: JobStatus::Queued,
+                log: EventLog::new(),
+                cancel: CancelToken::new(),
+            },
+        );
+        drop(inner);
+        self.count("jobs_submitted_total");
+        self.refresh_queue_gauge();
+        self.sched_cond.notify_all();
+        Ok(id)
+    }
+
+    /// Scheduler side: block for the next queued job, journal its start,
+    /// mark it running, and hand back what the executor needs. Returns
+    /// `None` once the server is draining (queued jobs stay journaled for
+    /// the next boot).
+    pub fn take_next(&self) -> Option<(u64, JobSpec, Arc<EventLog>, CancelToken)> {
+        let mut inner = lock(&self.inner);
+        loop {
+            if inner.draining {
+                return None;
+            }
+            if let Some(id) = inner.queue.pop_front() {
+                let start = lock(&self.journal).append(&JournalOp::Start { id });
+                let Some(job) = inner.jobs.get_mut(&id) else {
+                    continue; // cancelled-while-queued already removed it
+                };
+                if let Err(e) = start {
+                    job.status = JobStatus::Failed(format!("journal start failed: {e}"));
+                    job.log.close();
+                    continue;
+                }
+                job.status = JobStatus::Running;
+                let out = (
+                    id,
+                    job.spec.clone(),
+                    Arc::clone(&job.log),
+                    job.cancel.clone(),
+                );
+                drop(inner);
+                self.refresh_queue_gauge();
+                return Some(out);
+            }
+            let (next, _timeout) = self
+                .sched_cond
+                .wait_timeout(inner, Duration::from_millis(100))
+                .unwrap_or_else(PoisonError::into_inner);
+            inner = next;
+        }
+    }
+
+    /// Executor side: record a job's terminal state — journal it, persist
+    /// the result text (for `Done`), close the event log.
+    pub fn finish(&self, id: u64, outcome: Result<String, JobStatus>) {
+        let (op, status, metric) = match outcome {
+            Ok(report) => {
+                if let Err(e) = std::fs::write(self.result_path(id), &report) {
+                    (
+                        JournalOp::Failed {
+                            id,
+                            error: format!("cannot persist result: {e}"),
+                        },
+                        JobStatus::Failed(format!("cannot persist result: {e}")),
+                        "jobs_failed_total",
+                    )
+                } else {
+                    (
+                        JournalOp::Done { id },
+                        JobStatus::Done,
+                        "jobs_completed_total",
+                    )
+                }
+            }
+            Err(JobStatus::Cancelled) => (
+                JournalOp::Cancelled { id },
+                JobStatus::Cancelled,
+                "jobs_cancelled_total",
+            ),
+            Err(JobStatus::Failed(e)) => (
+                JournalOp::Failed {
+                    id,
+                    error: e.clone(),
+                },
+                JobStatus::Failed(e),
+                "jobs_failed_total",
+            ),
+            Err(other) => (
+                JournalOp::Failed {
+                    id,
+                    error: format!("executor reported non-terminal state {}", other.name()),
+                },
+                JobStatus::Failed("internal: non-terminal finish".into()),
+                "jobs_failed_total",
+            ),
+        };
+        if let Err(e) = lock(&self.journal).append(&op) {
+            // The in-memory state still advances; the next boot reruns it.
+            eprintln!("warning: journal append for job {id} failed: {e}");
+        }
+        let mut inner = lock(&self.inner);
+        if let Some(job) = inner.jobs.get_mut(&id) {
+            job.status = status;
+            job.log.close();
+        }
+        drop(inner);
+        self.count(metric);
+    }
+
+    /// Cancel a job. Queued jobs transition immediately; running jobs get
+    /// their token fired and the scheduler records the terminal state.
+    /// Idempotent: terminal jobs report their status unchanged. Returns
+    /// `None` for unknown ids.
+    pub fn cancel(&self, id: u64) -> Option<JobStatus> {
+        let mut inner = lock(&self.inner);
+        let job = inner.jobs.get(&id)?;
+        match job.status {
+            JobStatus::Queued => {
+                if let Err(e) = lock(&self.journal).append(&JournalOp::Cancelled { id }) {
+                    eprintln!("warning: journal append for job {id} failed: {e}");
+                }
+                inner.queue.retain(|&q| q != id);
+                let job = inner
+                    .jobs
+                    .get_mut(&id)
+                    .expect("present: looked up above under the same lock");
+                job.status = JobStatus::Cancelled;
+                job.log.close();
+                drop(inner);
+                self.count("jobs_cancelled_total");
+                self.refresh_queue_gauge();
+                Some(JobStatus::Cancelled)
+            }
+            JobStatus::Running => {
+                job.cancel.cancel();
+                Some(JobStatus::Running)
+            }
+            ref terminal => Some(terminal.clone()),
+        }
+    }
+
+    /// Begin draining: refuse new submissions, stop the scheduler after
+    /// the in-flight job (queued jobs remain journaled for the next boot).
+    pub fn begin_drain(&self) {
+        lock(&self.inner).draining = true;
+        self.sched_cond.notify_all();
+    }
+
+    /// Whether draining has begun.
+    pub fn draining(&self) -> bool {
+        lock(&self.inner).draining
+    }
+
+    /// The job's live event log, if the id exists.
+    pub fn event_log(&self, id: u64) -> Option<Arc<EventLog>> {
+        lock(&self.inner).jobs.get(&id).map(|j| Arc::clone(&j.log))
+    }
+
+    /// Status document for one job.
+    pub fn status_json(&self, id: u64) -> Option<Json> {
+        let inner = lock(&self.inner);
+        inner.jobs.get(&id).map(|job| job_json(id, job))
+    }
+
+    /// Status documents for every job, id order.
+    pub fn list_json(&self) -> Json {
+        let inner = lock(&self.inner);
+        Json::Arr(inner.jobs.iter().map(|(id, j)| job_json(*id, j)).collect())
+    }
+
+    /// Bump a counter.
+    pub fn count(&self, name: &str) {
+        lock(&self.metrics).incr(name, 1);
+    }
+
+    fn refresh_queue_gauge(&self) {
+        let depth = lock(&self.inner).queue.len() as f64;
+        lock(&self.metrics).set_gauge("queue_depth", depth);
+    }
+
+    /// Plain-text metrics dump: `name value`, counters then gauges, both
+    /// name-sorted (the registry stores them in `BTreeMap`s).
+    pub fn metrics_text(&self) -> String {
+        self.refresh_queue_gauge();
+        let m = lock(&self.metrics);
+        let mut out = String::new();
+        for (name, v) in m.counters() {
+            out.push_str(&format!("{name} {v}\n"));
+        }
+        for (name, v) in m.gauges() {
+            out.push_str(&format!("{name} {v}\n"));
+        }
+        out
+    }
+}
+
+/// `data_dir/job-<id>.result.txt`.
+fn result_path(data_dir: &Path, id: u64) -> PathBuf {
+    data_dir.join(format!("job-{id}.result.txt"))
+}
+
+fn job_json(id: u64, job: &Job) -> Json {
+    let mut pairs: Vec<(String, Json)> = vec![
+        ("id".into(), Json::Num(id as f64)),
+        ("state".into(), Json::Str(job.status.name().into())),
+        ("spec".into(), job.spec.to_json()),
+        ("events".into(), Json::Num(job.log.len() as f64)),
+    ];
+    if let JobStatus::Failed(e) = &job.status {
+        pairs.push(("error".into(), Json::Str(e.clone())));
+    }
+    Json::Obj(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(capacity: usize) -> Arc<State> {
+        let dir =
+            std::env::temp_dir().join(format!("mlpsim-state-{}-{capacity}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("journal.ndjson");
+        let _ = std::fs::remove_file(&path);
+        let journal = Journal::open(&path).expect("temp journal");
+        State::from_recovered(Recovered::default(), journal, dir, capacity).expect("fresh state")
+    }
+
+    fn spec() -> JobSpec {
+        JobSpec::parse(r#"{"kind":"fig5","accesses":100}"#).expect("literal spec")
+    }
+
+    #[test]
+    fn queue_capacity_is_enforced() {
+        let s = state(2);
+        assert_eq!(s.submit(spec()), Ok(1));
+        assert_eq!(s.submit(spec()), Ok(2));
+        assert_eq!(s.submit(spec()), Err(SubmitError::Full));
+        // Scheduler takes one; a slot frees up.
+        let (id, ..) = s.take_next().expect("job queued");
+        assert_eq!(id, 1);
+        assert_eq!(s.submit(spec()), Ok(3));
+    }
+
+    #[test]
+    fn draining_refuses_submissions_and_stops_scheduler() {
+        let s = state(8);
+        s.submit(spec()).expect("admitted");
+        s.begin_drain();
+        assert_eq!(s.submit(spec()), Err(SubmitError::Draining));
+        assert!(s.take_next().is_none(), "queued job stays journaled");
+    }
+
+    #[test]
+    fn queued_cancel_removes_from_queue() {
+        let s = state(8);
+        let a = s.submit(spec()).expect("admitted");
+        let b = s.submit(spec()).expect("admitted");
+        assert_eq!(s.cancel(a), Some(JobStatus::Cancelled));
+        assert_eq!(s.cancel(a), Some(JobStatus::Cancelled), "idempotent");
+        let (next, ..) = s.take_next().expect("remaining job");
+        assert_eq!(next, b, "cancelled job skipped");
+    }
+
+    #[test]
+    fn running_cancel_fires_the_token() {
+        let s = state(8);
+        let id = s.submit(spec()).expect("admitted");
+        let (_, _, _, token) = s.take_next().expect("job");
+        assert!(!token.is_cancelled());
+        assert_eq!(s.cancel(id), Some(JobStatus::Running));
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn event_log_cursor_sees_all_lines_then_done() {
+        let log = EventLog::new();
+        log.push("a".into());
+        log.push("b".into());
+        let (lines, done) = log.wait_from(0);
+        assert_eq!(lines, vec!["a".to_string(), "b".to_string()]);
+        assert!(!done);
+        log.close();
+        let (rest, done) = log.wait_from(2);
+        assert!(rest.is_empty());
+        assert!(done);
+    }
+
+    #[test]
+    fn metrics_text_lists_counters_and_gauges() {
+        let s = state(4);
+        s.submit(spec()).expect("admitted");
+        let text = s.metrics_text();
+        assert!(text.contains("jobs_submitted_total 1"), "{text}");
+        assert!(text.contains("queue_depth 1"), "{text}");
+    }
+}

@@ -1,0 +1,224 @@
+//! Property tests for the write-ahead journal (satellite: journal
+//! coverage). Two invariants carry the crash-safety claim:
+//!
+//! 1. **Round-trip**: any legal op sequence, journaled then recovered,
+//!    reproduces exactly the folded job states and the pending queue.
+//! 2. **Truncation**: cutting the journal file at *any* byte offset —
+//!    the on-disk image a `kill -9` mid-append can leave — still
+//!    recovers, and every op whose line was fully written (newline
+//!    included) survives the cut.
+
+#![allow(clippy::unwrap_used)]
+
+use mlpsim_serve::{JobStatus, Journal, JournalOp};
+use mlpsim_telemetry::Json;
+use proptest::prelude::*;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+fn tmp(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "mlpsim-jprops-{tag}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn spec() -> Json {
+    Json::parse(r#"{"kind":"fig5","accesses":100,"seed":1,"jobs":1}"#).unwrap()
+}
+
+/// Decode a generated `(job, action)` pair stream into a legal op
+/// sequence: a job's first appearance is its submit; later appearances
+/// pick a transition legal for its current state (or are dropped).
+fn legal_ops(choices: &[(u8, u8)]) -> Vec<JournalOp> {
+    let mut status: Vec<Option<JobStatus>> = vec![None; 8];
+    let mut ops = Vec::new();
+    for &(job, action) in choices {
+        let slot = (job % 8) as usize;
+        let id = slot as u64 + 1;
+        match status[slot].clone() {
+            None => {
+                ops.push(JournalOp::Submit { id, spec: spec() });
+                status[slot] = Some(JobStatus::Queued);
+            }
+            Some(JobStatus::Queued) => match action % 2 {
+                0 => {
+                    ops.push(JournalOp::Start { id });
+                    status[slot] = Some(JobStatus::Running);
+                }
+                _ => {
+                    ops.push(JournalOp::Cancelled { id });
+                    status[slot] = Some(JobStatus::Cancelled);
+                }
+            },
+            Some(JobStatus::Running) => match action % 3 {
+                0 => {
+                    ops.push(JournalOp::Done { id });
+                    status[slot] = Some(JobStatus::Done);
+                }
+                1 => {
+                    ops.push(JournalOp::Cancelled { id });
+                    status[slot] = Some(JobStatus::Cancelled);
+                }
+                _ => {
+                    ops.push(JournalOp::Failed {
+                        id,
+                        error: format!("fault {action}"),
+                    });
+                    status[slot] = Some(JobStatus::Failed(format!("fault {action}")));
+                }
+            },
+            Some(_) => {} // terminal: no further ops for this job
+        }
+    }
+    ops
+}
+
+/// Fold an op list the way recovery should (the reference model).
+fn expected_states(ops: &[JournalOp]) -> Vec<(u64, JobStatus)> {
+    let mut out: Vec<(u64, JobStatus)> = Vec::new();
+    for op in ops {
+        match op {
+            JournalOp::Submit { id, .. } => out.push((*id, JobStatus::Queued)),
+            other => {
+                let entry = out
+                    .iter_mut()
+                    .find(|(id, _)| *id == other.id())
+                    .expect("legal_ops submits before transitioning");
+                entry.1 = match other {
+                    JournalOp::Submit { .. } => unreachable!("matched above"),
+                    JournalOp::Start { .. } => JobStatus::Running,
+                    JournalOp::Done { .. } => JobStatus::Done,
+                    JournalOp::Cancelled { .. } => JobStatus::Cancelled,
+                    JournalOp::Failed { error, .. } => JobStatus::Failed(error.clone()),
+                };
+            }
+        }
+    }
+    out.sort_by_key(|(id, _)| *id);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Journal → recover reproduces the folded states and pending queue.
+    #[test]
+    fn recover_round_trips_any_legal_history(
+        choices in prop::collection::vec((0u8..8, 0u8..6), 0..40)
+    ) {
+        let ops = legal_ops(&choices);
+        let path = tmp("roundtrip");
+        {
+            let mut j = Journal::open(&path).unwrap();
+            for op in &ops {
+                j.append(op).unwrap();
+            }
+        }
+        let recovered = Journal::recover(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+
+        prop_assert!(!recovered.torn_tail, "clean file must not report a tear");
+        let expected = expected_states(&ops);
+        let got: Vec<(u64, JobStatus)> = recovered
+            .jobs
+            .iter()
+            .map(|j| (j.id, j.status.clone()))
+            .collect();
+        prop_assert_eq!(&got, &expected);
+        let pending: Vec<u64> = expected
+            .iter()
+            .filter(|(_, s)| !s.is_terminal())
+            .map(|(id, _)| *id)
+            .collect();
+        prop_assert_eq!(recovered.pending(), pending);
+        let max = expected.iter().map(|(id, _)| *id).max().unwrap_or(0);
+        prop_assert_eq!(recovered.max_id, max);
+    }
+
+    /// Truncating the journal at any byte keeps every fully-written line.
+    #[test]
+    fn truncation_at_any_byte_keeps_complete_lines(
+        choices in prop::collection::vec((0u8..8, 0u8..6), 1..24),
+        cut_frac in 0.0f64..1.0
+    ) {
+        let ops = legal_ops(&choices);
+        prop_assume!(!ops.is_empty());
+        let path = tmp("truncate");
+        {
+            let mut j = Journal::open(&path).unwrap();
+            for op in &ops {
+                j.append(op).unwrap();
+            }
+        }
+        let full = std::fs::read(&path).unwrap();
+        let cut = ((full.len() as f64) * cut_frac) as usize;
+        {
+            let mut f = std::fs::File::create(&path).unwrap();
+            f.write_all(&full[..cut]).unwrap();
+        }
+
+        // How many ops were fully written (line + newline) before the cut?
+        let complete = full[..cut].iter().filter(|&&b| b == b'\n').count();
+        let survivors = &ops[..complete];
+
+        let recovered = Journal::recover(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+
+        // The recovered fold must match the fold of the surviving prefix —
+        // unless the torn tail happened to still parse (cut exactly at a
+        // line end mid-JSON is impossible; a parseable unterminated tail is
+        // accepted and flagged). Tolerate that by re-deriving from the
+        // recovered flag.
+        let expected = expected_states(survivors);
+        let got: Vec<(u64, JobStatus)> = recovered
+            .jobs
+            .iter()
+            .map(|j| (j.id, j.status.clone()))
+            .collect();
+        if !recovered.torn_tail || complete == ops.len() {
+            prop_assert_eq!(&got, &expected, "cut at byte {} of {}", cut, full.len());
+        } else {
+            // A parseable torn tail may contribute exactly one extra op.
+            let with_tail = expected_states(&ops[..complete + 1]);
+            prop_assert!(
+                got == expected || got == with_tail,
+                "cut at byte {} of {}: got {:?}",
+                cut,
+                full.len(),
+                got
+            );
+        }
+    }
+}
+
+/// Deterministic kill-mid-write shape: a half-written terminal op must
+/// not corrupt recovery, and the job reruns.
+#[test]
+fn half_written_done_line_reruns_the_job() {
+    let path = tmp("halfdone");
+    {
+        let mut j = Journal::open(&path).unwrap();
+        j.append(&JournalOp::Submit {
+            id: 1,
+            spec: spec(),
+        })
+        .unwrap();
+        j.append(&JournalOp::Start { id: 1 }).unwrap();
+    }
+    let line = JournalOp::Done { id: 1 }.to_line();
+    for cut in 1..line.len() {
+        let mut img = std::fs::read(&path).unwrap();
+        img.extend_from_slice(&line.as_bytes()[..cut]);
+        let torn = tmp("halfdone-cut");
+        std::fs::write(&torn, &img).unwrap();
+        let recovered = Journal::recover(&torn).unwrap();
+        let _ = std::fs::remove_file(&torn);
+        assert_eq!(recovered.pending(), vec![1], "cut at {cut}");
+    }
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,0 +1,231 @@
+//! In-process end-to-end tests: a real listener on an ephemeral port, the
+//! real client, the real journal on a temp directory. The CI smoke script
+//! (`scripts/serve_smoke.sh`) covers the cross-process pieces (`kill -9`,
+//! separate binaries); everything else lives here.
+
+#![allow(clippy::unwrap_used)]
+
+use mlpsim_serve::client;
+use mlpsim_serve::{Server, ServerConfig};
+use mlpsim_telemetry::{Event, Json};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "mlpsim-smoke-{tag}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+struct TestServer {
+    url: String,
+    shutdown: Arc<AtomicBool>,
+    thread: JoinHandle<()>,
+}
+
+impl TestServer {
+    fn start(dir: &Path, queue_capacity: usize) -> TestServer {
+        let cfg = ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            data_dir: dir.to_path_buf(),
+            queue_capacity,
+            retry_after_secs: 7,
+            read_timeout_ms: 2_000,
+        };
+        let server = Server::start(cfg).expect("server starts");
+        let addr = server.local_addr().expect("bound address");
+        let shutdown = server.shutdown_handle();
+        let thread = std::thread::spawn(move || server.serve());
+        TestServer {
+            url: format!("http://{addr}"),
+            shutdown,
+            thread,
+        }
+    }
+
+    /// Stop accepting and wait for the drain to complete.
+    fn stop(self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.thread.join().expect("serve thread exits");
+    }
+}
+
+#[test]
+fn submitted_fig5_is_byte_identical_to_the_cli_run_path() {
+    use mlpsim_experiments::figures::fig5_report;
+    use mlpsim_experiments::runner::RunOptions;
+
+    let dir = tmp_dir("fig5");
+    let srv = TestServer::start(&dir, 8);
+
+    let id =
+        client::submit(&srv.url, r#"{"kind":"fig5","accesses":1200,"jobs":2}"#).expect("submitted");
+    // Stream events live while the job runs.
+    let mut streamed = Vec::new();
+    let raw = client::watch(&srv.url, id, &mut |chunk| streamed.extend_from_slice(chunk))
+        .expect("watched");
+    assert_eq!(raw, streamed, "callback sees exactly the stream bytes");
+    let lines: Vec<&str> = std::str::from_utf8(&raw)
+        .expect("utf8 stream")
+        .lines()
+        .collect();
+    assert!(!lines.is_empty(), "a running sweep emits telemetry");
+    for line in &lines {
+        Event::parse_line(line).unwrap_or_else(|e| panic!("bad event line {line:?}: {e}"));
+    }
+    assert!(
+        lines.iter().any(|l| l.contains("\"type\":\"run_start\"")),
+        "stream carries run brackets"
+    );
+
+    assert_eq!(client::wait(&srv.url, id).expect("terminal"), "done");
+    let via_server = client::result(&srv.url, id).expect("result");
+    let direct = fig5_report(&RunOptions {
+        accesses: 1200,
+        jobs: 2,
+        ..RunOptions::default()
+    });
+    assert_eq!(via_server, direct, "server and CLI share one run path");
+
+    // Health and metrics reflect the finished job.
+    let health = client::request(&srv.url, "GET", "/healthz", None, None).expect("healthz");
+    assert_eq!(health.status, 200);
+    let metrics = client::request(&srv.url, "GET", "/metrics", None, None).expect("metrics");
+    let text = metrics.text();
+    assert!(text.contains("jobs_submitted_total 1"), "{text}");
+    assert!(text.contains("jobs_completed_total 1"), "{text}");
+
+    srv.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn deadline_cancels_a_long_job() {
+    let dir = tmp_dir("deadline");
+    let srv = TestServer::start(&dir, 8);
+
+    let id = client::submit(
+        &srv.url,
+        r#"{"kind":"sweep","accesses":6000,"deadline_ms":1}"#,
+    )
+    .expect("submitted");
+    assert_eq!(client::wait(&srv.url, id).expect("terminal"), "cancelled");
+    assert!(
+        client::result(&srv.url, id).is_err(),
+        "no result for a cancelled job"
+    );
+
+    srv.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cancel_hits_queued_and_running_jobs() {
+    let dir = tmp_dir("cancel");
+    let srv = TestServer::start(&dir, 8);
+
+    // A slow job occupies the single scheduler; B sits queued behind it.
+    let a = client::submit(&srv.url, r#"{"kind":"sweep","accesses":60000}"#).expect("a");
+    let b = client::submit(&srv.url, r#"{"kind":"fig5","accesses":400}"#).expect("b");
+
+    // Queued cancel is immediate.
+    assert_eq!(client::cancel(&srv.url, b).expect("cancel b"), "cancelled");
+    assert_eq!(client::wait(&srv.url, b).expect("terminal"), "cancelled");
+
+    // Running cancel fires the token; the scheduler records the state.
+    client::cancel(&srv.url, a).expect("cancel a");
+    assert_eq!(client::wait(&srv.url, a).expect("terminal"), "cancelled");
+    // Cancel is idempotent on terminal jobs.
+    assert_eq!(client::cancel(&srv.url, a).expect("again"), "cancelled");
+
+    srv.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn full_queue_backpressures_with_retry_after() {
+    let dir = tmp_dir("backpressure");
+    let srv = TestServer::start(&dir, 0); // capacity 0: every submit bounces
+
+    let resp = client::request(
+        &srv.url,
+        "POST",
+        "/jobs",
+        Some(br#"{"kind":"fig5","accesses":100}"#),
+        None,
+    )
+    .expect("response");
+    assert_eq!(resp.status, 429);
+    assert_eq!(resp.header("retry-after"), Some("7"));
+    assert!(resp.text().contains("queue full"), "{}", resp.text());
+
+    // Bad specs are 400 with the field named, not 429.
+    let resp = client::request(&srv.url, "POST", "/jobs", Some(b"{}"), None).expect("response");
+    assert_eq!(resp.status, 400);
+    assert!(resp.text().contains("kind"), "{}", resp.text());
+
+    srv.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn drain_preserves_queued_jobs_and_restart_resumes_them() {
+    let dir = tmp_dir("resume");
+
+    // --- First server lifetime -------------------------------------------
+    let srv = TestServer::start(&dir, 16);
+    let fast = client::submit(&srv.url, r#"{"kind":"fig5","accesses":400}"#).expect("fast");
+    assert_eq!(client::wait(&srv.url, fast).expect("terminal"), "done");
+    let fast_result = client::result(&srv.url, fast).expect("fast result");
+
+    // One job that will be running at drain time, one still queued.
+    let running = client::submit(&srv.url, r#"{"kind":"sweep","accesses":4000}"#).expect("b");
+    let queued = client::submit(
+        &srv.url,
+        r#"{"kind":"sweep","benches":["mcf"],"policies":["lru"],"accesses":500}"#,
+    )
+    .expect("c");
+
+    client::drain(&srv.url).expect("drain accepted");
+    srv.stop(); // returns once the in-flight job is finished and journaled
+
+    // --- Second server lifetime, same data dir ---------------------------
+    let srv = TestServer::start(&dir, 16);
+
+    // No job lost: all three still known.
+    let list = client::request(&srv.url, "GET", "/jobs", None, None)
+        .expect("list")
+        .json()
+        .expect("json");
+    let Json::Arr(jobs) = list else {
+        panic!("list is an array")
+    };
+    assert_eq!(jobs.len(), 3, "restart preserves every journaled job");
+
+    // The completed job's result is re-served from disk, byte-identical.
+    assert_eq!(
+        client::result(&srv.url, fast).expect("re-served"),
+        fast_result
+    );
+    // Its event stream is finished (live telemetry died with process one).
+    let raw = client::watch(&srv.url, fast, &mut |_| {}).expect("finished stream");
+    assert!(raw.is_empty(), "terminal recovered job has no live events");
+
+    // The queued job (and the drained-or-finished one) complete.
+    assert_eq!(client::wait(&srv.url, running).expect("terminal"), "done");
+    assert_eq!(client::wait(&srv.url, queued).expect("terminal"), "done");
+    assert!(client::result(&srv.url, queued)
+        .expect("result")
+        .contains("Sweep"));
+
+    srv.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}

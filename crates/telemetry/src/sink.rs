@@ -231,16 +231,21 @@ impl<W: Write> NdjsonSink<W> {
     }
 
     fn write_final_snapshot(&mut self) {
-        if self.closed {
-            return;
+        if !self.closed {
+            self.closed = true;
+            // Skip when nothing was recorded, or when the interval snapshot
+            // already captured the exact final count — no duplicate line.
+            if self.registry.events_seen() > 0
+                && self.registry.events_seen() != self.last_snapshot_at
+            {
+                let snap = self.registry.snapshot();
+                self.write_line(&snap);
+            }
         }
-        self.closed = true;
-        // Skip when nothing was recorded, or when the interval snapshot
-        // already captured the exact final count — no duplicate line.
-        if self.registry.events_seen() > 0 && self.registry.events_seen() != self.last_snapshot_at {
-            let snap = self.registry.snapshot();
-            self.write_line(&snap);
-        }
+        // Flush *unconditionally*: events recorded after `close()` (e.g. a
+        // cancelled server job replaying a tail of buffered events into an
+        // already-closed sink) must still reach the file on drop, or the
+        // stream ends in a torn tail.
         EventSink::flush(self);
     }
 
@@ -265,6 +270,10 @@ impl<W: Write> EventSink for NdjsonSink<W> {
             self.last_snapshot_at = self.registry.events_seen();
             let snap = self.registry.snapshot();
             self.write_line(&snap);
+            // Flush at every snapshot boundary so an abruptly-killed
+            // process (the serving layer's kill -9 case) leaves a stream
+            // that ends at a recent complete snapshot, not mid-buffer.
+            EventSink::flush(self);
         }
     }
 
@@ -404,6 +413,95 @@ mod tests {
         }
         let text = String::from_utf8(buf).unwrap();
         assert_eq!(text.lines().count(), 2, "{text}");
+    }
+
+    /// A writer that only exposes what was *flushed*, not what sits in
+    /// the sink's internal buffer — the on-disk view after a crash of
+    /// everything above the OS.
+    #[derive(Clone, Default)]
+    struct FlushSpy(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for FlushSpy {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn events_after_close_are_flushed_on_drop() {
+        // Regression: a cancelled server job can replay buffered events
+        // into a sink whose final snapshot was already written. Those
+        // trailing events must still hit the writer when the sink drops —
+        // the old early-return in the closed path skipped the flush and
+        // left a torn tail.
+        let spy = FlushSpy::default();
+        let bytes = Arc::clone(&spy.0);
+        {
+            let mut sink = NdjsonSink::new(spy).with_snapshot_every(1_000);
+            sink.record(Event::Stall { cycle: 1, len: 10 });
+            sink.close();
+            sink.record(Event::Stall { cycle: 2, len: 20 });
+        }
+        let text = String::from_utf8(bytes.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // event, final snapshot (at close), then the post-close event.
+        assert_eq!(lines.len(), 3, "{text}");
+        for line in &lines {
+            Event::parse_line(line).unwrap();
+        }
+        assert_eq!(
+            Event::parse_line(lines[2]).unwrap(),
+            Event::Stall { cycle: 2, len: 20 }
+        );
+    }
+
+    #[test]
+    fn early_drop_without_close_leaves_complete_final_snapshot() {
+        // The cancellation path drops the sink without a clean close();
+        // the stream must still end in a parseable cumulative snapshot.
+        let spy = FlushSpy::default();
+        let bytes = Arc::clone(&spy.0);
+        {
+            let mut sink = NdjsonSink::new(spy).with_snapshot_every(1_000);
+            for i in 0..7 {
+                sink.record(Event::Stall { cycle: i, len: 100 });
+            }
+            // No close(): simulate a cancelled job's unwinding drop.
+        }
+        let text = String::from_utf8(bytes.lock().unwrap().clone()).unwrap();
+        let last = text.lines().last().expect("stream is non-empty");
+        match Event::parse_line(last).unwrap() {
+            Event::Snapshot { events, counts } => {
+                assert_eq!(events, 7);
+                assert_eq!(counts, vec![("stall".to_string(), 7)]);
+            }
+            other => panic!("expected final snapshot, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn interval_snapshots_are_flushed_as_written() {
+        // kill -9 leaves only flushed bytes: after crossing a snapshot
+        // interval the flushed view must already end at that snapshot.
+        let spy = FlushSpy::default();
+        let bytes = Arc::clone(&spy.0);
+        let mut sink = NdjsonSink::new(spy).with_snapshot_every(2);
+        sink.record(Event::Stall { cycle: 1, len: 1 });
+        sink.record(Event::Stall { cycle: 2, len: 2 });
+        let text = String::from_utf8(bytes.lock().unwrap().clone()).unwrap();
+        let last = text.lines().last().expect("interval snapshot flushed");
+        assert!(
+            matches!(
+                Event::parse_line(last),
+                Ok(Event::Snapshot { events: 2, .. })
+            ),
+            "{text}"
+        );
+        sink.close(); // keep the io path clean for the drop
     }
 
     #[test]

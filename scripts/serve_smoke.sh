@@ -1,0 +1,121 @@
+#!/usr/bin/env bash
+# End-to-end smoke for mlpsim-serve, exercising the cross-process pieces
+# the in-crate tests cannot: separate server/client binaries, a real
+# `kill -9` mid-queue, and a restart that must lose nothing.
+#
+#   1. HTTP-submitted fig5 result is byte-identical to the CLI binary.
+#   2. Live event stream carries parseable run brackets.
+#   3. Cancel works against a running job.
+#   4. A zero-capacity queue rejects submissions with 429.
+#   5. kill -9 with a 10-job queue, restart: every job is recovered and
+#      completes; the pre-crash completed result is re-served unchanged.
+#
+# Run from the repository root: scripts/serve_smoke.sh
+
+set -euo pipefail
+
+BIN=target/release
+WORK=$(mktemp -d)
+
+cleanup() {
+    if [ -f "$WORK/pids" ]; then
+        while read -r pid; do
+            kill "$pid" 2>/dev/null || true
+        done <"$WORK/pids"
+    fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+cargo build --release -q -p mlpsim-serve -p mlpsim-experiments
+
+# Start a server, wait for its "listening on" line, echo the URL. Runs in
+# a command substitution (subshell), so the pid is handed back through
+# files rather than variables.
+start_server() { # args: logfile, extra flags...
+    local log=$1
+    shift
+    "$BIN/mlpsim-serve" --addr 127.0.0.1:0 "$@" >"$log" 2>&1 &
+    echo $! >>"$WORK/pids"
+    echo $! >"$WORK/last.pid"
+    local url=""
+    for _ in $(seq 1 100); do
+        url=$(grep -oE 'http://[0-9.]+:[0-9]+' "$log" | head -1 || true)
+        [ -n "$url" ] && break
+        sleep 0.1
+    done
+    [ -n "$url" ] || { echo "server did not come up; log:"; cat "$log"; exit 1; }
+    echo "$url"
+}
+
+client() { "$BIN/mlpsim-client" --server "$@"; }
+
+# --- 1+2: byte-identical result, live event stream -----------------------
+echo "== submit over HTTP, compare against the CLI run path"
+"$BIN/fig5" --accesses 1500 -j 2 >"$WORK/cli.txt"
+
+URL=$(start_server "$WORK/serve.log" --data-dir "$WORK/data")
+ID=$(client "$URL" submit '{"kind":"fig5","accesses":1500,"jobs":2}')
+timeout 120 "$BIN/mlpsim-client" --server "$URL" watch "$ID" >"$WORK/events.ndjson"
+grep -q '"type":"run_start"' "$WORK/events.ndjson"
+grep -q '"type":"run_end"' "$WORK/events.ndjson"
+client "$URL" result "$ID" >"$WORK/http.txt"
+cmp "$WORK/cli.txt" "$WORK/http.txt"
+echo "   byte-identical ($(wc -c <"$WORK/cli.txt") bytes)"
+
+# --- 3: cancel a running job ---------------------------------------------
+echo "== cancel a running job"
+SLOW=$(client "$URL" submit '{"kind":"sweep","accesses":60000}')
+sleep 0.3 # let the scheduler pick it up
+client "$URL" cancel "$SLOW" >/dev/null
+timeout 60 "$BIN/mlpsim-client" --server "$URL" wait "$SLOW" | grep -q cancelled
+echo "   cancelled"
+client "$URL" drain >/dev/null
+
+# --- 4: backpressure ------------------------------------------------------
+echo "== zero-capacity queue backpressures with 429"
+URL=$(start_server "$WORK/full.log" --data-dir "$WORK/full" --queue 0 --retry-after 9)
+if OUT=$(client "$URL" submit '{"kind":"fig5","accesses":100}' 2>&1); then
+    echo "expected rejection, got: $OUT"
+    exit 1
+fi
+echo "$OUT" | grep -q 429
+client "$URL" drain >/dev/null
+echo "   rejected with 429"
+
+# --- 5: kill -9 a loaded server, restart, lose nothing -------------------
+echo "== kill -9 with a 10-job queue, restart, resume"
+URL=$(start_server "$WORK/crash.log" --data-dir "$WORK/crash" --queue 32)
+CRASH_PID=$(cat "$WORK/last.pid")
+
+FIRST=$(client "$URL" submit '{"kind":"fig5","accesses":400}')
+timeout 60 "$BIN/mlpsim-client" --server "$URL" wait "$FIRST" | grep -q done
+client "$URL" result "$FIRST" >"$WORK/first_before.txt"
+
+RUNNING=$(client "$URL" submit '{"kind":"sweep","accesses":30000}')
+QUEUED=()
+for _ in $(seq 1 10); do
+    QUEUED+=("$(client "$URL" submit \
+        '{"kind":"sweep","benches":["mcf"],"policies":["lru"],"accesses":500}')")
+done
+sleep 0.3 # let the running job start and its start-op hit the journal
+kill -9 "$CRASH_PID"
+wait "$CRASH_PID" 2>/dev/null || true
+
+URL=$(start_server "$WORK/restart.log" --data-dir "$WORK/crash")
+JOBS=$(client "$URL" list | grep -o '"id":' | wc -l)
+[ "$JOBS" -eq 12 ] || { echo "expected 12 recovered jobs, got $JOBS"; exit 1; }
+
+# Completed result is re-served from disk, byte-identical.
+client "$URL" result "$FIRST" >"$WORK/first_after.txt"
+cmp "$WORK/first_before.txt" "$WORK/first_after.txt"
+
+# The killed-while-running job and every queued job complete.
+timeout 300 "$BIN/mlpsim-client" --server "$URL" wait "$RUNNING" | grep -q done
+for id in "${QUEUED[@]}"; do
+    timeout 120 "$BIN/mlpsim-client" --server "$URL" wait "$id" | grep -q done
+done
+client "$URL" drain >/dev/null
+echo "   12/12 jobs recovered; completed result re-served byte-identical"
+
+echo "serve smoke: OK"
