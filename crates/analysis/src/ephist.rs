@@ -51,7 +51,7 @@ impl EpisodeHistogram {
     /// span stream, but a histogram must not panic on its input).
     pub fn record(&mut self, len: u64) {
         self.buckets[bucket_of(len)] += 1;
-        self.total_cycles += len;
+        self.total_cycles = self.total_cycles.saturating_add(len);
         self.count += 1;
     }
 
@@ -97,6 +97,57 @@ impl EpisodeHistogram {
     /// Index of the highest non-empty bucket, if any episode was recorded.
     pub fn max_bucket(&self) -> Option<usize> {
         (0..EPISODE_BUCKETS).rev().find(|&b| self.buckets[b] > 0)
+    }
+
+    /// Inclusive lower bound of a bucket's range (`2^bucket`; the first
+    /// bucket also absorbs zero-length episodes).
+    pub fn bucket_lower(bucket: usize) -> u64 {
+        1u64 << bucket
+    }
+
+    /// Exclusive upper bound of a bucket's range, or `None` for the
+    /// unbounded last bucket. This is the `le` boundary a Prometheus
+    /// `_bucket` series uses (values strictly below the bound land at or
+    /// below the bucket).
+    pub fn bucket_upper(bucket: usize) -> Option<u64> {
+        if bucket + 1 >= EPISODE_BUCKETS {
+            None
+        } else {
+            Some(1u64 << (bucket + 1))
+        }
+    }
+
+    /// Estimated `q`-quantile (`q` in `[0, 1]`, clamped) of the recorded
+    /// lengths, interpolated linearly within the target bucket.
+    ///
+    /// The histogram only keeps bucket counts, so this is a bucket-grade
+    /// estimate: exact at bucket boundaries, linear in between, and
+    /// clamped to the lower bound `32768` inside the unbounded last
+    /// bucket. An empty histogram reports `0.0`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = q * self.count as f64;
+        let mut cum = 0u64;
+        for b in 0..EPISODE_BUCKETS {
+            let n = self.buckets[b];
+            if n == 0 {
+                continue;
+            }
+            let next = cum + n;
+            if rank <= next as f64 {
+                let lo = Self::bucket_lower(b) as f64;
+                let Some(hi) = Self::bucket_upper(b) else {
+                    return lo;
+                };
+                let frac = ((rank - cum as f64) / n as f64).clamp(0.0, 1.0);
+                return lo + (hi as f64 - lo) * frac;
+            }
+            cum = next;
+        }
+        Self::bucket_lower(EPISODE_BUCKETS - 1) as f64
     }
 
     /// Merges another histogram into this one.
@@ -166,5 +217,71 @@ mod tests {
         let h = EpisodeHistogram::new();
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.max_bucket(), None);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert_eq!(h.quantile(1.0), 0.0);
+    }
+
+    #[test]
+    fn bucket_bounds_match_the_labels() {
+        assert_eq!(EpisodeHistogram::bucket_lower(0), 1);
+        assert_eq!(EpisodeHistogram::bucket_upper(0), Some(2));
+        assert_eq!(EpisodeHistogram::bucket_lower(8), 256);
+        assert_eq!(EpisodeHistogram::bucket_upper(8), Some(512));
+        assert_eq!(EpisodeHistogram::bucket_lower(EPISODE_BUCKETS - 1), 32768);
+        assert_eq!(EpisodeHistogram::bucket_upper(EPISODE_BUCKETS - 1), None);
+        // Exact powers of two land in the bucket whose lower bound they
+        // are — the bound is inclusive below, exclusive above.
+        for b in 0..EPISODE_BUCKETS - 1 {
+            let mut h = EpisodeHistogram::new();
+            h.record(EpisodeHistogram::bucket_lower(b));
+            assert_eq!(h.bucket(b), 1, "2^{b} must land in bucket {b}");
+            let mut h = EpisodeHistogram::new();
+            h.record(EpisodeHistogram::bucket_lower(b + 1) - 1);
+            assert_eq!(h.bucket(b), 1, "2^{}-1 must land in bucket {b}", b + 1);
+        }
+    }
+
+    #[test]
+    fn single_sample_quantiles_stay_in_its_bucket() {
+        let mut h = EpisodeHistogram::new();
+        h.record(444); // bucket 8: [256,512)
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!(
+                (256.0..=512.0).contains(&v),
+                "quantile({q}) = {v} escaped the only occupied bucket"
+            );
+        }
+        assert_eq!(h.quantile(1.0), 512.0);
+    }
+
+    #[test]
+    fn quantile_interpolates_across_buckets() {
+        let mut h = EpisodeHistogram::new();
+        for _ in 0..50 {
+            h.record(1); // bucket 0
+        }
+        for _ in 0..50 {
+            h.record(1000); // bucket 9: [512,1024)
+        }
+        // The median boundary sits exactly between the two buckets.
+        assert!(h.quantile(0.25) < 2.0);
+        assert!(h.quantile(0.75) >= 512.0);
+        // q clamps instead of panicking.
+        assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
+    }
+
+    #[test]
+    fn top_bucket_saturates_quantiles_at_its_lower_bound() {
+        let mut h = EpisodeHistogram::new();
+        h.record(1 << 20);
+        h.record(u64::MAX);
+        assert_eq!(h.bucket(EPISODE_BUCKETS - 1), 2);
+        // The unbounded bucket has no upper edge to interpolate toward:
+        // every quantile in it reports the conservative lower bound.
+        assert_eq!(h.quantile(0.5), 32768.0);
+        assert_eq!(h.quantile(1.0), 32768.0);
     }
 }

@@ -3,6 +3,7 @@
 //! Property-based tests for the analysis utilities.
 
 use mlpsim_analysis::delta::DeltaTracker;
+use mlpsim_analysis::ephist::{EpisodeHistogram, EPISODE_BUCKETS};
 use mlpsim_analysis::hist::CostHistogram;
 use mlpsim_analysis::sampling::{choose, p_best};
 use mlpsim_analysis::table::Table;
@@ -88,5 +89,54 @@ proptest! {
         }
         let rendered = t.render();
         prop_assert_eq!(rendered.lines().count(), cells.len() + 2);
+    }
+
+    /// Episode-histogram quantiles are monotone in q and bracketed by the
+    /// occupied buckets' bounds.
+    #[test]
+    fn ephist_quantiles_are_monotone_and_bracketed(
+        lens in prop::collection::vec(0u64..200_000, 1..300),
+        qa in 0.0f64..1.0,
+        qb in 0.0f64..1.0,
+    ) {
+        let mut h = EpisodeHistogram::new();
+        for &l in &lens {
+            h.record(l);
+        }
+        let (lo_q, hi_q) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        prop_assert!(h.quantile(lo_q) <= h.quantile(hi_q) + 1e-9);
+
+        let min_b = (0..EPISODE_BUCKETS).find(|&b| h.bucket(b) > 0).unwrap();
+        let max_b = h.max_bucket().unwrap();
+        let floor = EpisodeHistogram::bucket_lower(min_b) as f64;
+        let ceil = EpisodeHistogram::bucket_upper(max_b)
+            .unwrap_or(EpisodeHistogram::bucket_lower(max_b)) as f64;
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q);
+            prop_assert!(
+                (floor..=ceil).contains(&v),
+                "quantile({}) = {} outside [{}, {}]", q, v, floor, ceil
+            );
+        }
+    }
+
+    /// Bucket counts always sum to count() and cumulative counts are
+    /// what a Prometheus `_bucket` rendering would publish: nondecreasing,
+    /// ending exactly at count().
+    #[test]
+    fn ephist_cumulative_counts_close(lens in prop::collection::vec(0u64..100_000, 0..200)) {
+        let mut h = EpisodeHistogram::new();
+        for &l in &lens {
+            h.record(l);
+        }
+        let mut cum = 0u64;
+        let mut last = 0u64;
+        for b in 0..EPISODE_BUCKETS {
+            cum += h.bucket(b);
+            prop_assert!(cum >= last);
+            last = cum;
+        }
+        prop_assert_eq!(cum, h.count());
+        prop_assert_eq!(h.count(), lens.len() as u64);
     }
 }

@@ -64,10 +64,21 @@ fn main() -> ExitCode {
     let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!("speedup: {speedup:.2}x over {cells} cells (host threads: {host_threads})");
     println!("all {cells} cells byte-identical between -j1 and -j{jobs}");
+    // An oversubscribed pool can only lose to the serial run; say so in
+    // the JSON rather than letting a "0.92x speedup" read as a scheduler
+    // regression.
+    let jobs_exceed_host_threads = jobs > host_threads;
+    if jobs_exceed_host_threads {
+        eprintln!(
+            "warning: --jobs {jobs} exceeds the host's {host_threads} thread(s); \
+             the parallel timing is oversubscribed and the speedup is not meaningful"
+        );
+    }
 
     let json = format!(
         "{{\n  \"sweep\": \"run_matrix {}x{}\",\n  \"accesses\": {ACCESSES},\n  \
          \"cells\": {cells},\n  \"jobs\": {jobs},\n  \"host_threads\": {host_threads},\n  \
+         \"jobs_exceed_host_threads\": {jobs_exceed_host_threads},\n  \
          \"serial_ms\": {serial_ms:.1},\n  \"parallel_ms\": {parallel_ms:.1},\n  \
          \"speedup\": {speedup:.2},\n  \"deterministic\": true\n}}\n",
         BENCHES.len(),

@@ -13,7 +13,9 @@
 //!   `exec` — unordered iteration leaks nondeterminism into victim
 //!   selection and sweep output.
 //! - **D2** no `SystemTime`/`Instant`/`thread_rng` in simulation logic —
-//!   wall-clock and ambient randomness break replayability.
+//!   wall-clock and ambient randomness break replayability. The
+//!   `telemetry` crate is in scope too, so host-time reads flow only
+//!   through the audited `telemetry::prof` clock shim.
 //! - **D3** no bare `as` numeric casts in `core` cost/quantization code —
 //!   conversions must be checked or documented.
 //! - **D4** no `unwrap()`/`panic!` outside tests — errors must surface.
@@ -161,9 +163,11 @@ above the offending line; the justification string is mandatory):
       remove/contains_key) are fine; iterate a Vec/BTreeMap or sort first.
 
   D2  no SystemTime / Instant / thread_rng in crates cache, core, mem,
-      cpu, exec, trace. Simulated time is cycle counts; randomness must be
-      a seeded generator owned by the workload spec. (Experiment binaries
-      may time wall-clock — they are outside this rule.)
+      cpu, exec, trace, telemetry. Simulated time is cycle counts;
+      randomness must be a seeded generator owned by the workload spec.
+      Host wall-clock reads go through the audited telemetry::prof clock
+      shim, whose own Instant uses carry the allow pragma. (Experiment
+      binaries may time wall-clock — they are outside this rule.)
 
   D3  no bare `as` numeric casts in crate core (the paper's cost model:
       Algorithm 1 accumulation, cost_q quantization, PSEL arithmetic).

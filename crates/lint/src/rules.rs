@@ -97,8 +97,11 @@ pub struct FileScope<'a> {
 
 /// Crates whose state feeds victim selection or sweep output (D1).
 const D1_CRATES: &[&str] = &["cache", "core", "mem", "exec"];
-/// Crates that constitute simulation logic (D2).
-const D2_CRATES: &[&str] = &["cache", "core", "mem", "cpu", "exec", "trace"];
+/// Crates that constitute simulation logic (D2). `telemetry` is included
+/// so wall-clock reads in core crates go only through the audited
+/// `telemetry::prof` clock shim, whose own `Instant` uses carry allow
+/// pragmas.
+const D2_CRATES: &[&str] = &["cache", "core", "mem", "cpu", "exec", "trace", "telemetry"];
 /// Crates holding the paper's cost/quantization model (D3).
 const D3_CRATES: &[&str] = &["core"];
 
@@ -681,6 +684,26 @@ mod tests {
         }
         // Experiments may time things.
         assert!(check("experiments", "fn f() { let t = Instant::now(); }").is_empty());
+    }
+
+    #[test]
+    fn d2_covers_telemetry_except_through_the_pragma() {
+        // The telemetry crate is inside D2's scope: a bare wall-clock
+        // read there is flagged like in any simulation crate...
+        let planted = "use std::time::Instant; fn f() { let t = Instant::now(); }";
+        assert!(rules(&check("telemetry", planted)).contains(&RuleId::D2));
+        // ...and the prof clock shim's audited sites pass only because
+        // they carry the allow pragma.
+        let shimmed = "
+            // lint: allow(D2, \"prof clock shim: the audited wall-clock import\")
+            use std::time::Instant;
+            fn now_ns() -> u64 {
+                // lint: allow(D2, \"prof clock shim: the one sanctioned Instant::now\")
+                let t = Instant::now();
+                0
+            }
+        ";
+        assert!(check("telemetry", shimmed).is_empty());
     }
 
     #[test]

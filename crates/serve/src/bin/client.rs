@@ -10,6 +10,7 @@
 //!   result <id>                      print the finished report
 //!   wait <id>                        block until terminal, print the state
 //!   cancel <id>                      cancel a queued or running job
+//!   metrics                          print the Prometheus /metrics body
 //!   drain                            ask the server to drain and exit
 //! ```
 //!
@@ -24,7 +25,8 @@ use std::process::ExitCode;
 fn usage() {
     eprintln!(
         "usage: mlpsim-client --server http://HOST:PORT \
-         <submit SPEC | status ID | list | watch ID | result ID | wait ID | cancel ID | drain>"
+         <submit SPEC | status ID | list | watch ID | result ID | wait ID | cancel ID | \
+         metrics | drain>"
     );
 }
 
@@ -88,6 +90,7 @@ fn run(server: &str, command: &str, rest: &[String]) -> Result<String, String> {
             let state = client::cancel(server, id)?;
             Ok(format!("job {id}: {state}"))
         }
+        "metrics" => Ok(client::metrics(server)?.trim_end().to_string()),
         "drain" => {
             client::drain(server)?;
             Ok("draining".to_string())

@@ -265,6 +265,23 @@ pub fn cancel(server: &str, id: u64) -> Result<String, String> {
         .to_string())
 }
 
+/// `GET /metrics` → the Prometheus exposition body.
+///
+/// # Errors
+///
+/// Transport errors and non-200 responses.
+pub fn metrics(server: &str) -> Result<String, String> {
+    let resp = request(server, "GET", "/metrics", None, None)?;
+    if resp.status != 200 {
+        return Err(format!(
+            "metrics failed ({}): {}",
+            resp.status,
+            resp.text().trim()
+        ));
+    }
+    Ok(resp.text())
+}
+
 /// `POST /drain` — ask the server to stop admitting and shut down.
 ///
 /// # Errors

@@ -18,6 +18,10 @@
 //!   429 + `Retry-After` when full), per-job [`state::EventLog`] fanning
 //!   live telemetry out to any number of stream readers, and the metrics
 //!   registry behind `GET /metrics`.
+//! - [`metrics`] — Prometheus text-exposition (0.0.4) rendering of those
+//!   metrics: `mlpsim_`-prefixed counters/gauges plus power-of-two
+//!   histograms of job wall time, queue wait, request latency, and
+//!   event-stream backlog.
 //! - [`server`] — the accept loop, route table, single-job scheduler,
 //!   deadline watchdogs, and graceful drain (stop admitting, finish the
 //!   in-flight job, leave queued jobs journaled for the next boot).
@@ -32,6 +36,7 @@
 pub mod client;
 pub mod http;
 pub mod journal;
+pub mod metrics;
 pub mod server;
 pub mod state;
 

@@ -1,0 +1,179 @@
+//! Prometheus text-exposition rendering for the server's metrics.
+//!
+//! The registry's counters and gauges plus four operational histograms
+//! are rendered in [exposition format 0.0.4] — `# TYPE` lines, cumulative
+//! `_bucket{le="..."}` series ending in `+Inf`, and the `_sum`/`_count`
+//! pair — so a stock Prometheus scraper (or `curl | grep`) can consume
+//! `GET /metrics` directly. Everything is name-prefixed `mlpsim_` to keep
+//! the exported namespace collision-free.
+//!
+//! The histogram buckets reuse [`EpisodeHistogram`]'s power-of-two axis:
+//! episode lengths there, milliseconds / microseconds / line counts here.
+//! Those buckets are half-open `[lo, hi)` while Prometheus `le` is `≤`,
+//! so a value landing exactly on a boundary is attributed one bucket up —
+//! a half-ulp of pessimism that bucket-grade latency data cannot resolve
+//! anyway.
+//!
+//! [exposition format 0.0.4]: https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use mlpsim_analysis::ephist::{EpisodeHistogram, EPISODE_BUCKETS};
+use mlpsim_telemetry::Registry;
+
+/// The Content-Type a 0.0.4 exposition body must be served under.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Escape a label value per the exposition format: backslash, double
+/// quote, and newline must be backslash-escaped inside the quotes.
+pub fn escape_label_value(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// The four operational histograms the server maintains. All land on the
+/// shared power-of-two axis; the unit lives in the metric name.
+#[derive(Clone, Debug, Default)]
+pub struct Histograms {
+    /// Wall time of each executed job, milliseconds.
+    pub job_wall_time_ms: EpisodeHistogram,
+    /// Time each job spent queued before the scheduler took it,
+    /// milliseconds.
+    pub job_queue_wait_ms: EpisodeHistogram,
+    /// End-to-end handling latency of each HTTP request, microseconds.
+    pub http_request_duration_us: EpisodeHistogram,
+    /// Lines delivered per event-stream flush — how far behind a
+    /// `/jobs/:id/events` reader had fallen when it was woken.
+    pub event_stream_backlog_lines: EpisodeHistogram,
+}
+
+impl Histograms {
+    /// Iterate `(name, histogram)` for rendering, name order fixed.
+    fn families(&self) -> [(&'static str, &EpisodeHistogram); 4] {
+        [
+            (
+                "mlpsim_event_stream_backlog_lines",
+                &self.event_stream_backlog_lines,
+            ),
+            (
+                "mlpsim_http_request_duration_us",
+                &self.http_request_duration_us,
+            ),
+            ("mlpsim_job_queue_wait_ms", &self.job_queue_wait_ms),
+            ("mlpsim_job_wall_time_ms", &self.job_wall_time_ms),
+        ]
+    }
+}
+
+/// Render the full exposition body: counters, gauges, a `build_info`
+/// gauge carrying the crate version as a label, then the histograms.
+pub fn render(registry: &Registry, hists: &Histograms) -> String {
+    let mut out = String::new();
+    for (name, v) in registry.counters() {
+        let name = prefixed(name);
+        out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+    }
+    for (name, v) in registry.gauges() {
+        let name = prefixed(name);
+        out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+    }
+    out.push_str(&format!(
+        "# TYPE mlpsim_build_info gauge\nmlpsim_build_info{{version=\"{}\"}} 1\n",
+        escape_label_value(env!("CARGO_PKG_VERSION"))
+    ));
+    for (name, h) in hists.families() {
+        render_histogram(&mut out, name, h);
+    }
+    out
+}
+
+/// Counters and gauges are registered unprefixed (`jobs_submitted_total`);
+/// export them under the shared namespace.
+fn prefixed(name: &str) -> String {
+    if name.starts_with("mlpsim_") {
+        name.to_string()
+    } else {
+        format!("mlpsim_{name}")
+    }
+}
+
+fn render_histogram(out: &mut String, name: &str, h: &EpisodeHistogram) {
+    out.push_str(&format!("# TYPE {name} histogram\n"));
+    let mut cum = 0u64;
+    for b in 0..EPISODE_BUCKETS {
+        cum += h.bucket(b);
+        match EpisodeHistogram::bucket_upper(b) {
+            Some(le) => out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cum}\n")),
+            None => out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cum}\n")),
+        }
+    }
+    out.push_str(&format!("{name}_sum {}\n", h.total_cycles()));
+    out.push_str(&format!("{name}_count {}\n", h.count()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_escaping_covers_the_three_specials() {
+        assert_eq!(escape_label_value("plain-1.2.3"), "plain-1.2.3");
+        assert_eq!(escape_label_value(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(escape_label_value(r"a\b"), r"a\\b");
+        assert_eq!(escape_label_value("a\nb"), r"a\nb");
+    }
+
+    #[test]
+    fn render_emits_prefixed_counters_and_build_info() {
+        let mut r = Registry::new();
+        r.incr("jobs_submitted_total", 3);
+        r.set_gauge("queue_depth", 2.0);
+        let text = render(&r, &Histograms::default());
+        assert!(text.contains("# TYPE mlpsim_jobs_submitted_total counter\n"));
+        assert!(text.contains("mlpsim_jobs_submitted_total 3\n"));
+        assert!(text.contains("# TYPE mlpsim_queue_depth gauge\n"));
+        assert!(text.contains("mlpsim_queue_depth 2\n"));
+        assert!(text.contains("mlpsim_build_info{version=\""));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_close_at_inf() {
+        let mut hists = Histograms::default();
+        hists.job_wall_time_ms.record(1);
+        hists.job_wall_time_ms.record(444);
+        hists.job_wall_time_ms.record(1 << 20);
+        let text = render(&Registry::new(), &hists);
+        assert!(text.contains("# TYPE mlpsim_job_wall_time_ms histogram\n"));
+        assert!(text.contains("mlpsim_job_wall_time_ms_bucket{le=\"2\"} 1\n"));
+        assert!(text.contains("mlpsim_job_wall_time_ms_bucket{le=\"512\"} 2\n"));
+        assert!(text.contains("mlpsim_job_wall_time_ms_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains(&format!(
+            "mlpsim_job_wall_time_ms_sum {}\n",
+            1 + 444 + (1u64 << 20)
+        )));
+        assert!(text.contains("mlpsim_job_wall_time_ms_count 3\n"));
+    }
+
+    #[test]
+    fn every_family_renders_even_when_empty() {
+        let text = render(&Registry::new(), &Histograms::default());
+        for family in [
+            "mlpsim_job_wall_time_ms",
+            "mlpsim_job_queue_wait_ms",
+            "mlpsim_http_request_duration_us",
+            "mlpsim_event_stream_backlog_lines",
+        ] {
+            assert!(
+                text.contains(&format!("# TYPE {family} histogram\n")),
+                "{family}"
+            );
+            assert!(text.contains(&format!("{family}_count 0\n")), "{family}");
+        }
+    }
+}

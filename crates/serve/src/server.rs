@@ -19,7 +19,7 @@
 //! | `POST /jobs/:id/cancel` | cancel queued/running job (idempotent) |
 //! | `POST /drain` | stop admitting; finish the running job; exit |
 //! | `GET /healthz` | `200 ok` (`503` when draining) |
-//! | `GET /metrics` | counter/gauge text dump |
+//! | `GET /metrics` | Prometheus text exposition 0.0.4: counters, gauges, latency histograms |
 
 use crate::http::{self, ChunkedWriter, HttpError, Request};
 use crate::journal::{JobStatus, Journal};
@@ -220,6 +220,7 @@ fn handle_connection(
         return;
     }
     state.count("http_requests_total");
+    let t0 = Instant::now();
     let req = match http::read_request(&mut stream) {
         Ok(req) => req,
         Err(HttpError::TooLarge) => {
@@ -233,6 +234,7 @@ fn handle_connection(
         Err(HttpError::Io(_)) => return, // stalled or vanished client
     };
     let _ = route(&mut stream, &req, state, shutdown, cfg);
+    state.observe_request(t0.elapsed().as_micros() as u64);
 }
 
 /// Dispatch one parsed request. Socket errors mean the client went away —
@@ -255,7 +257,13 @@ fn route(
         }
         ("GET", ["metrics"]) => {
             let text = state.metrics_text();
-            http::write_response(stream, 200, "text/plain", &[], text.as_bytes())
+            http::write_response(
+                stream,
+                200,
+                crate::metrics::CONTENT_TYPE,
+                &[],
+                text.as_bytes(),
+            )
         }
         ("POST", ["jobs"]) => {
             let body = String::from_utf8_lossy(&req.body);
@@ -302,7 +310,7 @@ fn route(
             let Some(log) = state.event_log(id) else {
                 return respond_json(stream, 404, &err_json("no such job"));
             };
-            stream_events(stream, &log)
+            stream_events(stream, &log, state)
         }
         ("GET", ["jobs", id, "result"]) => {
             let Some(id) = parse_id(id) else {
@@ -342,13 +350,16 @@ fn route(
 }
 
 /// Stream a job's NDJSON event lines as chunks until the job is terminal.
-fn stream_events(stream: &mut TcpStream, log: &EventLog) -> io::Result<()> {
+/// Each flush's line count lands in the backlog histogram — how far
+/// behind this reader had fallen when it was woken.
+fn stream_events(stream: &mut TcpStream, log: &EventLog, state: &Arc<State>) -> io::Result<()> {
     let mut w = ChunkedWriter::begin(stream, 200, "application/x-ndjson")?;
     let mut cursor = 0usize;
     loop {
         let (lines, done) = log.wait_from(cursor);
         cursor += lines.len();
         if !lines.is_empty() {
+            state.observe_backlog(lines.len() as u64);
             let mut payload = String::new();
             for line in &lines {
                 payload.push_str(line);

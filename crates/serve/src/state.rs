@@ -6,13 +6,14 @@
 //! panicked connection thread cannot wedge the whole server.
 
 use crate::journal::{JobStatus, Journal, JournalOp, Recovered};
+use crate::metrics::{self, Histograms};
 use mlpsim_exec::CancelToken;
 use mlpsim_experiments::jobspec::JobSpec;
 use mlpsim_telemetry::{Event, EventSink, Json, Registry};
 use std::collections::{BTreeMap, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Lock helper: a poisoned mutex yields its guard anyway (the protected
 /// data is simple enough that every mutation is atomic with respect to a
@@ -118,6 +119,10 @@ pub struct Job {
     pub log: Arc<EventLog>,
     /// Cooperative cancellation token the executor checks per cell.
     pub cancel: CancelToken,
+    /// When the job entered the queue (recovery counts as re-admission).
+    pub submitted_at: Instant,
+    /// When the scheduler took it, once running.
+    pub started_at: Option<Instant>,
 }
 
 /// Why a submission was not admitted.
@@ -145,6 +150,7 @@ pub struct State {
     sched_cond: Condvar,
     journal: Mutex<Journal>,
     metrics: Mutex<Registry>,
+    hists: Mutex<Histograms>,
     data_dir: PathBuf,
     queue_capacity: usize,
 }
@@ -192,6 +198,8 @@ impl State {
                         EventLog::new()
                     },
                     cancel: CancelToken::new(),
+                    submitted_at: Instant::now(),
+                    started_at: None,
                 },
             );
             next_id = next_id.max(r.id + 1);
@@ -206,6 +214,7 @@ impl State {
             sched_cond: Condvar::new(),
             journal: Mutex::new(journal),
             metrics: Mutex::new(Registry::new()),
+            hists: Mutex::new(Histograms::default()),
             data_dir,
             queue_capacity,
         };
@@ -249,6 +258,8 @@ impl State {
                 status: JobStatus::Queued,
                 log: EventLog::new(),
                 cancel: CancelToken::new(),
+                submitted_at: Instant::now(),
+                started_at: None,
             },
         );
         drop(inner);
@@ -279,6 +290,8 @@ impl State {
                     continue;
                 }
                 job.status = JobStatus::Running;
+                job.started_at = Some(Instant::now());
+                let waited_ms = job.submitted_at.elapsed().as_millis() as u64;
                 let out = (
                     id,
                     job.spec.clone(),
@@ -286,6 +299,7 @@ impl State {
                     job.cancel.clone(),
                 );
                 drop(inner);
+                lock(&self.hists).job_queue_wait_ms.record(waited_ms);
                 self.refresh_queue_gauge();
                 return Some(out);
             }
@@ -346,11 +360,15 @@ impl State {
             eprintln!("warning: journal append for job {id} failed: {e}");
         }
         let mut inner = lock(&self.inner);
-        if let Some(job) = inner.jobs.get_mut(&id) {
+        let ran_ms = inner.jobs.get_mut(&id).and_then(|job| {
             job.status = status;
             job.log.close();
-        }
+            job.started_at.map(|t| t.elapsed().as_millis() as u64)
+        });
         drop(inner);
+        if let Some(ms) = ran_ms {
+            lock(&self.hists).job_wall_time_ms.record(ms);
+        }
         self.count(metric);
     }
 
@@ -420,24 +438,30 @@ impl State {
         lock(&self.metrics).incr(name, 1);
     }
 
+    /// Record one handled HTTP request's end-to-end latency.
+    pub fn observe_request(&self, micros: u64) {
+        lock(&self.hists).http_request_duration_us.record(micros);
+    }
+
+    /// Record how many event lines one stream flush delivered — the
+    /// reader's backlog at wake-up.
+    pub fn observe_backlog(&self, lines: u64) {
+        lock(&self.hists).event_stream_backlog_lines.record(lines);
+    }
+
     fn refresh_queue_gauge(&self) {
         let depth = lock(&self.inner).queue.len() as f64;
         lock(&self.metrics).set_gauge("queue_depth", depth);
     }
 
-    /// Plain-text metrics dump: `name value`, counters then gauges, both
-    /// name-sorted (the registry stores them in `BTreeMap`s).
+    /// The `GET /metrics` body: Prometheus text exposition 0.0.4 —
+    /// `mlpsim_`-prefixed counters and gauges, a `build_info` gauge, and
+    /// the four operational histograms (see [`crate::metrics`]).
     pub fn metrics_text(&self) -> String {
         self.refresh_queue_gauge();
         let m = lock(&self.metrics);
-        let mut out = String::new();
-        for (name, v) in m.counters() {
-            out.push_str(&format!("{name} {v}\n"));
-        }
-        for (name, v) in m.gauges() {
-            out.push_str(&format!("{name} {v}\n"));
-        }
-        out
+        let h = lock(&self.hists);
+        metrics::render(&m, &h)
     }
 }
 
@@ -538,7 +562,37 @@ mod tests {
         let s = state(4);
         s.submit(spec()).expect("admitted");
         let text = s.metrics_text();
-        assert!(text.contains("jobs_submitted_total 1"), "{text}");
-        assert!(text.contains("queue_depth 1"), "{text}");
+        assert!(text.contains("mlpsim_jobs_submitted_total 1"), "{text}");
+        assert!(text.contains("mlpsim_queue_depth 1"), "{text}");
+        assert!(
+            text.contains("# TYPE mlpsim_jobs_submitted_total counter"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn lifecycle_populates_latency_histograms() {
+        let s = state(4);
+        let id = s.submit(spec()).expect("admitted");
+        let (taken, ..) = s.take_next().expect("job queued");
+        assert_eq!(taken, id);
+        s.finish(id, Ok("report\n".into()));
+        s.observe_request(1234);
+        s.observe_backlog(7);
+        let text = s.metrics_text();
+        assert!(text.contains("mlpsim_job_queue_wait_ms_count 1"), "{text}");
+        assert!(text.contains("mlpsim_job_wall_time_ms_count 1"), "{text}");
+        assert!(
+            text.contains("mlpsim_http_request_duration_us_count 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mlpsim_event_stream_backlog_lines_count 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mlpsim_event_stream_backlog_lines_sum 7"),
+            "{text}"
+        );
     }
 }

@@ -36,11 +36,17 @@
 //! total reconciles exactly with `mem_stall_cycles`, and the stall-span
 //! interval form. [`traceevent`] renders MSHR slot occupancy and stall
 //! spans as Chrome trace-event JSON for `chrome://tracing`/Perfetto.
+//!
+//! A third, host-facing layer is the [`prof`] phase profiler: scoped
+//! timers over the *simulator's* hot loop (dispatch, tagstore, MSHR,
+//! DRAM, telemetry emission), compiled away entirely unless the call
+//! site's crate enables its `prof` cargo feature.
 
 pub mod attrib;
 pub mod event;
 pub mod json;
 pub mod probe;
+pub mod prof;
 pub mod registry;
 pub mod sink;
 pub mod span;
@@ -50,6 +56,7 @@ pub use attrib::{exact_share, LedgerKey, StallLedger};
 pub use event::Event;
 pub use json::Json;
 pub use probe::{NoProbe, Probe, SinkProbe};
+pub use prof::{Phase, PhaseReport};
 pub use registry::Registry;
 pub use sink::{read_ndjson, EventSink, FanoutSink, NdjsonSink, SinkHandle, VecSink};
 pub use span::Span;

@@ -70,6 +70,7 @@ impl SinkHandle {
     #[inline]
     pub fn emit(&self, ev: Event) {
         if let Some(sink) = &self.0 {
+            crate::prof_scope!(TelemetryEmit);
             lock_sink(sink).record(ev);
         }
     }
@@ -79,6 +80,7 @@ impl SinkHandle {
     #[inline]
     pub fn emit_with(&self, build: impl FnOnce() -> Event) {
         if let Some(sink) = &self.0 {
+            crate::prof_scope!(TelemetryEmit);
             lock_sink(sink).record(build());
         }
     }

@@ -3,7 +3,8 @@
 # the in-crate tests cannot: separate server/client binaries, a real
 # `kill -9` mid-queue, and a restart that must lose nothing.
 #
-#   1. HTTP-submitted fig5 result is byte-identical to the CLI binary.
+#   1. HTTP-submitted fig5 result is byte-identical to the CLI binary,
+#      and the live /metrics scrape carries the job-latency histograms.
 #   2. Live event stream carries parseable run brackets.
 #   3. Cancel works against a running job.
 #   4. A zero-capacity queue rejects submissions with 429.
@@ -62,6 +63,15 @@ grep -q '"type":"run_end"' "$WORK/events.ndjson"
 client "$URL" result "$ID" >"$WORK/http.txt"
 cmp "$WORK/cli.txt" "$WORK/http.txt"
 echo "   byte-identical ($(wc -c <"$WORK/cli.txt") bytes)"
+
+# The completed job must show up in the Prometheus scrape: at least one
+# wall-time histogram bucket, plus a consistent _count.
+echo "== live /metrics scrape carries the job-latency histogram"
+client "$URL" metrics >"$WORK/metrics.txt"
+grep -q 'mlpsim_job_wall_time_ms_bucket{le="+Inf"} 1' "$WORK/metrics.txt"
+grep -q 'mlpsim_job_wall_time_ms_count 1' "$WORK/metrics.txt"
+grep -q 'mlpsim_job_queue_wait_ms_count 1' "$WORK/metrics.txt"
+echo "   histogram families present"
 
 # --- 3: cancel a running job ---------------------------------------------
 echo "== cancel a running job"
