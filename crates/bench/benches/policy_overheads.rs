@@ -8,7 +8,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use mlpsim_cache::addr::{Geometry, LineAddr};
 use mlpsim_cache::meta::WayMeta;
 use mlpsim_cache::policy::{ReplacementEngine, VictimCtx};
-use mlpsim_cache::set::SetView;
+use mlpsim_cache::set::OwnedSet;
 use mlpsim_core::psel::Psel;
 use mlpsim_core::quant::quantize;
 use mlpsim_cpu::policy::PolicyKind;
@@ -35,12 +35,12 @@ fn victim_selection(c: &mut Criterion) {
     let mut g = c.benchmark_group("victim_selection");
     g.throughput(Throughput::Elements(1));
     let geom = Geometry::baseline_l2();
-    let ways = full_set();
+    let set = OwnedSet::from_ways(&full_set(), 0, geom);
     for policy in [PolicyKind::Lru, PolicyKind::Fifo, PolicyKind::lin4()] {
         let mut engine = policy.build(geom);
         g.bench_function(policy.label(), |b| {
             b.iter(|| {
-                let view = SetView::new(&ways, 0, geom);
+                let view = set.view();
                 let ctx = VictimCtx {
                     set: view,
                     incoming: LineAddr(999),
@@ -56,11 +56,8 @@ fn victim_selection(c: &mut Criterion) {
 fn recency_ranking(c: &mut Criterion) {
     c.bench_function("recency_ranks_16way", |b| {
         let geom = Geometry::baseline_l2();
-        let ways = full_set();
-        b.iter(|| {
-            let view = SetView::new(&ways, 0, geom);
-            black_box(view.recency_ranks())
-        })
+        let set = OwnedSet::from_ways(&full_set(), 0, geom);
+        b.iter(|| black_box(set.view().recency_ranks()))
     });
 }
 

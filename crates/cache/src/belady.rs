@@ -67,7 +67,7 @@ impl ReplacementEngine for BeladyEngine {
         // Farthest next use wins; "never used again" beats everything.
         let mut best_way = None;
         let mut best_key = 0u64; // next-use position; u64::MAX means never
-        for (way, _) in ctx.set.valid_ways() {
+        for way in ctx.set.valid_ways() {
             let line = ctx.set.line_of(way).expect("valid way has a line");
             let key = self.next_use_after(line, ctx.seq).unwrap_or(u64::MAX);
             if best_way.is_none() || key > best_key {

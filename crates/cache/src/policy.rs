@@ -154,7 +154,8 @@ mod tests {
                 ..WayMeta::invalid()
             },
         ];
-        let view = SetView::new(&ways, 0, g);
+        let set = crate::set::OwnedSet::from_ways(&ways, 0, g);
+        let view = set.view();
         let ctx = VictimCtx {
             set: view,
             incoming: LineAddr(9),

@@ -1,7 +1,7 @@
 //! Read-only views of a cache set, handed to replacement engines.
 
 use crate::addr::{Geometry, LineAddr};
-use crate::meta::WayMeta;
+use crate::meta::{CostQ, WayMeta};
 
 /// A read-only view of one cache set at victim-selection time.
 ///
@@ -10,42 +10,95 @@ use crate::meta::WayMeta;
 /// the cache [`Geometry`] so tags can be turned back into [`LineAddr`]s
 /// (needed by Belady's OPT, which indexes its future-knowledge table by
 /// line address).
+///
+/// The view borrows one column slice per metadata field (struct-of-arrays,
+/// mirroring [`TagStore`](crate::tagstore::TagStore)'s layout) rather than
+/// a slice of per-way structs: victim selection scans one field across all
+/// ways at a time (all tags, then all stamps, …), so packing each field
+/// contiguously keeps those scans within a cache line or two instead of
+/// striding over 40-byte records. To build a view from standalone
+/// [`WayMeta`] records (tests, benchmarks), go through [`OwnedSet`].
 #[derive(Clone, Copy, Debug)]
 pub struct SetView<'a> {
-    ways: &'a [WayMeta],
+    valid: &'a [bool],
+    tag: &'a [u64],
+    lru_stamp: &'a [u64],
+    fill_stamp: &'a [u64],
+    cost_q: &'a [CostQ],
     set_index: u32,
     geometry: Geometry,
 }
 
 impl<'a> SetView<'a> {
-    /// Creates a view over the ways of set `set_index`.
+    /// Creates a view over one set's metadata columns.
     ///
     /// # Panics
     ///
-    /// Panics if `ways.len()` does not match the geometry's associativity.
-    pub fn new(ways: &'a [WayMeta], set_index: u32, geometry: Geometry) -> Self {
-        assert_eq!(
-            ways.len(),
-            usize::from(geometry.ways()),
+    /// Panics if the columns' lengths disagree with each other or with the
+    /// geometry's associativity.
+    pub fn new(
+        valid: &'a [bool],
+        tag: &'a [u64],
+        lru_stamp: &'a [u64],
+        fill_stamp: &'a [u64],
+        cost_q: &'a [CostQ],
+        set_index: u32,
+        geometry: Geometry,
+    ) -> Self {
+        let assoc = usize::from(geometry.ways());
+        assert!(
+            valid.len() == assoc
+                && tag.len() == assoc
+                && lru_stamp.len() == assoc
+                && fill_stamp.len() == assoc
+                && cost_q.len() == assoc,
             "set view must cover exactly one set"
         );
         SetView {
-            ways,
+            valid,
+            tag,
+            lru_stamp,
+            fill_stamp,
+            cost_q,
             set_index,
             geometry,
         }
     }
 
-    /// The ways of this set.
+    /// Whether `way` holds a valid block.
     #[inline]
-    pub fn ways(&self) -> &'a [WayMeta] {
-        self.ways
+    pub fn valid(&self, way: usize) -> bool {
+        self.valid[way]
+    }
+
+    /// Tag of the block in `way` (meaningless when `!valid(way)`).
+    #[inline]
+    pub fn tag(&self, way: usize) -> u64 {
+        self.tag[way]
+    }
+
+    /// Recency stamp of `way`; higher = more recently used.
+    #[inline]
+    pub fn lru_stamp(&self, way: usize) -> u64 {
+        self.lru_stamp[way]
+    }
+
+    /// Fill stamp of `way` (when its block was brought in).
+    #[inline]
+    pub fn fill_stamp(&self, way: usize) -> u64 {
+        self.fill_stamp[way]
+    }
+
+    /// Quantized MLP-based cost stored with `way`'s block.
+    #[inline]
+    pub fn cost_q(&self, way: usize) -> CostQ {
+        self.cost_q[way]
     }
 
     /// Number of ways (associativity).
     #[inline]
     pub fn assoc(&self) -> usize {
-        self.ways.len()
+        self.valid.len()
     }
 
     /// Index of this set within the cache.
@@ -63,24 +116,26 @@ impl<'a> SetView<'a> {
     /// The line address resident in `way`, or `None` if the way is invalid.
     #[inline]
     pub fn line_of(&self, way: usize) -> Option<LineAddr> {
-        let w = &self.ways[way];
-        w.valid
-            .then(|| self.geometry.line_from_parts(w.tag, self.set_index))
+        self.valid[way].then(|| self.geometry.line_from_parts(self.tag[way], self.set_index))
     }
 
-    /// Iterator over `(way_index, &WayMeta)` for valid ways only.
-    pub fn valid_ways(&self) -> impl Iterator<Item = (usize, &'a WayMeta)> + '_ {
-        self.ways.iter().enumerate().filter(|(_, w)| w.valid)
+    /// Iterator over the indices of valid ways, in way order.
+    pub fn valid_ways(&self) -> impl Iterator<Item = usize> + 'a {
+        self.valid
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v)
+            .map(|(i, _)| i)
     }
 
     /// The first invalid way, if any.
     pub fn first_invalid(&self) -> Option<usize> {
-        self.ways.iter().position(|w| !w.valid)
+        self.valid.iter().position(|&v| !v)
     }
 
     /// Number of valid ways.
     pub fn valid_count(&self) -> usize {
-        self.ways.iter().filter(|w| w.valid).count()
+        self.valid.iter().filter(|&&v| v).count()
     }
 
     /// LRU-stack positions of every way: `ranks[i]` is `R(i)` as defined in
@@ -92,19 +147,19 @@ impl<'a> SetView<'a> {
     pub fn recency_ranks(&self) -> Vec<u8> {
         // The u8 rank caps the supported associativity at 256; the paper's
         // configurations top out at 16-way.
-        assert!(self.ways.len() <= 256, "recency ranks are 8-bit");
-        let mut ranks = vec![0u8; self.ways.len()];
-        for (i, w) in self.ways.iter().enumerate() {
-            if !w.valid {
+        assert!(self.assoc() <= 256, "recency ranks are 8-bit");
+        let mut ranks = vec![0u8; self.assoc()];
+        for (i, slot) in ranks.iter_mut().enumerate() {
+            if !self.valid[i] {
                 continue;
             }
             let mut rank = 0u8;
-            for other in self.ways.iter() {
-                if other.valid && other.lru_stamp < w.lru_stamp {
+            for j in 0..self.assoc() {
+                if self.valid[j] && self.lru_stamp[j] < self.lru_stamp[i] {
                     rank += 1;
                 }
             }
-            ranks[i] = rank;
+            *slot = rank;
         }
         self.check_rank_permutation(&ranks);
         ranks
@@ -116,16 +171,16 @@ impl<'a> SetView<'a> {
     /// `R(i)` and the LIN policy's rank term rely on.
     #[cfg(feature = "invariants")]
     fn check_rank_permutation(&self, ranks: &[u8]) {
-        let mut seen = vec![false; self.ways.len()];
+        let mut seen = vec![false; self.assoc()];
         let mut valid = 0usize;
-        for (w, &r) in self.ways.iter().zip(ranks) {
-            if !w.valid {
+        for (&v, &r) in self.valid.iter().zip(ranks) {
+            if !v {
                 continue;
             }
             valid += 1;
             let r = usize::from(r);
             crate::invariant!(
-                r < self.ways.len() && !seen[r],
+                r < self.assoc() && !seen[r],
                 "recency ranks of valid ways must be distinct stack positions"
             );
             seen[r] = true;
@@ -143,17 +198,66 @@ impl<'a> SetView<'a> {
     /// The valid way with the smallest recency stamp (the LRU way), or
     /// `None` if the set is empty.
     pub fn lru_way(&self) -> Option<usize> {
-        self.valid_ways()
-            .min_by_key(|(_, w)| w.lru_stamp)
-            .map(|(i, _)| i)
+        let stamps = self.lru_stamp;
+        self.valid_ways().min_by_key(move |&w| stamps[w])
     }
 
     /// The valid way with the smallest fill stamp (the FIFO victim), or
     /// `None` if the set is empty.
     pub fn oldest_fill_way(&self) -> Option<usize> {
-        self.valid_ways()
-            .min_by_key(|(_, w)| w.fill_stamp)
-            .map(|(i, _)| i)
+        let stamps = self.fill_stamp;
+        self.valid_ways().min_by_key(move |&w| stamps[w])
+    }
+}
+
+/// One set's metadata in owned column form — the bridge from standalone
+/// [`WayMeta`] records to a [`SetView`].
+///
+/// The tag store keeps its metadata as whole-cache columns and hands out
+/// borrowed views directly; code that builds a set from scratch (unit
+/// tests, property tests, benchmarks) assembles `WayMeta` values and goes
+/// through this adapter instead.
+#[derive(Clone, Debug)]
+pub struct OwnedSet {
+    valid: Vec<bool>,
+    tag: Vec<u64>,
+    lru_stamp: Vec<u64>,
+    fill_stamp: Vec<u64>,
+    cost_q: Vec<CostQ>,
+    set_index: u32,
+    geometry: Geometry,
+}
+
+impl OwnedSet {
+    /// Transposes per-way records into columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics (via [`SetView::new`] at view time) if `ways.len()` does not
+    /// match the geometry's associativity.
+    pub fn from_ways(ways: &[WayMeta], set_index: u32, geometry: Geometry) -> Self {
+        OwnedSet {
+            valid: ways.iter().map(|w| w.valid).collect(),
+            tag: ways.iter().map(|w| w.tag).collect(),
+            lru_stamp: ways.iter().map(|w| w.lru_stamp).collect(),
+            fill_stamp: ways.iter().map(|w| w.fill_stamp).collect(),
+            cost_q: ways.iter().map(|w| w.cost_q).collect(),
+            set_index,
+            geometry,
+        }
+    }
+
+    /// A view borrowing this set's columns.
+    pub fn view(&self) -> SetView<'_> {
+        SetView::new(
+            &self.valid,
+            &self.tag,
+            &self.lru_stamp,
+            &self.fill_stamp,
+            &self.cost_q,
+            self.set_index,
+            self.geometry,
+        )
     }
 }
 
@@ -182,7 +286,8 @@ mod tests {
             meta(true, 3, 99, 2),
             meta(true, 4, 30, 3),
         ];
-        let v = SetView::new(&ways, 0, g);
+        let set = OwnedSet::from_ways(&ways, 0, g);
+        let v = set.view();
         assert_eq!(v.recency_ranks(), vec![2, 0, 3, 1]);
         assert_eq!(v.lru_way(), Some(1));
     }
@@ -196,18 +301,21 @@ mod tests {
             meta(true, 3, 99, 5),
             meta(false, 0, 0, 0),
         ];
-        let v = SetView::new(&ways, 2, g);
+        let set = OwnedSet::from_ways(&ways, 2, g);
+        let v = set.view();
         assert_eq!(v.valid_count(), 2);
         assert_eq!(v.first_invalid(), Some(1));
         assert_eq!(v.recency_ranks(), vec![0, 0, 1, 0]);
         assert_eq!(v.oldest_fill_way(), Some(2));
+        assert_eq!(v.valid_ways().collect::<Vec<_>>(), vec![0, 2]);
     }
 
     #[test]
     fn line_of_reconstructs_address() {
         let g = Geometry::from_sets(8, 2, 64);
         let ways = [meta(true, 5, 0, 0), meta(false, 0, 0, 0)];
-        let v = SetView::new(&ways, 3, g);
+        let set = OwnedSet::from_ways(&ways, 3, g);
+        let v = set.view();
         assert_eq!(v.line_of(0), Some(LineAddr(5 * 8 + 3)));
         assert_eq!(v.line_of(1), None);
     }
@@ -217,6 +325,6 @@ mod tests {
     fn wrong_width_panics() {
         let g = Geometry::from_sets(4, 4, 64);
         let ways = [meta(true, 1, 0, 0)];
-        let _ = SetView::new(&ways, 0, g);
+        let _ = OwnedSet::from_ways(&ways, 0, g).view();
     }
 }

@@ -1,16 +1,23 @@
 //! The tag array: per-set, per-way metadata plus recency bookkeeping.
 
 use crate::addr::{Geometry, LineAddr};
-use crate::meta::{CostQ, WayMeta};
+use crate::meta::CostQ;
 use crate::set::SetView;
 
-/// A tag store: the full array of [`WayMeta`] for a cache, with helpers to
+/// A tag store: the full per-way metadata array of a cache, with helpers to
 /// probe, touch (hit), and fill (replace) blocks.
 ///
 /// The tag store is shared by real caches ([`CacheModel`]) and the
 /// data-less auxiliary tag directories ([`Atd`]) that the paper's hybrid
 /// replacement mechanisms use ("data lines are not required to estimate the
 /// performance of replacement policies", §6).
+///
+/// Metadata is laid out struct-of-arrays: one contiguous column per field
+/// (`valid`, `tag`, `lru_stamp`, …), each indexed by
+/// `set * assoc + way`. The hot operations — `probe`'s tag-match scan and
+/// the recency scans behind victim selection — each read exactly one field
+/// across a set's ways, so a columnar layout turns them into short
+/// contiguous loads instead of strided walks over 40-byte records.
 ///
 /// [`CacheModel`]: crate::model::CacheModel
 /// [`Atd`]: crate::atd::Atd
@@ -29,7 +36,12 @@ use crate::set::SetView;
 #[derive(Clone, Debug)]
 pub struct TagStore {
     geometry: Geometry,
-    ways: Vec<WayMeta>,
+    valid: Vec<bool>,
+    tag: Vec<u64>,
+    lru_stamp: Vec<u64>,
+    fill_stamp: Vec<u64>,
+    cost_q: Vec<CostQ>,
+    dirty: Vec<bool>,
     /// Monotonic stamp source for recency/fill ordering.
     next_stamp: u64,
 }
@@ -40,7 +52,12 @@ impl TagStore {
         let n = geometry.lines() as usize;
         TagStore {
             geometry,
-            ways: vec![WayMeta::invalid(); n],
+            valid: vec![false; n],
+            tag: vec![0; n],
+            lru_stamp: vec![0; n],
+            fill_stamp: vec![0; n],
+            cost_q: vec![0; n],
+            dirty: vec![false; n],
             next_stamp: 1,
         }
     }
@@ -51,38 +68,38 @@ impl TagStore {
         self.geometry
     }
 
+    /// Column range covering set `set_index`.
     #[inline]
-    fn base(&self, set_index: u32) -> usize {
-        set_index as usize * usize::from(self.geometry.ways())
-    }
-
-    /// Slice of ways for one set.
-    #[inline]
-    pub fn set_ways(&self, set_index: u32) -> &[WayMeta] {
-        let b = self.base(set_index);
-        &self.ways[b..b + usize::from(self.geometry.ways())]
-    }
-
-    #[inline]
-    fn set_ways_mut(&mut self, set_index: u32) -> &mut [WayMeta] {
-        let b = self.base(set_index);
+    fn range(&self, set_index: u32) -> std::ops::Range<usize> {
         let w = usize::from(self.geometry.ways());
-        &mut self.ways[b..b + w]
+        let b = set_index as usize * w;
+        b..b + w
     }
 
     /// Read-only view of one set, suitable for handing to a replacement
     /// engine.
     pub fn view(&self, set_index: u32) -> SetView<'_> {
-        SetView::new(self.set_ways(set_index), set_index, self.geometry)
+        let r = self.range(set_index);
+        SetView::new(
+            &self.valid[r.clone()],
+            &self.tag[r.clone()],
+            &self.lru_stamp[r.clone()],
+            &self.fill_stamp[r.clone()],
+            &self.cost_q[r],
+            set_index,
+            self.geometry,
+        )
     }
 
     /// Looks up a line; returns the way it resides in, if present.
     pub fn probe(&self, line: LineAddr) -> Option<usize> {
         let set = self.geometry.set_index(line);
         let tag = self.geometry.tag(line);
-        self.set_ways(set)
+        let r = self.range(set);
+        self.valid[r.clone()]
             .iter()
-            .position(|w| w.valid && w.tag == tag)
+            .zip(&self.tag[r])
+            .position(|(&v, &t)| v && t == tag)
     }
 
     /// Whether the line is resident.
@@ -94,9 +111,9 @@ impl TagStore {
     pub fn touch(&mut self, line: LineAddr, way: usize) {
         let stamp = self.take_stamp();
         let set = self.geometry.set_index(line);
-        let w = &mut self.set_ways_mut(set)[way];
-        debug_assert!(w.valid, "touching an invalid way");
-        w.lru_stamp = stamp;
+        let i = self.range(set).start + way;
+        debug_assert!(self.valid[i], "touching an invalid way");
+        self.lru_stamp[i] = stamp;
         self.check_set_invariants(set);
     }
 
@@ -112,21 +129,18 @@ impl TagStore {
         let stamp = self.take_stamp();
         let set = self.geometry.set_index(line);
         let tag = self.geometry.tag(line);
-        let geometry = self.geometry;
-        let w = &mut self.set_ways_mut(set)[way];
-        let evicted = w.valid.then(|| Evicted {
-            line: geometry.line_from_parts(w.tag, set),
-            dirty: w.dirty,
-            cost_q: w.cost_q,
+        let i = self.range(set).start + way;
+        let evicted = self.valid[i].then(|| Evicted {
+            line: self.geometry.line_from_parts(self.tag[i], set),
+            dirty: self.dirty[i],
+            cost_q: self.cost_q[i],
         });
-        *w = WayMeta {
-            valid: true,
-            tag,
-            lru_stamp: stamp,
-            fill_stamp: stamp,
-            cost_q,
-            dirty,
-        };
+        self.valid[i] = true;
+        self.tag[i] = tag;
+        self.lru_stamp[i] = stamp;
+        self.fill_stamp[i] = stamp;
+        self.cost_q[i] = cost_q;
+        self.dirty[i] = dirty;
         self.check_set_invariants(set);
         evicted
     }
@@ -135,13 +149,18 @@ impl TagStore {
     pub fn invalidate(&mut self, line: LineAddr) -> Option<Evicted> {
         let way = self.probe(line)?;
         let set = self.geometry.set_index(line);
-        let w = &mut self.set_ways_mut(set)[way];
+        let i = self.range(set).start + way;
         let evicted = Evicted {
             line,
-            dirty: w.dirty,
-            cost_q: w.cost_q,
+            dirty: self.dirty[i],
+            cost_q: self.cost_q[i],
         };
-        *w = WayMeta::invalid();
+        self.valid[i] = false;
+        self.tag[i] = 0;
+        self.lru_stamp[i] = 0;
+        self.fill_stamp[i] = 0;
+        self.cost_q[i] = 0;
+        self.dirty[i] = false;
         Some(evicted)
     }
 
@@ -152,7 +171,8 @@ impl TagStore {
         match self.probe(line) {
             Some(way) => {
                 let set = self.geometry.set_index(line);
-                self.set_ways_mut(set)[way].cost_q = cost_q;
+                let i = self.range(set).start + way;
+                self.cost_q[i] = cost_q;
                 self.check_set_invariants(set);
                 true
             }
@@ -164,7 +184,7 @@ impl TagStore {
     pub fn cost_q_of(&self, line: LineAddr) -> Option<CostQ> {
         self.probe(line).map(|way| {
             let set = self.geometry.set_index(line);
-            self.set_ways(set)[way].cost_q
+            self.cost_q[self.range(set).start + way]
         })
     }
 
@@ -173,7 +193,8 @@ impl TagStore {
         match self.probe(line) {
             Some(way) => {
                 let set = self.geometry.set_index(line);
-                self.set_ways_mut(set)[way].dirty = true;
+                let i = self.range(set).start + way;
+                self.dirty[i] = true;
                 true
             }
             None => false,
@@ -182,20 +203,20 @@ impl TagStore {
 
     /// Number of valid blocks currently resident.
     pub fn resident_count(&self) -> usize {
-        self.ways.iter().filter(|w| w.valid).count()
+        self.valid.iter().filter(|&&v| v).count()
     }
 
     /// Iterator over all resident line addresses.
     pub fn resident_lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
         let g = self.geometry;
         let ways = usize::from(g.ways());
-        self.ways
+        self.valid
             .iter()
             .enumerate()
-            .filter(|(_, w)| w.valid)
-            .map(move |(i, w)| {
+            .filter(|(_, &v)| v)
+            .map(move |(i, _)| {
                 let set = (i / ways) as u32;
-                g.line_from_parts(w.tag, set)
+                g.line_from_parts(self.tag[i], set)
             })
     }
 
@@ -212,26 +233,26 @@ impl TagStore {
     /// `cost_q` fits the 3-bit field of Fig. 3b.
     #[cfg(feature = "invariants")]
     fn check_set_invariants(&self, set_index: u32) {
-        let ways = self.set_ways(set_index);
-        for (i, w) in ways.iter().enumerate() {
-            if !w.valid {
+        let r = self.range(set_index);
+        for i in r.clone() {
+            if !self.valid[i] {
                 continue;
             }
             crate::invariant!(
-                w.lru_stamp < self.next_stamp && w.fill_stamp < self.next_stamp,
+                self.lru_stamp[i] < self.next_stamp && self.fill_stamp[i] < self.next_stamp,
                 "stamps must come from the monotonic source"
             );
             crate::invariant!(
-                w.cost_q <= crate::meta::COST_Q_MAX,
+                self.cost_q[i] <= crate::meta::COST_Q_MAX,
                 "cost_q is a 3-bit field"
             );
-            for other in &ways[i + 1..] {
+            for j in i + 1..r.end {
                 crate::invariant!(
-                    !other.valid || other.tag != w.tag,
+                    !self.valid[j] || self.tag[j] != self.tag[i],
                     "a tag may be resident in at most one way of a set"
                 );
                 crate::invariant!(
-                    !other.valid || other.lru_stamp != w.lru_stamp,
+                    !self.valid[j] || self.lru_stamp[j] != self.lru_stamp[i],
                     "recency stamps are unique, so ranks form a permutation"
                 );
             }
@@ -348,5 +369,20 @@ mod tests {
         let ev = t.invalidate(a).unwrap();
         assert!(ev.dirty);
         assert!(!t.mark_dirty(a));
+    }
+
+    #[test]
+    fn view_exposes_columns_consistently() {
+        let mut t = store();
+        t.fill(LineAddr(0), 0, false, 2);
+        t.fill(LineAddr(4), 1, true, 6);
+        let v = t.view(0);
+        assert!(v.valid(0) && v.valid(1));
+        assert_eq!(v.cost_q(0), 2);
+        assert_eq!(v.cost_q(1), 6);
+        assert_eq!(v.line_of(0), Some(LineAddr(0)));
+        assert_eq!(v.line_of(1), Some(LineAddr(4)));
+        assert!(v.lru_stamp(0) < v.lru_stamp(1), "fill order sets recency");
+        assert_eq!(v.fill_stamp(0), v.lru_stamp(0));
     }
 }

@@ -35,7 +35,7 @@ proptest! {
             let view = tags.view(set);
             let mut ranks: Vec<u8> = view
                 .valid_ways()
-                .map(|(w, _)| view.recency_ranks()[w])
+                .map(|w| view.recency_ranks()[w])
                 .collect();
             ranks.sort_unstable();
             let expect: Vec<u8> = (0..ranks.len() as u8).collect();
@@ -127,7 +127,7 @@ proptest! {
             let view = tags.view(set);
             let mut ranks: Vec<u8> = view
                 .valid_ways()
-                .map(|(w, _)| view.recency_ranks()[w])
+                .map(|w| view.recency_ranks()[w])
                 .collect();
             ranks.sort_unstable();
             let expect: Vec<u8> = (0..ranks.len() as u8).collect();

@@ -57,9 +57,9 @@ impl ReplacementEngine for LinEngine {
         let mut best_way = None;
         let mut best_score = u32::MAX;
         let mut best_rank = u8::MAX;
-        for (way, meta) in ctx.set.valid_ways() {
+        for way in ctx.set.valid_ways() {
             let rank = ranks[way];
-            let score = self.score(rank, meta.cost_q);
+            let score = self.score(rank, ctx.set.cost_q(way));
             // Strict less-than on score; ties break to the smallest
             // recency rank as the paper specifies.
             if score < best_score || (score == best_score && rank < best_rank) {

@@ -206,7 +206,7 @@ fn lin_victim_is_argmin() {
     use mlpsim_cache::addr::Geometry;
     use mlpsim_cache::meta::WayMeta;
     use mlpsim_cache::policy::{ReplacementEngine, VictimCtx};
-    use mlpsim_cache::set::SetView;
+    use mlpsim_cache::set::OwnedSet;
 
     let geom = Geometry::from_sets(2, 8, 64);
     let mut state = 0xDEADBEEFu64;
@@ -232,7 +232,8 @@ fn lin_victim_is_argmin() {
                     dirty: false,
                 })
                 .collect();
-            let view = SetView::new(&ways, 0, geom);
+            let set = OwnedSet::from_ways(&ways, 0, geom);
+            let view = set.view();
             let ranks = view.recency_ranks();
             let victim = lin.victim(&VictimCtx {
                 set: view,

@@ -108,6 +108,13 @@ pub struct SystemConfig {
     /// `(line, mlp_cost)` — per-line diagnostics at the price of memory.
     /// The log is bounded at [`MISS_LOG_CAP`] entries.
     pub collect_miss_log: bool,
+    /// Test-only escape hatch: when set, dispatch gaps advance strictly
+    /// cycle-by-cycle instead of taking the O(1) event-driven fast-forward.
+    /// The two paths are equivalent by construction; the differential suite
+    /// (`tests/event_equivalence.rs`) runs both and asserts identical
+    /// stats, ledgers, and telemetry streams.
+    #[doc(hidden)]
+    pub legacy_stepping: bool,
 }
 
 impl SystemConfig {
@@ -127,6 +134,7 @@ impl SystemConfig {
             epoch_insts: 2_000_000,
             sample_interval: None,
             collect_miss_log: false,
+            legacy_stepping: false,
         }
     }
 }

@@ -264,7 +264,7 @@ impl<P: Probe> System<P> {
             for _ in 0..n {
                 self.fetch_one();
                 self.ensure_dispatch_slot();
-                self.window.push(WinEntry::compute(self.now + 1));
+                self.window.push(WinEntry::compute(self.now + 1), self.now);
                 self.dispatched_this_cycle += 1;
                 self.dispatched_total += 1;
                 self.maybe_mispredict();
@@ -274,17 +274,112 @@ impl<P: Probe> System<P> {
         let mut remaining = n;
         while remaining > 0 {
             self.ensure_dispatch_slot();
+            if self.dispatched_this_cycle == 0 && !self.cfg.legacy_stepping {
+                let skipped = self.gap_fast_forward(remaining);
+                if skipped > 0 {
+                    remaining -= skipped;
+                    continue;
+                }
+            }
             let width_left = self.cfg.cpu.width - self.dispatched_this_cycle;
             let burst = remaining.min(width_left).min(self.window.free() as u32);
-            let done = self.now + 1;
-            for _ in 0..burst {
-                self.window.push(WinEntry::compute(done));
-            }
+            self.window.push_computes(burst, self.now);
             self.dispatched_this_cycle += burst;
             self.dispatched_total += u64::from(burst);
             self.maybe_mispredict();
             remaining -= burst;
         }
+    }
+
+    /// Fast-forwards `c` whole dispatch-and-retire cycles of a non-memory
+    /// gap, returning the instructions consumed (0 when no jump is
+    /// possible). Equivalent to the per-cycle path by construction:
+    ///
+    /// * Each skipped cycle replays the per-cycle schedule exactly: a
+    ///   full group of `width` compute instructions is pushed during
+    ///   cycle `now + g` (with `done = now + g + 1`), and the advance
+    ///   into `now + g + 1` retires the oldest `width` entries. The
+    ///   window's contents after the jump are byte-identical to what
+    ///   per-cycle stepping would leave.
+    /// * A pre-scan proves every retire group completes on schedule:
+    ///   resident entry `i` must satisfy `done <= now + i/width + 1` (its
+    ///   in-order retirement slot), so the jump works even when a
+    ///   pending miss sits deeper in the window — the scan simply stops
+    ///   the jump one cycle short of the first entry that would block.
+    ///   Implicit entries (`done = push + 1`, pushed before this cycle)
+    ///   and entries pushed *during* the jump always meet their slots, so
+    ///   only the sparse explicit entries need checking.
+    /// * When the window brushes exactly full at each cycle end
+    ///   (`free == width`), the per-cycle path additionally checks the
+    ///   head for a stall at the end of cycle `now + g`, where the head
+    ///   is entry `g*width`. Those entries get the stricter deadline
+    ///   `done <= now + i/width` (no `+1`), and the jump requires
+    ///   `len >= width` so jump-pushed entries never reach the head
+    ///   while a cycle is still in flight (this also covers the
+    ///   `capacity == width` empty-window shape, where a cycle's own
+    ///   pushes become the full window's head with `done == now + 1`).
+    /// * `c` stops strictly before every discrete event the per-cycle
+    ///   loop would observe — the next MSHR fill, the next wrong-path
+    ///   squash, an epoch or sampler boundary, a synthetic branch — so
+    ///   the event cycle itself is reached by ordinary stepping and all
+    ///   policy/CCL/ledger state mutations keep their exact order and
+    ///   timestamps.
+    fn gap_fast_forward(&mut self, remaining: u32) -> u32 {
+        debug_assert!(self.icache.is_none() && self.dispatched_this_cycle == 0);
+        let width = self.cfg.cpu.width;
+        let free = self.window.free() as u32;
+        let len = self.window.len() as u32;
+        // `free == width` means every skipped cycle ends with the window
+        // exactly full, exposing a head-stall check the scan must honor.
+        let brushes_full = free == width;
+        if remaining < width || free < width || (brushes_full && len < width) {
+            return 0;
+        }
+        let wu = u64::from(width);
+        let mut c = u64::from(remaining / width);
+        // Stop strictly before every discrete event; `retired < next_epoch`
+        // and `retired < next_boundary` are maintained by `after_retire`,
+        // `dispatched_total < next_branch_at` by `maybe_mispredict`.
+        c = c.min((self.next_epoch - 1 - self.retired) / wu);
+        if let Some(s) = &self.sampler {
+            c = c.min((s.next_boundary() - 1).saturating_sub(self.retired) / wu);
+        }
+        c = c.min((self.next_branch_at - 1).saturating_sub(self.dispatched_total) / wu);
+        if let Some((_, done)) = self.mshr.next_completion() {
+            c = c.min(done.saturating_sub(self.now + 1));
+        }
+        if let Some(Reverse((at, _, _, _))) = self.squashes.peek() {
+            c = c.min(at.saturating_sub(self.now + 1));
+        }
+        if c == 0 {
+            return 0;
+        }
+        // Scan the in-order retirement schedule. Only explicit entries can
+        // miss their slots; a violation at relative position `q` caps the
+        // jump at `q / width` cycles: the groups before it are proven, and
+        // the violator's own retire slot — or exactly-full head check — is
+        // left to ordinary stepping.
+        for (q, e) in self.window.explicit_from_head() {
+            if q >= c * wu {
+                break;
+            }
+            let head_checked = brushes_full && q.is_multiple_of(wu);
+            let deadline = self.now + q / wu + u64::from(!head_checked);
+            if e.done > deadline {
+                c = q / wu;
+                break;
+            }
+        }
+        if c == 0 {
+            return 0;
+        }
+        self.window.fast_forward(c, width, self.now);
+        let insts = c * wu;
+        self.now += c;
+        self.retired += insts;
+        self.dispatched_total += insts;
+        self.last_retire_cycle = self.now;
+        u32::try_from(insts).expect("bounded by `remaining`, a u32")
     }
 
     /// Dispatches one memory instruction.
@@ -312,13 +407,16 @@ impl<P: Probe> System<P> {
         if is_store {
             // Stores retire immediately; the buffer owns the latency.
             self.stbuf.push(mem_done);
-            self.window.push(WinEntry::compute(self.now + 1));
+            self.window.push(WinEntry::compute(self.now + 1), self.now);
         } else {
-            self.window.push(WinEntry {
-                done: mem_done,
-                l2_miss,
-                line: a.line,
-            });
+            self.window.push(
+                WinEntry {
+                    done: mem_done,
+                    l2_miss,
+                    line: a.line,
+                },
+                self.now,
+            );
         }
         self.dispatched_this_cycle += 1;
         self.dispatched_total += 1;
@@ -505,7 +603,13 @@ impl<P: Probe> System<P> {
     fn issue_prefetches(&mut self, line: LineAddr, seq: u64) {
         let Some(pf) = self.cfg.prefetch else { return };
         for d in 1..=pf.degree as u64 {
-            let target = LineAddr(line.0 + d);
+            // Next-line targets past the top of the address space do not
+            // exist; stop rather than wrap (targets are monotone in `d`,
+            // so every later one would overflow too).
+            let Some(raw) = line.0.checked_add(d) else {
+                break;
+            };
+            let target = LineAddr(raw);
             if self.l2.contains(target) || self.mshr.lookup(target).is_some() {
                 continue;
             }
@@ -589,26 +693,24 @@ impl<P: Probe> System<P> {
         let mut memory_stall_span = false;
         let mut span_head_line = 0u64;
         if self.window.is_full() || draining {
-            if let Some(head) = self.window.head() {
-                if head.done > self.now {
-                    let stall = head.done - self.now;
-                    self.stall_cycles += stall;
-                    if head.l2_miss {
-                        self.mem_stall_cycles += stall;
-                        memory_stall_span = true;
-                        span_head_line = head.line;
-                        if stall >= LONG_STALL_CYCLES {
-                            self.stall_episodes += 1;
-                            if P::ENABLED {
-                                self.probe.emit(Event::Stall {
-                                    cycle: self.now,
-                                    len: stall,
-                                });
-                            }
+            if let Some(head) = self.window.stalled_head(self.now) {
+                let stall = head.done - self.now;
+                self.stall_cycles += stall;
+                if head.l2_miss {
+                    self.mem_stall_cycles += stall;
+                    memory_stall_span = true;
+                    span_head_line = head.line;
+                    if stall >= LONG_STALL_CYCLES {
+                        self.stall_episodes += 1;
+                        if P::ENABLED {
+                            self.probe.emit(Event::Stall {
+                                cycle: self.now,
+                                len: stall,
+                            });
                         }
                     }
-                    target = head.done;
                 }
+                target = head.done;
             }
         }
         if memory_stall_span {
@@ -691,7 +793,7 @@ impl<P: Probe> System<P> {
         // closed-gate scope count stays inside the ≤2% envelope.
         #[cfg(feature = "prof")]
         let _advance_scope = (mlpsim_telemetry::prof::is_enabled()
-            && (self.window.head().is_some_and(|e| e.done <= t)
+            && (self.window.head_ready_by(t)
                 || self.mshr.next_completion().is_some_and(|(_, d)| d <= t)))
         .then(|| mlpsim_telemetry::prof::scope(mlpsim_telemetry::prof::Phase::CpuAdvance));
         debug_assert!(t > self.now, "time must advance");
@@ -1253,6 +1355,28 @@ mod tests {
         let r = System::new(cfg).run(trace.iter());
         // First pass misses and prefetches; later passes are all hits.
         assert!(r.prefetches_issued <= 16, "got {}", r.prefetches_issued);
+    }
+
+    #[test]
+    fn prefetch_targets_at_the_top_of_the_address_space_do_not_wrap() {
+        use crate::prefetch::PrefetchConfig;
+        // A demand miss to the last line of the address space has no
+        // next-line successor; the prefetcher must stop there rather than
+        // wrap to line 0 (which would pollute the cache with an unrelated
+        // line and, before the overflow fix, panicked in debug builds).
+        let mut cfg = baseline();
+        cfg.prefetch = Some(PrefetchConfig { degree: 4 });
+        let trace = Trace::from_accesses(vec![
+            Access::load(u64::MAX, 200),
+            Access::load(u64::MAX - 2, 200), // only MAX-1 and MAX remain above
+            Access::load(0, 4_000),          // a wrapped prefetch would have hit
+        ]);
+        let r = System::new(cfg).run(trace.iter());
+        // Behind MAX: nothing (every target overflows). Behind MAX-2: only
+        // MAX-1 (MAX is resident, MAX+1 would overflow). Behind 0: the
+        // usual four next lines.
+        assert_eq!(r.prefetches_issued, 5);
+        assert_eq!(r.l2.misses, 3, "line 0 must still demand-miss");
     }
 
     #[test]

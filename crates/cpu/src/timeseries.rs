@@ -96,6 +96,14 @@ impl Sampler {
         self.samples.len() - before
     }
 
+    /// The retired-instruction count at which the next sample fires. A
+    /// caller fast-forwarding time must stop short of this boundary so the
+    /// crossing cycle (which stamps the sample's cycle and IPC window) is
+    /// reached by ordinary stepping.
+    pub fn next_boundary(&self) -> u64 {
+        self.next_at
+    }
+
     /// Samples emitted so far.
     pub fn samples(&self) -> &[Sample] {
         &self.samples

@@ -67,6 +67,15 @@ pub struct MshrEntry {
 #[derive(Clone, Debug)]
 pub struct Mshr {
     slots: Vec<Option<MshrEntry>>,
+    /// Compact `(line, slot)` index of live entries. Lines are unique among
+    /// live entries (callers merge duplicates), so scanning this short list
+    /// replaces an O(capacity) walk over `slots` on every [`Mshr::lookup`].
+    lines: Vec<(LineAddr, usize)>,
+    /// Cached earliest completion as `(done_cycle, slot)`, tie-broken by the
+    /// lowest slot id. `done_cycle` is immutable after allocation, so the
+    /// cache only changes on `allocate` (O(1) compare) and on `free` of the
+    /// cached minimum itself (one O(capacity) rescan per fill, at most).
+    earliest: Option<(u64, usize)>,
     live: usize,
     demand_live: usize,
     /// High-water mark of simultaneously live demand entries (instantaneous
@@ -86,6 +95,8 @@ impl Mshr {
         assert!(capacity > 0, "MSHR capacity must be non-zero");
         Mshr {
             slots: vec![None; capacity],
+            lines: Vec::with_capacity(capacity),
+            earliest: None,
             live: 0,
             demand_live: 0,
             peak_demand: 0,
@@ -131,11 +142,15 @@ impl Mshr {
     }
 
     /// Finds the live entry for `line`, if one exists (miss merging).
+    ///
+    /// O(live), not O(capacity): the scan runs over the compact line index,
+    /// which is empty whenever nothing is in flight — the common case on
+    /// the cache-hit fast path.
     pub fn lookup(&self, line: LineAddr) -> Option<MshrId> {
-        self.slots
+        self.lines
             .iter()
-            .position(|s| s.as_ref().is_some_and(|e| e.line == line))
-            .map(MshrId)
+            .find(|&&(l, _)| l == line)
+            .map(|&(_, slot)| MshrId(slot))
     }
 
     /// Allocates an entry for a new miss.
@@ -168,6 +183,13 @@ impl Mshr {
             mlp_cost: 0.0,
             merged: 0,
         });
+        self.lines.push((line, idx));
+        // Lexicographic (done, slot) compare: earlier completions win, and
+        // equal completions go to the lowest slot id (the fill-order
+        // contract pinned by `next_completion_ties_break_to_lowest_slot`).
+        if self.earliest.is_none_or(|cur| (done_cycle, idx) < cur) {
+            self.earliest = Some((done_cycle, idx));
+        }
         self.live += 1;
         if is_demand {
             self.demand_live += 1;
@@ -250,6 +272,16 @@ impl Mshr {
     /// Panics if the slot is free.
     pub fn free(&mut self, id: MshrId) -> MshrEntry {
         let e = self.slots[id.0].take().expect("live MSHR entry");
+        let pos = self
+            .lines
+            .iter()
+            .position(|&(_, slot)| slot == id.0)
+            .expect("line index tracks every live entry");
+        // Lines are unique, so lookup order does not matter: swap_remove.
+        self.lines.swap_remove(pos);
+        if self.earliest.is_some_and(|(_, slot)| slot == id.0) {
+            self.earliest = self.iter().map(|(id, e)| (e.done_cycle, id.0)).min();
+        }
         self.live -= 1;
         if e.is_demand {
             self.demand_live -= 1;
@@ -284,11 +316,15 @@ impl Mshr {
     }
 
     /// The earliest `done_cycle` among live entries, if any — the next fill
-    /// event the simulator must wake up for.
+    /// event the simulator must wake up for. Ties between entries completing
+    /// on the same cycle go to the lowest slot id, so the fill order is a
+    /// stable function of allocation order.
+    ///
+    /// O(1): served from the cached minimum maintained by `allocate`/`free`
+    /// (the event-driven core calls this on every time jump, so a linear
+    /// scan here would put an O(capacity) walk back into the hot loop).
     pub fn next_completion(&self) -> Option<(MshrId, u64)> {
-        self.iter()
-            .min_by_key(|(_, e)| e.done_cycle)
-            .map(|(id, e)| (id, e.done_cycle))
+        self.earliest.map(|(done, slot)| (MshrId(slot), done))
     }
 
     /// Model check (under the `invariants` feature) after any occupancy
@@ -326,6 +362,21 @@ impl Mshr {
                 "a miss cannot complete before it was issued"
             );
         }
+        crate::invariant!(
+            self.lines.len() == live,
+            "line index must hold exactly the live entries"
+        );
+        for &(line, slot) in &self.lines {
+            crate::invariant!(
+                self.slots[slot].as_ref().is_some_and(|e| e.line == line),
+                "line index entries must point at matching live slots"
+            );
+        }
+        let recomputed = self.iter().map(|(id, e)| (e.done_cycle, id.0)).min();
+        crate::invariant!(
+            self.earliest == recomputed,
+            "cached earliest completion must match a full (done, slot) rescan"
+        );
     }
 
     #[cfg(not(feature = "invariants"))]
@@ -394,6 +445,51 @@ mod tests {
         let b = m.allocate(LineAddr(2), 0, 100, true).unwrap();
         m.allocate(LineAddr(3), 0, 200, false).unwrap();
         assert_eq!(m.next_completion(), Some((b, 100)));
+    }
+
+    #[test]
+    fn next_completion_ties_break_to_lowest_slot() {
+        // Two entries completing on the same cycle: the lowest slot id must
+        // win, before and after frees/reallocations churn the slot pool.
+        // This pins the fill order the event-driven core relies on.
+        let mut m = Mshr::new(4);
+        let a = m.allocate(LineAddr(1), 0, 100, true).unwrap();
+        let b = m.allocate(LineAddr(2), 0, 100, true).unwrap();
+        assert_eq!((a, b), (MshrId(0), MshrId(1)));
+        assert_eq!(m.next_completion(), Some((a, 100)));
+
+        // Freeing the winner promotes the other same-cycle entry.
+        m.free(a);
+        assert_eq!(m.next_completion(), Some((b, 100)));
+
+        // Reallocating the lower slot with the same done cycle takes the
+        // tie back, even though it was allocated later.
+        let c = m.allocate(LineAddr(3), 5, 100, true).unwrap();
+        assert_eq!(c, MshrId(0));
+        assert_eq!(m.next_completion(), Some((c, 100)));
+
+        // An earlier completion still beats any tie.
+        let d = m.allocate(LineAddr(4), 5, 99, false).unwrap();
+        assert_eq!(m.next_completion(), Some((d, 99)));
+        m.free(d);
+        assert_eq!(m.next_completion(), Some((c, 100)));
+    }
+
+    #[test]
+    fn lookup_tracks_frees_and_reallocations() {
+        let mut m = Mshr::new(4);
+        let a = m.allocate(LineAddr(10), 0, 50, true).unwrap();
+        let b = m.allocate(LineAddr(20), 0, 60, true).unwrap();
+        m.free(a);
+        assert_eq!(m.lookup(LineAddr(10)), None);
+        assert_eq!(m.lookup(LineAddr(20)), Some(b));
+        let c = m.allocate(LineAddr(30), 1, 70, false).unwrap();
+        assert_eq!(m.lookup(LineAddr(30)), Some(c));
+        m.free(b);
+        m.free(c);
+        assert_eq!(m.lookup(LineAddr(20)), None);
+        assert_eq!(m.lookup(LineAddr(30)), None);
+        assert!(m.is_empty());
     }
 
     #[test]
