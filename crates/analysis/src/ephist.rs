@@ -55,13 +55,11 @@ impl EpisodeHistogram {
         self.count += 1;
     }
 
-    /// Raw count in a bucket.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `bucket >= EPISODE_BUCKETS`.
+    /// Raw count in a bucket; zero for `bucket >= EPISODE_BUCKETS`
+    /// (an out-of-range bucket holds nothing, and this is rendered on
+    /// a server path that must not panic).
     pub fn bucket(&self, bucket: usize) -> u64 {
-        self.buckets[bucket]
+        self.buckets.get(bucket).copied().unwrap_or(0)
     }
 
     /// Episodes recorded.

@@ -41,9 +41,13 @@ impl LineAddr {
     }
 
     /// Returns the byte address of the first byte in this line.
+    ///
+    /// Addresses are modular in the 64-bit physical space, so the
+    /// expansion back to bytes wraps rather than panics on a
+    /// pathological synthetic line number.
     #[inline]
     pub fn byte_addr(self, line_bytes: u32) -> u64 {
-        self.0 * u64::from(line_bytes)
+        self.0.wrapping_mul(u64::from(line_bytes))
     }
 }
 
@@ -203,7 +207,13 @@ impl Geometry {
     /// inverse of [`Geometry::tag`] + [`Geometry::set_index`].
     #[inline]
     pub fn line_from_parts(&self, tag: u64, set_index: u32) -> LineAddr {
-        LineAddr(tag * u64::from(self.sets) + u64::from(set_index))
+        // Exact inverse of `tag` (division) + `set_index` (modulo): for
+        // any pair they produced, the product re-assembles a value that
+        // already fit in u64, so the wrap never fires on round trips.
+        LineAddr(
+            tag.wrapping_mul(u64::from(self.sets))
+                .wrapping_add(u64::from(set_index)),
+        )
     }
 
     /// Converts a raw byte address into a line address using this geometry's
@@ -230,6 +240,20 @@ impl fmt::Display for Geometry {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn extreme_addresses_round_trip_without_panicking() {
+        // The spelled-out bounds (D7): address expansion is modular, so
+        // even a synthetic top-of-space line neither panics nor alters
+        // the exact round trip for values that fit.
+        let near_top = LineAddr(u64::MAX / 64);
+        assert_eq!(LineAddr::from_byte_addr(near_top.byte_addr(64), 64), near_top);
+        let g = Geometry::new(1 << 20, 16, 64).expect("valid baseline-like geometry");
+        let line = LineAddr(u64::MAX / 64);
+        assert_eq!(g.line_from_parts(g.tag(line), g.set_index(line)), line);
+        // A pathological all-ones line wraps (modular) instead of aborting.
+        let _ = LineAddr(u64::MAX).byte_addr(64);
+    }
 
     #[test]
     fn line_addr_strips_offset() {

@@ -123,7 +123,8 @@ impl Ccl {
     /// forward).
     pub fn advance(&mut self, mshr: &mut Mshr, now: u64) {
         assert!(now >= self.last_cycle, "CCL time must be monotonic");
-        let delta = now - self.last_cycle;
+        // The assert above makes the subtraction exact.
+        let delta = now.wrapping_sub(self.last_cycle);
         self.last_cycle = now;
         if delta == 0 || !self.gate_open {
             return;
@@ -145,6 +146,7 @@ impl Ccl {
                     crate::convert::cycles_f64(delta) / crate::convert::count_f64(n)
                 } else {
                     let visits = delta / stride;
+                    // lint: bounded("visits = delta / stride, so visits * stride <= delta")
                     crate::convert::cycles_f64(visits * stride) / crate::convert::count_f64(n)
                 }
             }

@@ -46,7 +46,11 @@ impl OverheadParams {
         let index_bits = crate::convert::trunc_u32(f64::from(self.geometry.sets()).log2().ceil());
         let offset_bits =
             crate::convert::trunc_u32(f64::from(self.geometry.line_bytes()).log2().ceil());
-        self.phys_addr_bits - index_bits - offset_bits
+        // A geometry larger than the physical address space would wrap
+        // here; saturate to zero tag bits instead.
+        self.phys_addr_bits
+            .saturating_sub(index_bits)
+            .saturating_sub(offset_bits)
     }
 
     /// Bits per ATD entry: tag + valid + LRU stack position.

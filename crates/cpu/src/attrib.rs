@@ -130,11 +130,12 @@ impl AttribTracker {
         if !self.active || now <= self.last_cycle {
             return;
         }
-        let delta = now - self.last_cycle;
+        // The early return above makes the subtraction exact.
+        let delta = now.wrapping_sub(self.last_cycle);
         self.last_cycle = now;
         let n = mshr.demand_count() as u64;
         if n == 0 {
-            self.residual += delta;
+            self.residual = self.residual.saturating_add(delta);
             return;
         }
         let mut i = 0u64;

@@ -281,10 +281,12 @@ impl<P: Probe> System<P> {
                     continue;
                 }
             }
-            let width_left = self.cfg.cpu.width - self.dispatched_this_cycle;
+            // `ensure_dispatch_slot` returned, so dispatched < width and
+            // both the subtraction and the accumulate below are exact.
+            let width_left = self.cfg.cpu.width.saturating_sub(self.dispatched_this_cycle);
             let burst = remaining.min(width_left).min(self.window.free() as u32);
             self.window.push_computes(burst, self.now);
-            self.dispatched_this_cycle += burst;
+            self.dispatched_this_cycle = self.dispatched_this_cycle.saturating_add(burst);
             self.dispatched_total += u64::from(burst);
             self.maybe_mispredict();
             remaining -= burst;
@@ -364,7 +366,10 @@ impl<P: Probe> System<P> {
                 break;
             }
             let head_checked = brushes_full && q.is_multiple_of(wu);
-            let deadline = self.now + q / wu + u64::from(!head_checked);
+            let deadline = self
+                .now
+                .saturating_add(q / wu)
+                .saturating_add(u64::from(!head_checked));
             if e.done > deadline {
                 c = q / wu;
                 break;
@@ -375,7 +380,7 @@ impl<P: Probe> System<P> {
         }
         self.window.fast_forward(c, width, self.now);
         let insts = c * wu;
-        self.now += c;
+        self.now = self.now.saturating_add(c);
         self.retired += insts;
         self.dispatched_total += insts;
         self.last_retire_cycle = self.now;
@@ -431,7 +436,7 @@ impl<P: Probe> System<P> {
                 self.next_branch_at = u64::MAX;
                 return;
             };
-            self.next_branch_at += wp.interval_insts.max(1);
+            self.next_branch_at = self.next_branch_at.saturating_add(wp.interval_insts.max(1));
             self.inject_wrong_path(wp);
         }
     }
@@ -485,7 +490,7 @@ impl<P: Probe> System<P> {
             self.note_mshr_alloc(id, line);
             self.wrong_path_mshr_misses += 1;
             self.squashes.push(Reverse((
-                self.now + wp.resolve_cycles,
+                self.now.saturating_add(wp.resolve_cycles),
                 id.0,
                 line.0,
                 self.now,
@@ -504,7 +509,7 @@ impl<P: Probe> System<P> {
         if let Some(l1) = &mut self.l1 {
             let r = l1.access(line, is_store, seq);
             if r.hit {
-                let done = self.now + l1_lat;
+                let done = self.now.saturating_add(l1_lat);
                 // A tag hit on a line whose fill is still in flight is a
                 // delayed hit: data arrives with the outstanding miss.
                 if let Some(id) = self.mshr.lookup(line) {
@@ -517,7 +522,7 @@ impl<P: Probe> System<P> {
             // are hits that do not change L2 replacement state materially;
             // they are elided (see DESIGN.md).
         }
-        let base = self.now + l1_lat;
+        let base = self.now.saturating_add(l1_lat);
         self.resolve_l2(line, is_store, seq, base)
     }
 
@@ -527,7 +532,7 @@ impl<P: Probe> System<P> {
     fn resolve_l2(&mut self, line: LineAddr, is_store: bool, seq: u64, base: u64) -> (u64, bool) {
         let r2 = self.l2.access(line, is_store, seq);
         if r2.hit {
-            let done = base + self.cfg.cpu.l2_hit_cycles;
+            let done = base.saturating_add(self.cfg.cpu.l2_hit_cycles);
             if let Some(id) = self.mshr.lookup(line) {
                 self.merge_into(id);
                 return (self.mshr.entry(id).done_cycle.max(done), true);
@@ -639,7 +644,9 @@ impl<P: Probe> System<P> {
                 // Frontend stall: the next instructions are still being
                 // fetched. The window may drain meanwhile.
                 let target = self.ifetch_ready_at.max(self.now + 1);
-                self.ifetch_stall_cycles += target - self.now;
+                // `target > now` by the max above: the subtraction is exact.
+                let waited = target.wrapping_sub(self.now);
+                self.ifetch_stall_cycles = self.ifetch_stall_cycles.saturating_add(waited);
                 self.advance_to(target);
                 continue;
             }
@@ -680,7 +687,7 @@ impl<P: Probe> System<P> {
             return;
         }
         let hit_lat = self.cfg.icache.map(|c| c.hit_cycles).unwrap_or(2);
-        let (done, _l2_miss) = self.resolve_l2(line, false, seq, self.now + hit_lat);
+        let (done, _l2_miss) = self.resolve_l2(line, false, seq, self.now.saturating_add(hit_lat));
         self.ifetch_ready_at = self.ifetch_ready_at.max(done);
     }
 
@@ -694,10 +701,12 @@ impl<P: Probe> System<P> {
         let mut span_head_line = 0u64;
         if self.window.is_full() || draining {
             if let Some(head) = self.window.stalled_head(self.now) {
-                let stall = head.done - self.now;
-                self.stall_cycles += stall;
+                // A stalled head completes strictly after `now`, so the
+                // subtraction is exact.
+                let stall = head.done.wrapping_sub(self.now);
+                self.stall_cycles = self.stall_cycles.saturating_add(stall);
                 if head.l2_miss {
-                    self.mem_stall_cycles += stall;
+                    self.mem_stall_cycles = self.mem_stall_cycles.saturating_add(stall);
                     memory_stall_span = true;
                     span_head_line = head.line;
                     if stall >= LONG_STALL_CYCLES {

@@ -91,7 +91,7 @@ impl Sampler {
             self.last_misses = l2_misses;
             self.cost_q_sum = 0;
             self.cost_q_count = 0;
-            self.next_at += self.interval;
+            self.next_at = self.next_at.saturating_add(self.interval);
         }
         self.samples.len() - before
     }

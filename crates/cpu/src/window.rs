@@ -270,24 +270,25 @@ impl InstructionWindow {
     /// [`explicit_from_head`]: InstructionWindow::explicit_from_head
     pub fn fast_forward(&mut self, cycles: u64, width: u32, now: u64) {
         debug_assert!(now >= self.last_push_cycle, "time must be monotone");
-        let n = cycles * u64::from(width);
+        let n = cycles.saturating_mul(u64::from(width));
         while let Some(&(pos, e)) = self.explicit.front() {
-            if pos >= self.popped + n {
+            if pos >= self.popped.saturating_add(n) {
                 break;
             }
             debug_assert!(
+                // lint: bounded("pos >= popped for every queued entry; the quotient is <= cycles")
                 e.done <= now + (pos - self.popped) / u64::from(width) + 1,
                 "fast-forward crossed an entry that misses its retire slot"
             );
             let _ = e;
             self.explicit.pop_front();
         }
-        self.popped += n;
-        self.pushed += n;
+        self.popped = self.popped.saturating_add(n);
+        self.pushed = self.pushed.saturating_add(n);
         // Occupancy is conserved: every cycle retires exactly as many
         // entries as it dispatches, so `len` is untouched.
         // The final cycle's dispatch group is the youngest batch.
-        self.last_push_cycle = now + cycles - 1;
+        self.last_push_cycle = now.saturating_add(cycles) - 1;
         self.batch_start = self.pushed - u64::from(width);
     }
 }

@@ -1,12 +1,15 @@
-//! A minimal Rust lexer — just enough structure for the workspace rules.
+//! A Rust lexer — tokens faithful enough to drive both the token-pattern
+//! rules (D1–D6) and the recursive-descent parser behind the dataflow
+//! rules (D7–D10, [`crate::parser`]).
 //!
-//! The rules in [`crate::rules`] only need a token stream with comments,
-//! string literals, and character literals stripped out (so that pattern
-//! text inside docs or test fixtures can never trip a rule), plus the
-//! comments themselves (so allow-pragmas can be recognized). Full Rust
-//! grammar is deliberately out of scope: no macro expansion, no type
-//! resolution. Every rule is written to be robust against that — see the
-//! per-rule notes in `rules.rs` for the accepted approximations.
+//! The stream keeps identifiers, punctuation (multi-character operators
+//! joined by maximal munch), lifetimes, and literal *placeholders*
+//! (numeric text is kept for the parser's const-generic and tuple-index
+//! handling; string/char contents are dropped so pattern text inside docs
+//! or fixtures can never trip a rule). Comments are collected separately
+//! — allow/bounded pragmas live there. Full macro expansion and type
+//! resolution remain deliberately out of scope; see the per-rule notes in
+//! `rules.rs` and `dataflow.rs` for the accepted approximations.
 
 /// One significant token.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -16,15 +19,27 @@ pub struct Token {
     pub kind: TokenKind,
 }
 
-/// The token classes the rules care about. Numeric/string/char literals
-/// are dropped entirely: no rule needs their value, and dropping them is
-/// what makes planted-violation fixtures inside test strings invisible.
+/// Token classes. String/char literal *values* are dropped (no rule needs
+/// them, and dropping them is what makes planted-violation fixtures inside
+/// test strings invisible); numeric text is kept so the parser can tell a
+/// tuple index from an expression.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TokenKind {
     /// An identifier or keyword (`for`, `as`, `unwrap`, `HashMap`, …).
     Ident(String),
-    /// A single punctuation byte (`.`, `!`, `{`, `<`, …).
+    /// A lifetime (`'a`, `'static`), name without the quote.
+    Lifetime(String),
+    /// A single punctuation byte that is not part of a longer operator
+    /// (`.`, `!`, `{`, `<`, …).
     Punct(char),
+    /// A multi-character operator (`::`, `->`, `<<`, `..=`, …), joined by
+    /// maximal munch.
+    Op(&'static str),
+    /// A numeric literal with its source text (`0x1F`, `1_000u64`, `0.5`).
+    Num(String),
+    /// A string, raw-string, byte-string, char, or byte-char literal;
+    /// contents dropped.
+    Str,
 }
 
 /// A comment (line or block) with its starting line, text included —
@@ -45,6 +60,12 @@ pub struct Lexed {
     pub comments: Vec<Comment>,
 }
 
+/// Multi-character operators, longest first (maximal munch).
+const OPS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "..",
+];
+
 /// Tokenizes `src`. Unterminated constructs (string, block comment) are
 /// tolerated — the lexer consumes to end of input rather than erroring,
 /// which is the right behavior for a best-effort style checker.
@@ -54,8 +75,8 @@ pub fn lex(src: &str) -> Lexed {
     let mut i = 0usize;
     let mut line: u32 = 1;
 
-    // Advances `idx` past one character, maintaining the line counter.
-    // All multi-byte UTF-8 continuation bytes are simply consumed.
+    // Advances `i` past one byte, maintaining the line counter. All
+    // multi-byte UTF-8 continuation bytes are simply consumed.
     macro_rules! bump {
         () => {{
             if b[i] == b'\n' {
@@ -107,11 +128,17 @@ pub fn lex(src: &str) -> Lexed {
                 });
             }
             b'"' => {
+                let start_line = line;
                 bump!();
                 skip_string_body(b, &mut i, &mut line);
+                out.tokens.push(Token {
+                    line: start_line,
+                    kind: TokenKind::Str,
+                });
             }
             b'r' | b'b' if starts_raw_or_byte_string(b, i) => {
                 // r"…", r#"…"#, b"…", br#"…"# and friends.
+                let start_line = line;
                 let mut raw = false;
                 while i < b.len() && (b[i] == b'r' || b[i] == b'b') {
                     raw |= b[i] == b'r';
@@ -131,6 +158,21 @@ pub fn lex(src: &str) -> Lexed {
                         skip_string_body(b, &mut i, &mut line);
                     }
                 }
+                out.tokens.push(Token {
+                    line: start_line,
+                    kind: TokenKind::Str,
+                });
+            }
+            b'b' if i + 1 < b.len() && b[i + 1] == b'\'' => {
+                // Byte-char literal b'x' / b'\n'. Without this case the
+                // `b` lexes as an identifier and the `'x'` as a separate
+                // char literal, which corrupts the parser's token stream.
+                i += 1; // consume the b; the quote branch below never sees it
+                skip_char_literal(b, &mut i, &mut line);
+                out.tokens.push(Token {
+                    line,
+                    kind: TokenKind::Str,
+                });
             }
             b'\'' => {
                 // Char literal or lifetime. A lifetime is `'ident` not
@@ -143,39 +185,35 @@ pub fn lex(src: &str) -> Lexed {
                     if j < b.len() && b[j] == b'\'' {
                         // 'x' — a char literal; consume through the quote.
                         i = j + 1;
+                        out.tokens.push(Token {
+                            line,
+                            kind: TokenKind::Str,
+                        });
                     } else {
-                        // Lifetime: consume the quote + identifier, emit
-                        // nothing (no rule needs lifetimes).
+                        // Lifetime: consume the quote + identifier.
+                        let name = String::from_utf8_lossy(&b[i + 1..j]).into_owned();
+                        out.tokens.push(Token {
+                            line,
+                            kind: TokenKind::Lifetime(name),
+                        });
                         i = j;
                     }
                 } else {
-                    // Escaped or non-alphabetic char literal: '\n', '\'',
-                    // '\u{…}', '0'…
-                    i += 1;
-                    while i < b.len() && b[i] != b'\'' {
-                        if b[i] == b'\\' {
-                            i += 1;
-                        }
-                        if i < b.len() {
-                            bump!();
-                        }
-                    }
-                    if i < b.len() {
-                        i += 1; // closing quote
-                    }
+                    skip_char_literal(b, &mut i, &mut line);
+                    out.tokens.push(Token {
+                        line,
+                        kind: TokenKind::Str,
+                    });
                 }
             }
             _ if c.is_ascii_digit() => {
-                // Numeric literal (with optional suffix / float part);
-                // dropped.
-                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.')
-                {
-                    // `0..10` — don't swallow the range operator.
-                    if b[i] == b'.' && i + 1 < b.len() && b[i + 1] == b'.' {
-                        break;
-                    }
-                    i += 1;
-                }
+                let start = i;
+                lex_number(b, &mut i);
+                let text = String::from_utf8_lossy(&b[start..i]).into_owned();
+                out.tokens.push(Token {
+                    line,
+                    kind: TokenKind::Num(text),
+                });
             }
             _ if c.is_ascii_alphabetic() || c == b'_' => {
                 let start = i;
@@ -189,17 +227,94 @@ pub fn lex(src: &str) -> Lexed {
                 });
             }
             _ => {
-                if c.is_ascii() {
+                if let Some(op) = OPS
+                    .iter()
+                    .find(|op| b[i..].starts_with(op.as_bytes()))
+                    .copied()
+                {
                     out.tokens.push(Token {
                         line,
-                        kind: TokenKind::Punct(c as char),
+                        kind: TokenKind::Op(op),
                     });
+                    i += op.len();
+                } else {
+                    if c.is_ascii() {
+                        out.tokens.push(Token {
+                            line,
+                            kind: TokenKind::Punct(c as char),
+                        });
+                    }
+                    bump!();
                 }
-                bump!();
             }
         }
     }
     out
+}
+
+/// Consumes a numeric literal starting at a digit: integer/float body,
+/// optional exponent, optional alphanumeric suffix. A `.` is part of the
+/// number only when a digit follows — `0..10` keeps its range operator and
+/// `tuple.0.method()` keeps its method call (the old token-dropping lexer
+/// swallowed `0.method` whole).
+fn lex_number(b: &[u8], i: &mut usize) {
+    let radix_prefix = *i + 1 < b.len()
+        && b[*i] == b'0'
+        && matches!(b[*i + 1], b'x' | b'X' | b'o' | b'O' | b'b' | b'B');
+    if radix_prefix {
+        *i += 2;
+        while *i < b.len() && (b[*i].is_ascii_alphanumeric() || b[*i] == b'_') {
+            *i += 1;
+        }
+        return;
+    }
+    while *i < b.len() && (b[*i].is_ascii_digit() || b[*i] == b'_') {
+        *i += 1;
+    }
+    // Fractional part: only when a digit follows the dot.
+    if *i + 1 < b.len() && b[*i] == b'.' && b[*i + 1].is_ascii_digit() {
+        *i += 1;
+        while *i < b.len() && (b[*i].is_ascii_digit() || b[*i] == b'_') {
+            *i += 1;
+        }
+    }
+    // Exponent.
+    if *i < b.len() && (b[*i] == b'e' || b[*i] == b'E') {
+        let mut j = *i + 1;
+        if j < b.len() && (b[j] == b'+' || b[j] == b'-') {
+            j += 1;
+        }
+        if j < b.len() && b[j].is_ascii_digit() {
+            *i = j;
+            while *i < b.len() && (b[*i].is_ascii_digit() || b[*i] == b'_') {
+                *i += 1;
+            }
+        }
+    }
+    // Type suffix (u64, f32, usize…).
+    while *i < b.len() && (b[*i].is_ascii_alphanumeric() || b[*i] == b'_') {
+        *i += 1;
+    }
+}
+
+/// At an opening `'` of a char literal (escaped or not): consume through
+/// the closing quote.
+fn skip_char_literal(b: &[u8], i: &mut usize, line: &mut u32) {
+    *i += 1; // opening quote
+    while *i < b.len() && b[*i] != b'\'' {
+        if b[*i] == b'\\' {
+            *i += 1;
+        }
+        if *i < b.len() {
+            if b[*i] == b'\n' {
+                *line += 1;
+            }
+            *i += 1;
+        }
+    }
+    if *i < b.len() {
+        *i += 1; // closing quote
+    }
 }
 
 /// After an opening `"`, consume through the closing `"` honoring `\`
@@ -279,9 +394,13 @@ mod tests {
             .into_iter()
             .filter_map(|t| match t.kind {
                 TokenKind::Ident(s) => Some(s),
-                TokenKind::Punct(_) => None,
+                _ => None,
             })
             .collect()
+    }
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).tokens.into_iter().map(|t| t.kind).collect()
     }
 
     #[test]
@@ -311,17 +430,73 @@ mod tests {
     }
 
     #[test]
-    fn lifetimes_are_not_char_literals() {
+    fn lifetimes_are_tokens_not_char_literals() {
         // If the lexer mis-lexed `'a` as an open char literal it would
         // swallow the rest of the line including `drain`.
-        let ids = idents("fn f<'a>(x: &'a mut M) { x.drain(); }");
+        let lexed = lex("fn f<'a>(x: &'a mut M) { x.drain(); }");
+        let ids: Vec<String> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Ident(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
         assert!(ids.contains(&"drain".to_string()));
+        let lifetimes: Vec<&TokenKind> = lexed
+            .tokens
+            .iter()
+            .map(|t| &t.kind)
+            .filter(|k| matches!(k, TokenKind::Lifetime(_)))
+            .collect();
+        assert_eq!(
+            lifetimes,
+            vec![
+                &TokenKind::Lifetime("a".into()),
+                &TokenKind::Lifetime("a".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn static_lifetime_and_underscore_lifetime() {
+        let ks = kinds("&'static str; &'_ T");
+        assert!(ks.contains(&TokenKind::Lifetime("static".into())));
+        assert!(ks.contains(&TokenKind::Lifetime("_".into())));
     }
 
     #[test]
     fn escaped_char_literals_terminate() {
         let ids = idents(r"let c = '\n'; after('\'');");
         assert!(ids.contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn byte_char_literals_do_not_leak_an_ident() {
+        // `b'{'` must lex as one literal, not Ident("b") + char '{'.
+        let ks = kinds("m(b'{', b'\\n', b'0')");
+        assert!(!ks.contains(&TokenKind::Ident("b".into())), "{ks:?}");
+        assert_eq!(
+            ks.iter().filter(|k| **k == TokenKind::Str).count(),
+            3,
+            "{ks:?}"
+        );
+    }
+
+    #[test]
+    fn byte_char_range_patterns_lex_cleanly() {
+        // The json parser's `Some(b @ b'0'..=b'9')` shape.
+        let ks = kinds("b @ b'0'..=b'9'");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("b".into()),
+                TokenKind::Punct('@'),
+                TokenKind::Str,
+                TokenKind::Op("..="),
+                TokenKind::Str,
+            ]
+        );
     }
 
     #[test]
@@ -332,16 +507,85 @@ mod tests {
     }
 
     #[test]
-    fn numeric_literals_with_suffixes_vanish() {
-        let ids = idents("let x = 1u32 + 0.5f64; for i in 0..10 {}");
-        assert!(!ids.contains(&"u32".to_string()));
-        assert!(!ids.contains(&"f64".to_string()));
-        assert!(ids.contains(&"for".to_string()));
+    fn numeric_literals_keep_text_and_split_ranges() {
+        let ks = kinds("1u32 0.5f64 0x1F_u64 1_000 1e9 0..10");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Num("1u32".into()),
+                TokenKind::Num("0.5f64".into()),
+                TokenKind::Num("0x1F_u64".into()),
+                TokenKind::Num("1_000".into()),
+                TokenKind::Num("1e9".into()),
+                TokenKind::Num("0".into()),
+                TokenKind::Op(".."),
+                TokenKind::Num("10".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn tuple_index_method_calls_are_not_swallowed() {
+        // Regression: the old lexer consumed `0.checked_add` as one
+        // numeric literal, hiding the method call from every rule.
+        let ids = idents("line.0.checked_add(d)");
+        assert_eq!(
+            ids,
+            vec!["line".to_string(), "checked_add".into(), "d".into()]
+        );
+        let ks = kinds("line.0.checked_add(d)");
+        assert!(ks.contains(&TokenKind::Num("0".into())), "{ks:?}");
+    }
+
+    #[test]
+    fn operators_join_by_maximal_munch() {
+        let ks = kinds("a::b -> c => d == e != f <= g >= h && i || j << k >> l <<= m ..= n .. o");
+        let ops: Vec<&str> = ks
+            .iter()
+            .filter_map(|k| match k {
+                TokenKind::Op(o) => Some(*o),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            ops,
+            vec!["::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "<<=", "..=", ".."]
+        );
+    }
+
+    #[test]
+    fn single_colon_and_angle_stay_punct() {
+        let ks = kinds("x: Vec<u8>");
+        assert!(ks.contains(&TokenKind::Punct(':')));
+        assert!(ks.contains(&TokenKind::Punct('<')));
     }
 
     #[test]
     fn nested_block_comments() {
         let ids = idents("/* outer /* inner */ still comment */ visible");
         assert_eq!(ids, vec!["visible".to_string()]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_inner_quotes() {
+        // `"#` inside an `r##"…"##` string must not terminate it early.
+        let src = r####"let x = r##"quote " and hash # and "# inside"##; tail(x);"####;
+        let ids = idents(src);
+        assert_eq!(
+            ids,
+            vec!["let".to_string(), "x".into(), "tail".into(), "x".into()]
+        );
+    }
+
+    #[test]
+    fn raw_string_spanning_lines_keeps_line_numbers() {
+        let src = "let a = r#\"one\ntwo\nthree\"#;\nafter();";
+        let lexed = lex(src);
+        let after = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident("after".into()))
+            .expect("after token");
+        assert_eq!(after.line, 4);
     }
 }

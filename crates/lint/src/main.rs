@@ -1,53 +1,47 @@
 //! `mlpsim-lint` — workspace static analysis for simulator determinism
-//! and cost-model soundness.
+//! and cost-model soundness. Thin driver over [`mlpsim_lint`].
 //!
 //! ```text
-//! cargo run -p mlpsim-lint            # lint the workspace, exit 1 on violations
-//! cargo run -p mlpsim-lint -- --rules # describe the rules
-//! cargo run -p mlpsim-lint -- <root>  # lint an explicit workspace root
+//! cargo run -p mlpsim-lint                   # lint the workspace, exit 1 on findings
+//! cargo run -p mlpsim-lint -- --rules        # describe the rules
+//! cargo run -p mlpsim-lint -- --sarif out.sarif  # also write a SARIF 2.1.0 report
+//! cargo run -p mlpsim-lint -- <root>         # lint an explicit workspace root
 //! ```
 //!
-//! The rules (see [`rules`] for details and the pragma escape):
-//!
-//! - **D1** no iteration over `HashMap`/`HashSet` in `cache`/`core`/`mem`/
-//!   `exec` — unordered iteration leaks nondeterminism into victim
-//!   selection and sweep output.
-//! - **D2** no `SystemTime`/`Instant`/`thread_rng` in simulation logic —
-//!   wall-clock and ambient randomness break replayability. The
-//!   `telemetry` crate is in scope too, so host-time reads flow only
-//!   through the audited `telemetry::prof` clock shim.
-//! - **D3** no bare `as` numeric casts in `core` cost/quantization code —
-//!   conversions must be checked or documented.
-//! - **D4** no `unwrap()`/`panic!` outside tests — errors must surface.
-//! - **D5** every `probe.emit(..)` must sit under an `if P::ENABLED`
-//!   guard — unguarded emissions build event payloads in `NoProbe`
-//!   builds, breaking the zero-cost-when-off telemetry contract.
-//! - **D6** a file accepting sockets must arm a read timeout on them —
-//!   a blocking read with no timeout lets one stalled client hang a
-//!   server thread.
-//!
+//! Rules D1–D6 are token-pattern rules; D7–D10 are AST/call-graph
+//! dataflow rules (see `--rules` and the `rules`/`dataflow` module docs).
 //! Scanned: `src/` of the root package and every `crates/*/src`, skipping
 //! `tests/`, `benches/`, `vendor/`, and `target/`. Files are visited in
 //! sorted order so output is deterministic (the linter holds itself to
 //! its own standard).
 
-mod lexer;
-mod rules;
-
-use rules::{check_file, FileScope};
+use mlpsim_lint::{lint_workspace, sarif};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--rules" || a == "--help") {
-        print!("{}", RULES_HELP);
+        print!("{RULES_HELP}");
         return ExitCode::SUCCESS;
     }
-    let root = match args.first() {
-        Some(p) => PathBuf::from(p),
-        None => workspace_root(),
-    };
+    let mut sarif_out: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--sarif" {
+            match it.next() {
+                Some(p) => sarif_out = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("mlpsim-lint: --sarif requires a path");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            root = Some(PathBuf::from(a));
+        }
+    }
+    let root = root.unwrap_or_else(workspace_root);
     if !root.join("Cargo.toml").is_file() {
         eprintln!(
             "mlpsim-lint: {} does not look like a workspace root (no Cargo.toml)",
@@ -56,57 +50,41 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let mut files = Vec::new();
-    collect_rs_files(&root.join("src"), &mut files);
-    let crates_dir = root.join("crates");
-    match std::fs::read_dir(&crates_dir) {
-        Ok(entries) => {
-            let mut crates: Vec<PathBuf> = entries
-                .filter_map(Result::ok)
-                .map(|e| e.path())
-                .filter(|p| p.is_dir())
-                .collect();
-            crates.sort();
-            for c in crates {
-                collect_rs_files(&c.join("src"), &mut files);
-            }
-        }
-        Err(e) => {
-            eprintln!("mlpsim-lint: cannot read {}: {e}", crates_dir.display());
-            return ExitCode::FAILURE;
-        }
+    let report = lint_workspace(&root);
+    for (path, err) in &report.parse_errors {
+        println!("{path}: parse error: {err}");
     }
-    files.sort();
-
-    let mut violations = 0usize;
-    let mut read_errors = 0usize;
-    for f in &files {
-        let src = match std::fs::read_to_string(f) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("mlpsim-lint: cannot read {}: {e}", f.display());
-                read_errors += 1;
-                continue;
-            }
-        };
-        let key = crate_key(&root, f);
-        let rel = f.strip_prefix(&root).unwrap_or(f);
-        for d in check_file(FileScope { crate_key: &key }, &src) {
-            println!("{}:{}: {}: {}", rel.display(), d.line, d.rule.name(), d.msg);
-            violations += 1;
+    for f in &report.findings {
+        println!(
+            "{}:{}: {}: {}",
+            f.rel_path,
+            f.diag.line,
+            f.diag.rule.name(),
+            f.diag.msg
+        );
+    }
+    if let Some(out) = sarif_out {
+        if let Err(e) = std::fs::write(&out, sarif::to_sarif(&report)) {
+            eprintln!("mlpsim-lint: cannot write {}: {e}", out.display());
+            return ExitCode::FAILURE;
         }
     }
 
     eprintln!(
-        "mlpsim-lint: {} files checked, {} violation{}",
-        files.len(),
-        violations,
-        if violations == 1 { "" } else { "s" }
+        "mlpsim-lint: {} files checked, {} violation{}{}",
+        report.files_checked,
+        report.findings.len(),
+        if report.findings.len() == 1 { "" } else { "s" },
+        if report.parse_errors.is_empty() {
+            String::new()
+        } else {
+            format!(", {} parse error(s)", report.parse_errors.len())
+        }
     );
-    if violations > 0 || read_errors > 0 {
-        ExitCode::FAILURE
-    } else {
+    if report.is_clean() {
         ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 
@@ -121,41 +99,10 @@ fn workspace_root() -> PathBuf {
         .map_or_else(|| PathBuf::from("."), Path::to_path_buf)
 }
 
-/// Directory key gating rule scope: `cache`, `core`, … for
-/// `crates/<key>/…`, `mlpsim` for the root package's `src/`.
-fn crate_key(root: &Path, file: &Path) -> String {
-    let rel = file.strip_prefix(root).unwrap_or(file);
-    let mut comps = rel.components().map(|c| c.as_os_str().to_string_lossy());
-    match comps.next().as_deref() {
-        Some("crates") => comps
-            .next()
-            .map_or_else(|| "mlpsim".to_string(), |c| c.into_owned()),
-        _ => "mlpsim".to_string(),
-    }
-}
-
-/// Recursively collects `.rs` files, skipping test/bench/vendor trees.
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    const SKIP_DIRS: &[&str] = &["tests", "benches", "vendor", "target", ".git"];
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return; // a crate without src/ (or unreadable) is simply not linted
-    };
-    for e in entries.filter_map(Result::ok) {
-        let p = e.path();
-        if p.is_dir() {
-            let name = e.file_name();
-            if !SKIP_DIRS.contains(&name.to_string_lossy().as_ref()) {
-                collect_rs_files(&p, out);
-            }
-        } else if p.extension().is_some_and(|x| x == "rs") {
-            out.push(p);
-        }
-    }
-}
-
 const RULES_HELP: &str = "\
 mlpsim-lint rules (escape: `// lint: allow(D<n>, \"justification\")` on or
-above the offending line; the justification string is mandatory):
+above the offending line; D7 additionally accepts
+`// lint: bounded(\"why the arithmetic cannot overflow\")`):
 
   D1  no HashMap/HashSet iteration in crates cache, core, mem, exec.
       Unordered iteration feeds victim selection and sweep output, making
@@ -190,6 +137,38 @@ above the offending line; the justification string is mandatory):
       read by blocking server threads; without a timeout one stalled
       client parks a thread forever (slow-loris).
 
-Exit status: 0 clean, 1 violations (or IO errors). Output lines are
-`path:line: rule: message`, deterministic across runs.
+AST / call-graph dataflow rules (parser-backed; every workspace file
+must parse — a parse error fails the run):
+
+  D7  bare `+` `-` `*` `<<` on cycle/address/timestamp-typed values in
+      crates cache, core, mem, cpu. Simulated clocks and line addresses
+      are u64s that real traces push near the edges; the PR 7 prefetch
+      overflow was exactly this class. Spell the bound: wrapping_*/
+      saturating_*/checked_*, or justify with `lint: bounded(\"…\")`.
+      Operations with a literal operand are exempt (compile-time bound).
+
+  D8  no function transitively reachable from a serve request handler
+      (a serve fn taking a TcpStream) may panic: panic!-family macros,
+      unwrap()/expect() (except workspace-defined methods of the same
+      name), and slice indexing all count. One malformed request must
+      produce an error response, not a dead handler thread. The full
+      call path is printed with each finding.
+
+  D9  no value derived from the audited telemetry::prof::now_ns() clock
+      may flow into SimResult construction or simulation event payloads
+      (Event::PerfPhase, the host-time observability event, is the one
+      sanctioned carrier). Taint propagates through lets, arithmetic,
+      field reads, and workspace call returns. Host time in simulation
+      output is what the determinism CI exists to catch.
+
+  D10 concurrency-order audit, two parts. (a) Atomics: per telemetry/
+      prof atomic cell, release-class stores (Release/AcqRel/SeqCst)
+      must not pair with all-Relaxed loads, and vice versa — a
+      mismatched pair is either a missing fence or a pointless one.
+      (b) Locks: no two serve-crate Mutexes acquired in opposite
+      nesting orders (lock-order cycle = deadlock waiting to happen).
+
+Exit status: 0 clean, 1 findings or parse errors. Output lines are
+`path:line: rule: message`, deterministic across runs. `--sarif <path>`
+additionally writes a SARIF 2.1.0 report for code-scanning upload.
 ";

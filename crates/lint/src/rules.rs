@@ -46,8 +46,26 @@ pub enum RuleId {
     /// accepted connection with no timeout lets one stalled client hang a
     /// server thread forever.
     D6,
-    /// A `lint: allow` pragma that is malformed (unknown rule or missing
-    /// justification string).
+    /// Overflow hazard: bare `+`/`-`/`*`/`<<` on cycle/address/timestamp
+    /// values in the timing crates must be `wrapping_`/`saturating_`/
+    /// `checked_` (or carry a `lint: bounded` pragma with a justification).
+    /// AST rule — see [`crate::dataflow`].
+    D7,
+    /// Panic reachability: no function transitively reachable from a
+    /// `serve` request handler may panic (`panic!`/`unwrap`/`expect`/
+    /// slice-index). Call-graph rule — see [`crate::dataflow`].
+    D8,
+    /// Clock taint: values derived from `prof::now_ns()` must not flow
+    /// into `SimResult` or simulation event payloads (anything the
+    /// determinism CI diffs). Taint rule — see [`crate::dataflow`].
+    D9,
+    /// Concurrency-order audit: atomics on one telemetry cell must pair
+    /// store/load `Ordering`s consistently, and `serve` must not acquire
+    /// the same two locks in opposite nesting orders. See
+    /// [`crate::dataflow`].
+    D10,
+    /// A `lint: allow` / `lint: bounded` pragma that is malformed
+    /// (unknown rule or missing justification string).
     Pragma,
 }
 
@@ -61,6 +79,10 @@ impl RuleId {
             RuleId::D4 => "D4",
             RuleId::D5 => "D5",
             RuleId::D6 => "D6",
+            RuleId::D7 => "D7",
+            RuleId::D8 => "D8",
+            RuleId::D9 => "D9",
+            RuleId::D10 => "D10",
             RuleId::Pragma => "pragma",
         }
     }
@@ -73,6 +95,10 @@ impl RuleId {
             "D4" => Some(RuleId::D4),
             "D5" => Some(RuleId::D5),
             "D6" => Some(RuleId::D6),
+            "D7" => Some(RuleId::D7),
+            "D8" => Some(RuleId::D8),
+            "D9" => Some(RuleId::D9),
+            "D10" => Some(RuleId::D10),
             _ => None,
         }
     }
@@ -286,10 +312,39 @@ fn attr_open(tokens: &[Token], i: usize) -> bool {
 
 /// Parses allow-pragmas (format in the module docs) out of comments.
 /// Returns the allow list and diagnostics for malformed pragmas.
-fn parse_pragmas(comments: &[Comment]) -> (Vec<(u32, RuleId)>, Vec<Diagnostic>) {
+///
+/// Two forms, both after the `lint:` comment marker (spelled out here
+/// without the marker so the linter does not read its own docs as
+/// pragmas):
+/// - `allow(D<n>, "justification")` — suppresses rule D\<n\> on this
+///   line and the next.
+/// - `bounded("justification")` — D7's dedicated escape for arithmetic
+///   whose bound is proven in the justification; recorded as an allow
+///   for [`RuleId::D7`].
+pub(crate) fn parse_pragmas(comments: &[Comment]) -> (Vec<(u32, RuleId)>, Vec<Diagnostic>) {
     let mut allows = Vec::new();
     let mut diags = Vec::new();
     for c in comments {
+        if let Some(at) = c.text.find("lint: bounded(") {
+            let rest = &c.text[at + "lint: bounded(".len()..];
+            let ok = rest
+                .split_once('"')
+                .and_then(|(_, s)| s.split_once('"'))
+                .map(|(just, _)| !just.trim().is_empty())
+                .unwrap_or(false);
+            if ok {
+                allows.push((c.line, RuleId::D7));
+            } else {
+                diags.push(Diagnostic {
+                    line: c.line,
+                    rule: RuleId::Pragma,
+                    msg: "malformed lint pragma: empty or missing justification string (want \
+                          `lint: bounded(\"reason\")`)"
+                        .to_string(),
+                });
+            }
+            continue;
+        }
         let Some(at) = c.text.find("lint: allow(") else {
             continue;
         };
@@ -325,7 +380,7 @@ fn parse_pragmas(comments: &[Comment]) -> (Vec<(u32, RuleId)>, Vec<Diagnostic>) 
 fn ident(t: &Token) -> Option<&str> {
     match &t.kind {
         TokenKind::Ident(s) => Some(s),
-        TokenKind::Punct(_) => None,
+        _ => None,
     }
 }
 
@@ -416,11 +471,25 @@ fn rule_d1(tokens: &[Token], in_test: &[bool], diags: &mut Vec<Diagnostic>) {
                 }
             }
         }
-        // `for … in <header naming a map> {`.
+        // `for … in <header naming a map> {`. The `in` must actually be
+        // found before a `{`/`;`: `impl Trait for Type` also contains a
+        // `for` token, and without this check the scan window can drift
+        // into unrelated statements and flag a declaration.
         if name == "for" {
             let mut j = i + 1;
-            while j < tokens.len().min(i + 30) && ident(&tokens[j]) != Some("in") {
+            let mut found_in = false;
+            while j < tokens.len().min(i + 30) {
+                if ident(&tokens[j]) == Some("in") {
+                    found_in = true;
+                    break;
+                }
+                if is_punct(&tokens[j], '{') || is_punct(&tokens[j], ';') {
+                    break;
+                }
                 j += 1;
+            }
+            if !found_in {
+                continue;
             }
             for tok in &tokens[j..tokens.len().min(j + 30)] {
                 if is_punct(tok, '{') {
@@ -661,6 +730,21 @@ mod tests {
             impl S { fn f(&self) { for x in self.pending.keys() { use_it(x); } } }
         ";
         assert!(check("analysis", iter).is_empty());
+    }
+
+    #[test]
+    fn d1_ignores_impl_trait_for() {
+        // `impl Default for …` contains a `for` token; the for-loop scan
+        // must not drift past it into a field declaration naming a map.
+        let src = "
+            struct E { credits: HashMap<u64, u8> }
+            impl Default for E {
+                fn default() -> E {
+                    E { credits: HashMap::new() }
+                }
+            }
+        ";
+        assert!(check("core", src).is_empty());
     }
 
     #[test]
@@ -938,7 +1022,7 @@ mod tests {
         for bad in [
             "fn f() {} // lint: allow(D4)",
             "fn f() {} // lint: allow(D4, \"\")",
-            "fn f() {} // lint: allow(D9, \"no such rule\")",
+            "fn f() {} // lint: allow(D99, \"no such rule\")",
         ] {
             let d = check("core", bad);
             assert_eq!(rules(&d), vec![RuleId::Pragma], "{bad}");

@@ -43,12 +43,14 @@ impl Bus {
     /// the memory side at cycle `data_ready`; returns the cycle the full
     /// line has arrived at the cache.
     pub fn schedule_transfer(&mut self, data_ready: u64) -> u64 {
-        let earliest = data_ready + self.fixed_cycles;
+        let earliest = data_ready.saturating_add(self.fixed_cycles);
         let start = earliest.max(self.free_at);
         if start > earliest {
-            self.stats.contention_cycles += start - earliest;
+            // `start > earliest` makes the subtraction exact.
+            let waited = start.wrapping_sub(earliest);
+            self.stats.contention_cycles = self.stats.contention_cycles.saturating_add(waited);
         }
-        let done = start + self.transfer_cycles;
+        let done = start.saturating_add(self.transfer_cycles);
         self.free_at = done;
         self.stats.transfers += 1;
         done
@@ -56,7 +58,7 @@ impl Bus {
 
     /// Unloaded end-to-end bus delay (fixed portion plus one transfer).
     pub fn unloaded_delay(&self) -> u64 {
-        self.fixed_cycles + self.transfer_cycles
+        self.fixed_cycles.saturating_add(self.transfer_cycles)
     }
 
     /// Accumulated statistics.
@@ -85,6 +87,18 @@ mod tests {
         assert_eq!(t1, 460); // waits 16 cycles for the bus
         assert_eq!(b.stats().contention_cycles, 16);
         assert_eq!(b.stats().transfers, 2);
+    }
+
+    #[test]
+    fn clock_saturates_instead_of_wrapping_near_u64_max() {
+        // The spelled-out bounds (D7): a transfer scheduled at the end of
+        // representable time pins at u64::MAX instead of wrapping into
+        // the past (which would un-serialize the bus).
+        let mut b = Bus::new(28, 16);
+        let done = b.schedule_transfer(u64::MAX - 10);
+        assert_eq!(done, u64::MAX);
+        let later = b.schedule_transfer(u64::MAX - 10);
+        assert_eq!(later, u64::MAX, "free_at stays pinned, never regresses");
     }
 
     #[test]

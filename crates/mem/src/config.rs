@@ -39,7 +39,9 @@ impl MemConfig {
     /// Latency of a fully isolated, conflict-free miss: DRAM access plus
     /// the full bus delay. For the baseline this is the paper's 444 cycles.
     pub fn isolated_miss_cycles(&self) -> u64 {
-        self.dram_access_cycles + self.bus_fixed_cycles + self.bus_transfer_cycles
+        self.dram_access_cycles
+            .saturating_add(self.bus_fixed_cycles)
+            .saturating_add(self.bus_transfer_cycles)
     }
 }
 

@@ -68,7 +68,9 @@ impl MemorySystem {
         let data_ready = self.dram.schedule(line, now);
         let done = self.bus.schedule_transfer(data_ready);
         self.stats_fills += 1;
-        self.stats_total_latency += done - now;
+        // `done >= now`: schedule never completes before the request.
+        let latency = done.wrapping_sub(now);
+        self.stats_total_latency = self.stats_total_latency.saturating_add(latency);
         done
     }
 

@@ -60,9 +60,12 @@ impl DramBanks {
         let start = arrival.max(self.bank_free_at[bank]);
         if start > arrival {
             self.stats.bank_conflicts += 1;
-            self.stats.conflict_wait_cycles += start - arrival;
+            // `start > arrival` makes the subtraction exact.
+            let waited = start.wrapping_sub(arrival);
+            self.stats.conflict_wait_cycles =
+                self.stats.conflict_wait_cycles.saturating_add(waited);
         }
-        let done = start + self.access_cycles;
+        let done = start.saturating_add(self.access_cycles);
         self.bank_free_at[bank] = done;
         self.stats.requests += 1;
         done
@@ -107,6 +110,18 @@ mod tests {
         let t = d.schedule(LineAddr(2), 1000);
         assert_eq!(t, 1010);
         assert_eq!(d.stats().bank_conflicts, 0);
+    }
+
+    #[test]
+    fn access_clock_saturates_near_u64_max() {
+        // The spelled-out bounds (D7): an arrival at the end of
+        // representable time pins the bank at u64::MAX instead of
+        // wrapping into the past.
+        let mut d = DramBanks::new(1, 400);
+        assert_eq!(d.schedule(LineAddr(0), u64::MAX - 10), u64::MAX);
+        // The saturated bank makes the next access wait exactly to MAX.
+        assert_eq!(d.schedule(LineAddr(0), 0), u64::MAX);
+        assert_eq!(d.stats().conflict_wait_cycles, u64::MAX);
     }
 
     #[test]

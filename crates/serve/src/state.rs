@@ -385,10 +385,12 @@ impl State {
                     eprintln!("warning: journal append for job {id} failed: {e}");
                 }
                 inner.queue.retain(|&q| q != id);
-                let job = inner
-                    .jobs
-                    .get_mut(&id)
-                    .expect("present: looked up above under the same lock");
+                // Present: looked up above under the same lock. Treat the
+                // impossible miss as an unknown id rather than panicking a
+                // handler thread.
+                let Some(job) = inner.jobs.get_mut(&id) else {
+                    return None;
+                };
                 job.status = JobStatus::Cancelled;
                 job.log.close();
                 drop(inner);

@@ -193,7 +193,8 @@ impl<'a> Parser<'a> {
     }
 
     fn literal(&mut self, lit: &'static str, message: &'static str) -> Result<(), JsonError> {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+        let rest = self.bytes.get(self.pos..).unwrap_or(&[]);
+        if rest.starts_with(lit.as_bytes()) {
             self.pos += lit.len();
             Ok(())
         } else {
@@ -327,7 +328,10 @@ impl<'a> Parser<'a> {
                         2
                     };
                     let end = (self.pos + width).min(self.bytes.len());
-                    let rest = &self.bytes[self.pos..end];
+                    let rest = self
+                        .bytes
+                        .get(self.pos..end)
+                        .ok_or_else(|| self.err("invalid UTF-8"))?;
                     let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
                     let c = s.chars().next().ok_or_else(|| self.err("invalid UTF-8"))?;
                     out.push(c);
@@ -375,8 +379,11 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| self.err("invalid number"))?;
+        let raw = self
+            .bytes
+            .get(start..self.pos)
+            .ok_or_else(|| self.err("invalid number"))?;
+        let text = std::str::from_utf8(raw).map_err(|_| self.err("invalid number"))?;
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| self.err("invalid number"))

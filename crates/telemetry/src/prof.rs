@@ -206,13 +206,17 @@ thread_local! {
 }
 
 /// Open the runtime gate. Scopes entered afterwards are recorded.
+///
+/// The gate is a standalone flag: it publishes no data, every
+/// accumulator is itself atomic, and readers only need to see the flip
+/// eventually. Relaxed on both sides is the honest ordering.
 pub fn enable() {
-    ENABLED.store(true, Ordering::SeqCst);
+    ENABLED.store(true, Ordering::Relaxed);
 }
 
 /// Close the runtime gate; in-flight scopes still record on drop.
 pub fn disable() {
-    ENABLED.store(false, Ordering::SeqCst);
+    ENABLED.store(false, Ordering::Relaxed);
 }
 
 /// Whether the runtime gate is open.
