@@ -39,5 +39,6 @@ macro_rules! invariant {
 pub mod pool;
 
 pub use pool::{
-    default_jobs, jobs_from_var, map_ordered, CancelToken, Cancelled, WorkerPool, JOBS_ENV,
+    default_jobs, jobs_from_var, map_ordered, CancelToken, Cancelled, SpanHook, WorkerPool,
+    JOBS_ENV,
 };

@@ -114,6 +114,28 @@ impl fmt::Display for Cancelled {
 
 impl std::error::Error for Cancelled {}
 
+/// Per-job timing hook for [`WorkerPool::try_map_ordered_spanned`]: the
+/// serving layer passes one to turn every matrix cell into a trace span.
+///
+/// The clock is *injected* as a plain function pointer — this crate stays
+/// clock-free (lint rule D2), exactly like [`CancelToken`] keeps deadlines
+/// out of the pool. `record(idx, start, end)` is called on the worker
+/// thread right after job `idx` finishes, with two readings of `clock`
+/// bracketing the job body; it must be cheap and must not panic.
+#[derive(Clone)]
+pub struct SpanHook {
+    /// Monotonic nanosecond source (the caller owns wall time).
+    pub clock: fn() -> u64,
+    /// Sink for `(submission index, start_ns, end_ns)` of each job run.
+    pub record: Arc<dyn Fn(usize, u64, u64) + Send + Sync>,
+}
+
+impl fmt::Debug for SpanHook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SpanHook").finish_non_exhaustive()
+    }
+}
+
 /// A boxed unit of work.
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -217,12 +239,41 @@ impl WorkerPool {
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
+        self.try_map_ordered_spanned(jobs, cancel, None)
+    }
+
+    /// [`WorkerPool::try_map_ordered`] with an optional per-job timing
+    /// hook: when `hook` is given, each job body is bracketed by two
+    /// `hook.clock` readings and reported through `hook.record` with its
+    /// submission index. Results, ordering, cancellation, and panic
+    /// propagation are identical to the unhooked form — the hook observes
+    /// jobs, it never alters them (skipped-by-cancellation jobs are not
+    /// reported).
+    ///
+    /// # Errors
+    ///
+    /// [`Cancelled`] when the token fired before every job started.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first (by submission index) panicking job's payload.
+    pub fn try_map_ordered_spanned<T, F>(
+        &self,
+        jobs: Vec<F>,
+        cancel: &CancelToken,
+        hook: Option<&SpanHook>,
+    ) -> Result<Vec<T>, Cancelled>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
         let n = jobs.len();
         // `None` in the payload marks a job skipped by cancellation.
         let (tx, rx) = channel::<(usize, Option<thread::Result<T>>)>();
         for (idx, job) in jobs.into_iter().enumerate() {
             let tx = tx.clone();
             let cancel = cancel.clone();
+            let hook = hook.cloned();
             self.submit(move || {
                 if cancel.is_cancelled() {
                     let _ = tx.send((idx, None));
@@ -231,7 +282,15 @@ impl WorkerPool {
                 // Catch so one bad cell doesn't kill the worker thread and
                 // strand the rest of the queue; the panic is re-raised on
                 // the submitting thread below.
-                let out = catch_unwind(AssertUnwindSafe(job));
+                let out = match &hook {
+                    Some(h) => {
+                        let t0 = (h.clock)();
+                        let out = catch_unwind(AssertUnwindSafe(job));
+                        (h.record)(idx, t0, (h.clock)());
+                        out
+                    }
+                    None => catch_unwind(AssertUnwindSafe(job)),
+                };
                 let _ = tx.send((idx, Some(out)));
             });
         }
@@ -505,6 +564,56 @@ mod tests {
         ];
         let result = catch_unwind(AssertUnwindSafe(|| pool.try_map_ordered(jobs, &token)));
         assert!(result.is_err(), "the panic must surface, not the Cancelled");
+    }
+
+    // ---- span hook ----
+
+    #[test]
+    fn span_hook_reports_every_job_without_changing_results() {
+        let pool = WorkerPool::new(4);
+        let spans: Arc<Mutex<Vec<(usize, u64, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&spans);
+        // A deterministic "clock": each reading advances by one.
+        fn tick() -> u64 {
+            static T: AtomicUsize = AtomicUsize::new(0);
+            T.fetch_add(1, Ordering::SeqCst) as u64
+        }
+        let hook = SpanHook {
+            clock: tick,
+            record: Arc::new(move |idx, t0, t1| {
+                sink.lock().expect("span sink").push((idx, t0, t1));
+            }),
+        };
+        let jobs: Vec<_> = (0..12u64).map(|i| move || i * 2).collect();
+        let out = pool
+            .try_map_ordered_spanned(jobs, &CancelToken::new(), Some(&hook))
+            .expect("fresh token");
+        assert_eq!(out, (0..12u64).map(|i| i * 2).collect::<Vec<_>>());
+        let mut got = spans.lock().expect("span sink").clone();
+        got.sort_unstable();
+        assert_eq!(got.len(), 12, "one span per job");
+        let idxs: Vec<usize> = got.iter().map(|s| s.0).collect();
+        assert_eq!(idxs, (0..12).collect::<Vec<_>>());
+        assert!(got.iter().all(|&(_, t0, t1)| t1 > t0), "end after start");
+    }
+
+    #[test]
+    fn span_hook_skips_cancelled_jobs() {
+        let pool = WorkerPool::new(1);
+        let token = CancelToken::new();
+        token.cancel();
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&count);
+        let hook = SpanHook {
+            clock: || 0,
+            record: Arc::new(move |_, _, _| {
+                c.fetch_add(1, Ordering::SeqCst);
+            }),
+        };
+        let jobs: Vec<_> = (0..4u64).map(|i| move || i).collect();
+        let err = pool.try_map_ordered_spanned(jobs, &token, Some(&hook));
+        assert!(err.is_err());
+        assert_eq!(count.load(Ordering::SeqCst), 0, "skipped jobs have no span");
     }
 
     #[test]

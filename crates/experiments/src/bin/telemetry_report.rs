@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! telemetry-report <events.ndjson>
+//! telemetry-report --traces <traces.json>
 //! ```
 //!
 //! Produces, from a stream written by any `--telemetry`-enabled binary:
@@ -27,14 +28,103 @@
 //!   prof-built binaries such as `bench_core --telemetry`): per-phase
 //!   call counts and inclusive/exclusive milliseconds of the
 //!   *simulator's* hot loop.
+//!
+//! With `--traces`, the input is instead a `GET /debug/traces` dump from
+//! `mlpsim-serve`'s flight recorder (`mlpsim-client traces > traces.json`):
+//! the report lists the slowest requests with a per-span breakdown of
+//! each, and flags any trace whose wall-time reconciliation residue
+//! (root duration minus the root's direct children) exceeds 1% — time
+//! the span tree fails to explain.
 
 use mlpsim_analysis::ephist::{EpisodeHistogram, EPISODE_BUCKETS};
 use mlpsim_analysis::stats::percentile;
 use mlpsim_analysis::table::Table;
 use mlpsim_core::quant::bucket_label;
-use mlpsim_telemetry::{read_ndjson, Event, StallLedger};
+use mlpsim_telemetry::{read_ndjson, Event, Json, StallLedger};
 use std::collections::HashMap;
 use std::process::ExitCode;
+
+/// Render the serve-tier traces section from a `GET /debug/traces` dump:
+/// slowest requests first with per-span breakdowns, reconciliation
+/// residue over 1% flagged.
+fn traces_report(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Ok(Json::Arr(mut traces)) = Json::parse(&text) else {
+        eprintln!("{path}: expected a JSON array of traces (a GET /debug/traces body)");
+        return ExitCode::FAILURE;
+    };
+    if traces.is_empty() {
+        println!("{path}: no traces in dump");
+        return ExitCode::SUCCESS;
+    }
+    let dur_of = |t: &Json| t.get("dur_us").and_then(|d| d.as_f64()).unwrap_or(0.0);
+    traces.sort_by(|a, b| dur_of(b).partial_cmp(&dur_of(a)).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut overview = Table::with_headers(&["trace", "request", "status", "dur ms", "residue%", ""]);
+    let mut flagged = 0usize;
+    for t in &traces {
+        let residue = t
+            .get("residue_pct")
+            .and_then(|r| r.as_f64())
+            .unwrap_or(0.0);
+        let over = residue > 1.0;
+        if over {
+            flagged += 1;
+        }
+        overview.row(vec![
+            t.get("trace_id")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_string(),
+            t.get("name").and_then(Json::as_str).unwrap_or("?").to_string(),
+            t.get("status")
+                .and_then(Json::as_u64)
+                .map_or_else(|| "?".into(), |s| s.to_string()),
+            format!("{:.3}", dur_of(t) / 1e3),
+            format!("{residue:.2}"),
+            if over { "<-- UNEXPLAINED >1%".into() } else { String::new() },
+        ]);
+    }
+    println!(
+        "== Traces ({} retained, slowest first; {flagged} with >1% of wall time \
+         unexplained by spans) ==\n{}",
+        traces.len(),
+        overview.render()
+    );
+
+    for t in traces.iter().take(5) {
+        let Some(Json::Arr(spans)) = t.get("spans") else {
+            continue;
+        };
+        let total_us = dur_of(t).max(1.0);
+        let mut st = Table::with_headers(&["span", "start +us", "dur us", "% of req"]);
+        for s in spans {
+            let dur = s.get("dur_us").and_then(|d| d.as_f64()).unwrap_or(0.0);
+            st.row(vec![
+                s.get("name").and_then(Json::as_str).unwrap_or("?").to_string(),
+                s.get("start_us")
+                    .and_then(Json::as_u64)
+                    .map_or_else(|| "?".into(), |v| v.to_string()),
+                format!("{dur:.0}"),
+                format!("{:.1}", 100.0 * dur / total_us),
+            ]);
+        }
+        println!(
+            "-- {} {} ({:.3} ms) --\n{}",
+            t.get("trace_id").and_then(Json::as_str).unwrap_or("?"),
+            t.get("name").and_then(Json::as_str).unwrap_or("?"),
+            dur_of(t) / 1e3,
+            st.render()
+        );
+    }
+    ExitCode::SUCCESS
+}
 
 /// Per-(run, unit, index) flip tracking for dwell times.
 #[derive(Default)]
@@ -52,8 +142,15 @@ struct UnitStats {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--traces") {
+        let Some(path) = args.get(i + 1) else {
+            eprintln!("usage: telemetry-report --traces <traces.json>");
+            return ExitCode::FAILURE;
+        };
+        return traces_report(path);
+    }
     let Some(path) = args.first() else {
-        eprintln!("usage: telemetry-report <events.ndjson>");
+        eprintln!("usage: telemetry-report <events.ndjson> | --traces <traces.json>");
         return ExitCode::FAILURE;
     };
     let events = match read_ndjson(path) {

@@ -21,7 +21,7 @@
 //! `benches`/`policies` covers all 14 benchmarks under LRU and LIN(4).
 
 use crate::figures::{try_fig5_report, try_sweep_report};
-use crate::runner::{RunOptions, DEFAULT_ACCESSES, DEFAULT_SEED};
+use crate::runner::{CellSpanSink, RunOptions, DEFAULT_ACCESSES, DEFAULT_SEED};
 use mlpsim_cpu::policy::PolicyKind;
 use mlpsim_exec::{CancelToken, Cancelled};
 use mlpsim_telemetry::{Json, SinkHandle};
@@ -234,11 +234,29 @@ impl JobSpec {
     ///
     /// [`Cancelled`] when the token fired before the sweep completed.
     pub fn run(&self, telemetry: SinkHandle, cancel: &CancelToken) -> Result<String, Cancelled> {
+        self.run_traced(telemetry, cancel, None)
+    }
+
+    /// [`JobSpec::run`] with an optional per-cell span observer: the
+    /// serving layer passes one to record every matrix cell as a
+    /// `run(cell=i,j)` span on the request's trace. The report bytes are
+    /// identical with or without the observer.
+    ///
+    /// # Errors
+    ///
+    /// [`Cancelled`] when the token fired before the sweep completed.
+    pub fn run_traced(
+        &self,
+        telemetry: SinkHandle,
+        cancel: &CancelToken,
+        cell_spans: Option<CellSpanSink>,
+    ) -> Result<String, Cancelled> {
         let opts = RunOptions {
             accesses: self.accesses,
             seed: self.seed,
             jobs: self.jobs,
             telemetry,
+            cell_spans,
             ..RunOptions::default()
         };
         match &self.kind {

@@ -55,4 +55,4 @@ pub mod jobspec;
 pub mod paper;
 pub mod runner;
 
-pub use runner::{run_bench, run_bench_with, run_many, run_matrix, RunOptions};
+pub use runner::{run_bench, run_bench_with, run_many, run_matrix, CellSpanSink, RunOptions};

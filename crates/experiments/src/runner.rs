@@ -24,7 +24,7 @@ use mlpsim_cpu::config::SystemConfig;
 use mlpsim_cpu::policy::PolicyKind;
 use mlpsim_cpu::stats::SimResult;
 use mlpsim_cpu::system::System;
-use mlpsim_exec::{CancelToken, Cancelled, WorkerPool};
+use mlpsim_exec::{CancelToken, Cancelled, SpanHook, WorkerPool};
 use mlpsim_telemetry::{
     ChromeTraceSink, Event, EventSink, FanoutSink, NdjsonSink, SinkHandle, SinkProbe, VecSink,
 };
@@ -40,6 +40,23 @@ pub const DEFAULT_ACCESSES: usize = 420_000;
 
 /// Default RNG seed for workload generation.
 pub const DEFAULT_SEED: u64 = 42;
+
+/// Observer for per-cell wall time in a matrix sweep: called as
+/// `(row, col, start_ns, end_ns)` — benchmark row, policy column, and two
+/// [`mlpsim_telemetry::prof::now_ns`] readings bracketing the cell's
+/// simulation — on the worker thread right after each cell finishes. The
+/// serving layer uses this to turn every `run(cell=i,j)` into a trace
+/// span; the callback must be cheap and must not panic. Purely
+/// observational: results and telemetry bytes are identical with or
+/// without one.
+#[derive(Clone)]
+pub struct CellSpanSink(pub Arc<dyn Fn(usize, usize, u64, u64) + Send + Sync>);
+
+impl std::fmt::Debug for CellSpanSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CellSpanSink").finish_non_exhaustive()
+    }
+}
 
 /// Options for a benchmark run.
 #[derive(Clone, Debug)]
@@ -60,6 +77,9 @@ pub struct RunOptions {
     /// Worker threads for [`run_many`]/[`run_matrix`] fan-out. The job
     /// count never changes results or output bytes — only wall-clock.
     pub jobs: usize,
+    /// Optional per-cell wall-time observer (tracing). `None` by default;
+    /// never affects results.
+    pub cell_spans: Option<CellSpanSink>,
 }
 
 impl Default for RunOptions {
@@ -71,6 +91,7 @@ impl Default for RunOptions {
             adders: AdderMode::PerEntry,
             telemetry: SinkHandle::disabled(),
             jobs: mlpsim_exec::default_jobs(),
+            cell_spans: None,
         }
     }
 }
@@ -336,7 +357,17 @@ pub fn try_run_matrix(
             jobs.push(move || cell.run(&trace, policy));
         }
     }
-    let cells = pool.try_map_ordered(jobs, cancel)?;
+    // Cells are submitted bench-major, policy-minor, so a flat submission
+    // index decomposes back into (row, col) for the span observer.
+    let hook = opts.cell_spans.as_ref().map(|sink| {
+        let cb = Arc::clone(&sink.0);
+        let ncols = policies.len().max(1);
+        SpanHook {
+            clock: mlpsim_telemetry::prof::now_ns,
+            record: Arc::new(move |idx, t0, t1| cb(idx / ncols, idx % ncols, t0, t1)),
+        }
+    });
+    let cells = pool.try_map_ordered_spanned(jobs, cancel, hook.as_ref())?;
 
     let mut rows = Vec::with_capacity(benches.len());
     let mut it = cells.into_iter();

@@ -60,9 +60,9 @@ impl LintReport {
     }
 }
 
-/// Lints a set of in-memory files: token rules D1–D6 per file, then the
-/// AST/dataflow rules D7–D10 across the whole set. Findings are sorted
-/// by (path, line, rule) so output is deterministic.
+/// Lints a set of in-memory files: token rules D1–D6 and D11 per file,
+/// then the AST/dataflow rules D7–D10 across the whole set. Findings are
+/// sorted by (path, line, rule) so output is deterministic.
 pub fn lint_files(files: &[InputFile]) -> LintReport {
     let mut report = LintReport {
         files_checked: files.len(),
@@ -72,6 +72,7 @@ pub fn lint_files(files: &[InputFile]) -> LintReport {
         for d in check_file(
             FileScope {
                 crate_key: &f.crate_key,
+                rel_path: &f.rel_path,
             },
             &f.src,
         ) {

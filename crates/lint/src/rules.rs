@@ -64,6 +64,13 @@ pub enum RuleId {
     /// the same two locks in opposite nesting orders. See
     /// [`crate::dataflow`].
     D10,
+    /// Structured logging: inside `crates/serve` request-path code, no
+    /// bare `eprintln!` — every stderr line must go through the
+    /// `serve::log` helpers so it is one parseable JSON document carrying
+    /// the request's trace id. `log.rs` itself (the single sanctioned
+    /// write site), the CLI binaries under `bin/`, the client library,
+    /// and test code are exempt.
+    D11,
     /// A `lint: allow` / `lint: bounded` pragma that is malformed
     /// (unknown rule or missing justification string).
     Pragma,
@@ -83,6 +90,7 @@ impl RuleId {
             RuleId::D8 => "D8",
             RuleId::D9 => "D9",
             RuleId::D10 => "D10",
+            RuleId::D11 => "D11",
             RuleId::Pragma => "pragma",
         }
     }
@@ -99,6 +107,7 @@ impl RuleId {
             "D8" => Some(RuleId::D8),
             "D9" => Some(RuleId::D9),
             "D10" => Some(RuleId::D10),
+            "D11" => Some(RuleId::D11),
             _ => None,
         }
     }
@@ -119,6 +128,10 @@ pub struct Diagnostic {
 pub struct FileScope<'a> {
     /// Directory name under `crates/` (the root package is `mlpsim`).
     pub crate_key: &'a str,
+    /// Workspace-relative path — D11 uses it to exempt the serve crate's
+    /// log helper, client library, and `bin/` CLIs from the
+    /// structured-logging requirement.
+    pub rel_path: &'a str,
 }
 
 /// Crates whose state feeds victim selection or sweep output (D1).
@@ -175,6 +188,9 @@ pub fn check_file(scope: FileScope<'_>, src: &str) -> Vec<Diagnostic> {
     let under_enabled = enabled_mask(&lexed.tokens);
     rule_d5(&lexed.tokens, &in_test, &under_enabled, &mut diags);
     rule_d6(&lexed.tokens, &in_test, &mut diags);
+    if scope.crate_key == "serve" && !d11_exempt(scope.rel_path) {
+        rule_d11(&lexed.tokens, &in_test, &mut diags);
+    }
 
     // Apply pragma suppression: an allow on line L covers L and L+1.
     diags.retain(|d| {
@@ -661,12 +677,52 @@ fn rule_d6(tokens: &[Token], in_test: &[bool], diags: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Files inside `crates/serve` that D11 does not cover: the log helper
+/// is the sanctioned `eprintln!` site, the `bin/` CLIs and the client
+/// library write user-facing output, not server request-path logs.
+fn d11_exempt(rel_path: &str) -> bool {
+    rel_path.contains("/bin/")
+        || rel_path.ends_with("/client.rs")
+        || rel_path.ends_with("/log.rs")
+}
+
+/// D11 — bare `eprintln!` in serve request-path code outside tests:
+/// stderr lines from the server must be the structured JSON documents
+/// `serve::log` emits, so they parse and carry the request's trace id.
+fn rule_d11(tokens: &[Token], in_test: &[bool], diags: &mut Vec<Diagnostic>) {
+    for i in 0..tokens.len().saturating_sub(1) {
+        if in_test[i] {
+            continue;
+        }
+        if ident(&tokens[i]) == Some("eprintln") && is_punct(&tokens[i + 1], '!') {
+            diags.push(Diagnostic {
+                line: tokens[i].line,
+                rule: RuleId::D11,
+                msg: "bare `eprintln!` in the serve request path — emit through \
+                      `log::access` / `log::server_event` so the line is structured \
+                      JSON carrying the trace id"
+                    .to_string(),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn check(crate_key: &str, src: &str) -> Vec<Diagnostic> {
-        check_file(FileScope { crate_key }, src)
+        check_path(crate_key, &format!("crates/{crate_key}/src/lib.rs"), src)
+    }
+
+    fn check_path(crate_key: &str, rel_path: &str, src: &str) -> Vec<Diagnostic> {
+        check_file(
+            FileScope {
+                crate_key,
+                rel_path,
+            },
+            src,
+        )
     }
 
     fn rules(diags: &[Diagnostic]) -> Vec<RuleId> {
@@ -951,6 +1007,57 @@ mod tests {
             }
         ";
         assert!(check("serve", src).is_empty());
+    }
+
+    #[test]
+    fn d11_catches_bare_eprintln_in_serve() {
+        let src = "
+            fn handle(id: u64) {
+                eprintln!(\"job {id} failed\");
+            }
+        ";
+        let d = check_path("serve", "crates/serve/src/server.rs", src);
+        assert_eq!(rules(&d), vec![RuleId::D11], "{d:?}");
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn d11_accepts_structured_logging() {
+        let src = "
+            fn handle(id: u64) {
+                log::server_event(None, \"job_failed\", &format!(\"job {id}\"));
+            }
+        ";
+        assert!(check_path("serve", "crates/serve/src/server.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d11_exempts_log_helper_bins_client_and_tests() {
+        let src = "fn f() { eprintln!(\"usage: ...\"); }";
+        assert!(check_path("serve", "crates/serve/src/log.rs", src).is_empty());
+        assert!(check_path("serve", "crates/serve/src/bin/client.rs", src).is_empty());
+        assert!(check_path("serve", "crates/serve/src/client.rs", src).is_empty());
+        // Other crates' stderr writes are not this rule's business.
+        assert!(check_path("experiments", "crates/experiments/src/cli.rs", src).is_empty());
+        // Test code inside serve may print freely.
+        let test_src = "
+            #[cfg(test)]
+            mod tests {
+                fn t() { eprintln!(\"debugging a test\"); }
+            }
+        ";
+        assert!(check_path("serve", "crates/serve/src/state.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn d11_pragma_escape_works() {
+        let src = "
+            fn f() {
+                // lint: allow(D11, \"panic hook runs after the logger is torn down\")
+                eprintln!(\"last gasp\");
+            }
+        ";
+        assert!(check_path("serve", "crates/serve/src/server.rs", src).is_empty());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! SARIF 2.1.0 emission (hand-rolled JSON, dependency-free).
 //!
-//! One run per report: the driver carries the full D1–D10 rule
+//! One run per report: the driver carries the full D1–D11 rule
 //! metadata (so code-scanning UIs can show rule help without a second
 //! lookup), every finding becomes a `result` with a physical location,
 //! and parse failures surface as tool-execution notifications plus
@@ -70,6 +70,12 @@ const RULES: &[(RuleId, &str)] = &[
         RuleId::D10,
         "Concurrency-order audit: atomic store/load Ordering pairs on one cell must \
          be consistent, and no two locks may be acquired in opposite nesting orders.",
+    ),
+    (
+        RuleId::D11,
+        "Inside crates/serve request-path code, no bare eprintln!: stderr lines must \
+         go through the structured serve::log helpers so each is one parseable JSON \
+         document carrying the request's trace id.",
     ),
     (
         RuleId::Pragma,
@@ -242,6 +248,7 @@ mod tests {
             RuleId::D8,
             RuleId::D9,
             RuleId::D10,
+            RuleId::D11,
             RuleId::Pragma,
         ] {
             assert!(

@@ -38,7 +38,7 @@ fn workspace_sarif_is_valid_and_complete() {
     let Some(Json::Arr(rules)) = driver.get("rules") else {
         panic!("driver.rules must be an array");
     };
-    assert_eq!(rules.len(), 11, "D1–D10 plus the pragma rule");
+    assert_eq!(rules.len(), 12, "D1–D11 plus the pragma rule");
 
     // Every finding surfaces as exactly one result, same order.
     let Some(Json::Arr(results)) = run.get("results") else {

@@ -3,19 +3,24 @@
 //! ```text
 //! mlpsim-client --server http://HOST:PORT <command>
 //!
-//!   submit <spec-json | @file | ->   admit a job, print its id
+//!   submit [--traceparent TP] <spec-json | @file | ->
+//!                                    admit a job, print "id trace_id"
 //!   status <id>                      print the job's status document
 //!   list                             print every job's status document
 //!   watch <id>                       stream live NDJSON events to stdout
 //!   result <id>                      print the finished report
 //!   wait <id>                        block until terminal, print the state
 //!   cancel <id>                      cancel a queued or running job
+//!   traces [ID] [--chrome]           dump the flight recorder, or one
+//!                                    trace (as span tree / Chrome trace)
 //!   metrics                          print the Prometheus /metrics body
 //!   drain                            ask the server to drain and exit
 //! ```
 //!
 //! `submit` accepts the spec inline, `@path` to read a file, or `-` for
-//! stdin. Exit codes: 0 success, 2 usage, 3 transport/server failure.
+//! stdin; `--traceparent` injects a W3C trace context so the server's
+//! spans join an upstream trace. Exit codes: 0 success, 2 usage, 3
+//! transport/server failure.
 
 use mlpsim_experiments::cli::{io_error, usage_error};
 use mlpsim_serve::client;
@@ -25,8 +30,8 @@ use std::process::ExitCode;
 fn usage() {
     eprintln!(
         "usage: mlpsim-client --server http://HOST:PORT \
-         <submit SPEC | status ID | list | watch ID | result ID | wait ID | cancel ID | \
-         metrics | drain>"
+         <submit [--traceparent TP] SPEC | status ID | list | watch ID | result ID | wait ID | \
+         cancel ID | traces [ID] [--chrome] | metrics | drain>"
     );
 }
 
@@ -53,12 +58,30 @@ fn load_spec(raw: &str) -> Result<String, String> {
 fn run(server: &str, command: &str, rest: &[String]) -> Result<String, String> {
     match command {
         "submit" => {
-            let raw = rest
-                .first()
-                .ok_or("submit wants a spec (json, @file, or -)")?;
+            let mut traceparent = None;
+            let mut spec_arg = None;
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                if arg == "--traceparent" {
+                    traceparent = Some(
+                        it.next()
+                            .ok_or("--traceparent wants a 00-…-…-… header value")?
+                            .as_str(),
+                    );
+                } else {
+                    spec_arg = Some(arg.as_str());
+                }
+            }
+            let raw = spec_arg.ok_or("submit wants a spec (json, @file, or -)")?;
             let spec = load_spec(raw)?;
-            let id = client::submit(server, &spec)?;
-            Ok(format!("{id}"))
+            let (id, trace_id) = client::submit_traced(server, &spec, traceparent)?;
+            // Print the trace id only when the caller injected a context;
+            // plain `submit` output stays a bare id for scripts.
+            if traceparent.is_some() && !trace_id.is_empty() {
+                Ok(format!("{id} {trace_id}"))
+            } else {
+                Ok(format!("{id}"))
+            }
         }
         "status" => Ok(client::status(server, parse_id(rest.first())?)?.to_string_compact()),
         "list" => {
@@ -89,6 +112,15 @@ fn run(server: &str, command: &str, rest: &[String]) -> Result<String, String> {
             let id = parse_id(rest.first())?;
             let state = client::cancel(server, id)?;
             Ok(format!("job {id}: {state}"))
+        }
+        "traces" => {
+            let chrome = rest.iter().any(|a| a == "--chrome");
+            let id = rest.iter().find(|a| !a.starts_with("--"));
+            match id {
+                Some(id) => Ok(client::trace(server, id, chrome)?.to_string_compact()),
+                None if chrome => Err("traces --chrome wants a trace id".to_string()),
+                None => Ok(client::traces(server)?.to_string_compact()),
+            }
         }
         "metrics" => Ok(client::metrics(server)?.trim_end().to_string()),
         "drain" => {

@@ -67,6 +67,23 @@ pub fn request(
     method: &str,
     path: &str,
     body: Option<&[u8]>,
+    on_chunk: Option<ChunkObserver<'_>>,
+) -> Result<Response, String> {
+    request_with_headers(server, method, path, body, &[], on_chunk)
+}
+
+/// [`request`] plus caller-supplied header pairs — how a `traceparent`
+/// travels with a submission.
+///
+/// # Errors
+///
+/// Connection, framing, or socket errors, as strings for the CLI.
+pub fn request_with_headers(
+    server: &str,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+    extra_headers: &[(&str, &str)],
     mut on_chunk: Option<ChunkObserver<'_>>,
 ) -> Result<Response, String> {
     let host = host_of(server);
@@ -76,10 +93,14 @@ pub fn request(
         .map_err(|e| format!("cannot set read timeout: {e}"))?;
     let mut stream = stream;
     let body = body.unwrap_or(&[]);
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {host}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    let mut head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {host}\r\nContent-Length: {}\r\nConnection: close\r\n",
         body.len()
     );
+    for (name, value) in extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
     stream
         .write_all(head.as_bytes())
         .and_then(|()| stream.write_all(body))
@@ -171,7 +192,33 @@ pub fn request(
 ///
 /// Transport errors and non-201 responses (the server's message).
 pub fn submit(server: &str, spec_json: &str) -> Result<u64, String> {
-    let resp = request(server, "POST", "/jobs", Some(spec_json.as_bytes()), None)?;
+    submit_traced(server, spec_json, None).map(|(id, _)| id)
+}
+
+/// [`submit`] carrying an optional W3C `traceparent` header; returns
+/// `(id, trace_id)` — the trace id the server filed the request under
+/// (echoed in the 201 body, inherited from the header when one was sent).
+///
+/// # Errors
+///
+/// Transport errors and non-201 responses (the server's message).
+pub fn submit_traced(
+    server: &str,
+    spec_json: &str,
+    traceparent: Option<&str>,
+) -> Result<(u64, String), String> {
+    let headers: Vec<(&str, &str)> = traceparent
+        .into_iter()
+        .map(|tp| ("traceparent", tp))
+        .collect();
+    let resp = request_with_headers(
+        server,
+        "POST",
+        "/jobs",
+        Some(spec_json.as_bytes()),
+        &headers,
+        None,
+    )?;
     if resp.status != 201 {
         return Err(format!(
             "submit rejected ({}): {}",
@@ -179,10 +226,60 @@ pub fn submit(server: &str, spec_json: &str) -> Result<u64, String> {
             resp.text().trim()
         ));
     }
-    resp.json()?
+    let doc = resp.json()?;
+    let id = doc
         .get("id")
         .and_then(Json::as_u64)
-        .ok_or_else(|| "submit response lacks an id".to_string())
+        .ok_or_else(|| "submit response lacks an id".to_string())?;
+    let trace_id = doc
+        .get("trace_id")
+        .and_then(Json::as_str)
+        .unwrap_or_default()
+        .to_string();
+    Ok((id, trace_id))
+}
+
+/// `GET /debug/traces` → the flight-recorder dump (array of traces,
+/// newest first).
+///
+/// # Errors
+///
+/// Transport errors and non-200 responses.
+pub fn traces(server: &str) -> Result<Json, String> {
+    let resp = request(server, "GET", "/debug/traces", None, None)?;
+    if resp.status != 200 {
+        return Err(format!(
+            "traces failed ({}): {}",
+            resp.status,
+            resp.text().trim()
+        ));
+    }
+    resp.json()
+}
+
+/// `GET /debug/traces/:id` (or `/chrome` when `chrome`) → one retained
+/// trace as its span tree, or the Chrome trace-event document.
+///
+/// # Errors
+///
+/// Transport errors and non-200 responses (404 once the ring evicts it).
+pub fn trace(server: &str, trace_id: &str, chrome: bool) -> Result<Json, String> {
+    let suffix = if chrome { "/chrome" } else { "" };
+    let resp = request(
+        server,
+        "GET",
+        &format!("/debug/traces/{trace_id}{suffix}"),
+        None,
+        None,
+    )?;
+    if resp.status != 200 {
+        return Err(format!(
+            "trace fetch failed ({}): {}",
+            resp.status,
+            resp.text().trim()
+        ));
+    }
+    resp.json()
 }
 
 /// `GET /jobs/:id` → the status document.

@@ -55,6 +55,17 @@ impl JournalOp {
         }
     }
 
+    /// The wire name of this op (also used as a span tag).
+    pub fn name(&self) -> &'static str {
+        match self {
+            JournalOp::Submit { .. } => "submit",
+            JournalOp::Start { .. } => "start",
+            JournalOp::Done { .. } => "done",
+            JournalOp::Cancelled { .. } => "cancelled",
+            JournalOp::Failed { .. } => "failed",
+        }
+    }
+
     /// Encode as one NDJSON line (no trailing newline).
     pub fn to_line(&self) -> String {
         let pairs: Vec<(String, Json)> = match self {
@@ -226,6 +237,40 @@ impl Journal {
         let mut line = op.to_line();
         line.push('\n');
         self.file.write_all(line.as_bytes())
+    }
+
+    /// [`Journal::append`] recorded as a `journal_append` span on `trace`
+    /// (when one is in scope): the write-ahead append is a real, visible
+    /// phase of every traced request — the disk write sits between
+    /// admission and the queue, and a slow one shows up in the span tree
+    /// instead of vanishing into "queue wait".
+    ///
+    /// # Errors
+    ///
+    /// See [`Journal::append`]; the span records either way (a failed
+    /// append is tagged, and the failure still took the time it took).
+    pub fn append_traced(
+        &mut self,
+        op: &JournalOp,
+        trace: Option<&mlpsim_telemetry::TraceCtx>,
+    ) -> std::io::Result<()> {
+        let Some(ctx) = trace else {
+            return self.append(op);
+        };
+        let t0 = mlpsim_telemetry::prof::now_ns();
+        let out = self.append(op);
+        let mut tags = vec![("op".to_string(), op.name().to_string())];
+        if out.is_err() {
+            tags.push(("failed".to_string(), "true".to_string()));
+        }
+        ctx.record_span(
+            "journal_append",
+            ctx.parent,
+            t0,
+            mlpsim_telemetry::prof::now_ns(),
+            tags,
+        );
+        out
     }
 
     /// Replay the journal at `path`. A missing file is an empty journal.

@@ -36,6 +36,7 @@
 pub mod client;
 pub mod http;
 pub mod journal;
+pub mod log;
 pub mod metrics;
 pub mod server;
 pub mod state;

@@ -37,8 +37,10 @@ pub fn escape_label_value(raw: &str) -> String {
     out
 }
 
-/// The four operational histograms the server maintains. All land on the
-/// shared power-of-two axis; the unit lives in the metric name.
+/// The operational histograms the server maintains. All land on the
+/// shared power-of-two axis; the unit lives in the metric name. The
+/// `request_phase_*` trio mirrors the span names in `/debug/traces`:
+/// a trace explains one request, these aggregate the same phases fleet-wide.
 #[derive(Clone, Debug, Default)]
 pub struct Histograms {
     /// Wall time of each executed job, milliseconds.
@@ -51,11 +53,19 @@ pub struct Histograms {
     /// Lines delivered per event-stream flush — how far behind a
     /// `/jobs/:id/events` reader had fallen when it was woken.
     pub event_stream_backlog_lines: EpisodeHistogram,
+    /// Per-request `queue_wait` phase (submit → scheduler pickup),
+    /// milliseconds — same interval the trace span of that name covers.
+    pub request_phase_queue_wait_ms: EpisodeHistogram,
+    /// Per-request `run` phase (matrix execution), milliseconds.
+    pub request_phase_run_ms: EpisodeHistogram,
+    /// Per-chunk `stream_write` flush latency on `/jobs/:id/events`,
+    /// microseconds.
+    pub request_phase_stream_write_us: EpisodeHistogram,
 }
 
 impl Histograms {
     /// Iterate `(name, histogram)` for rendering, name order fixed.
-    fn families(&self) -> [(&'static str, &EpisodeHistogram); 4] {
+    fn families(&self) -> [(&'static str, &EpisodeHistogram); 7] {
         [
             (
                 "mlpsim_event_stream_backlog_lines",
@@ -67,6 +77,15 @@ impl Histograms {
             ),
             ("mlpsim_job_queue_wait_ms", &self.job_queue_wait_ms),
             ("mlpsim_job_wall_time_ms", &self.job_wall_time_ms),
+            (
+                "mlpsim_request_phase_queue_wait_ms",
+                &self.request_phase_queue_wait_ms,
+            ),
+            ("mlpsim_request_phase_run_ms", &self.request_phase_run_ms),
+            (
+                "mlpsim_request_phase_stream_write_us",
+                &self.request_phase_stream_write_us,
+            ),
         ]
     }
 }
@@ -168,6 +187,9 @@ mod tests {
             "mlpsim_job_queue_wait_ms",
             "mlpsim_http_request_duration_us",
             "mlpsim_event_stream_backlog_lines",
+            "mlpsim_request_phase_queue_wait_ms",
+            "mlpsim_request_phase_run_ms",
+            "mlpsim_request_phase_stream_write_us",
         ] {
             assert!(
                 text.contains(&format!("# TYPE {family} histogram\n")),

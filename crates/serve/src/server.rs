@@ -23,9 +23,13 @@
 
 use crate::http::{self, ChunkedWriter, HttpError, Request};
 use crate::journal::{JobStatus, Journal};
+use crate::log;
 use crate::state::{EventLog, LogSink, State, SubmitError};
 use mlpsim_exec::CancelToken;
 use mlpsim_experiments::jobspec::JobSpec;
+use mlpsim_experiments::CellSpanSink;
+use mlpsim_telemetry::prof;
+use mlpsim_telemetry::trace::{self, TraceCtx};
 use mlpsim_telemetry::{Json, SinkHandle};
 use std::io;
 use std::net::{TcpListener, TcpStream};
@@ -84,14 +88,22 @@ impl Server {
         let journal_path = cfg.data_dir.join("journal.ndjson");
         let recovered = Journal::recover(&journal_path)?;
         if recovered.torn_tail {
-            eprintln!(
-                "warning: journal {} had a torn final line (crash mid-append); dropped it",
-                journal_path.display()
+            log::server_event(
+                None,
+                "journal_torn_tail",
+                &format!(
+                    "journal {} had a torn final line (crash mid-append); dropped it",
+                    journal_path.display()
+                ),
             );
         }
         let pending = recovered.pending().len();
         if pending > 0 {
-            eprintln!("recovered {pending} unfinished job(s); re-enqueued in id order");
+            log::server_event(
+                None,
+                "journal_recovered",
+                &format!("recovered {pending} unfinished job(s); re-enqueued in id order"),
+            );
         }
         let journal = Journal::open(&journal_path)
             .map_err(|e| format!("cannot open journal {}: {e}", journal_path.display()))?;
@@ -156,7 +168,7 @@ impl Server {
                     thread::sleep(Duration::from_millis(10));
                 }
                 Err(e) => {
-                    eprintln!("warning: accept failed: {e}");
+                    log::server_event(None, "accept_failed", &format!("accept failed: {e}"));
                     thread::sleep(Duration::from_millis(10));
                 }
             }
@@ -172,15 +184,23 @@ impl Server {
 
 /// Execute jobs strictly in admission order until drain.
 fn scheduler_loop(state: &Arc<State>) {
-    while let Some((id, spec, log, token)) = state.take_next() {
-        let outcome = execute(&spec, &log, &token);
+    while let Some((id, spec, log, token, trace)) = state.take_next() {
+        let outcome = execute(&spec, &log, &token, trace.as_ref());
         state.finish(id, outcome);
     }
 }
 
 /// Run one job: wire its telemetry to the event log, arm the deadline
-/// watchdog, execute through the shared `figures` run path.
-fn execute(spec: &JobSpec, log: &Arc<EventLog>, token: &CancelToken) -> Result<String, JobStatus> {
+/// watchdog, execute through the shared `figures` run path. With a trace,
+/// the whole execution becomes a root-parented `run` span and every
+/// matrix cell a `run(cell=i,j)` child under it (timed on the worker
+/// threads via the exec span hook).
+fn execute(
+    spec: &JobSpec,
+    log: &Arc<EventLog>,
+    token: &CancelToken,
+    trace: Option<&TraceCtx>,
+) -> Result<String, JobStatus> {
     let _watchdog = spec.deadline_ms.map(|ms| {
         let token = token.clone();
         let log = Arc::clone(log);
@@ -199,7 +219,21 @@ fn execute(spec: &JobSpec, log: &Arc<EventLog>, token: &CancelToken) -> Result<S
         })
     });
     let telemetry = SinkHandle::of(LogSink(Arc::clone(log)));
-    let result = spec.run(telemetry, token);
+    // The `run` span's id is allocated up front so cell spans can parent
+    // under it while it is still open; the span itself is recorded once
+    // the sweep returns.
+    let run_span = trace.map(|ctx| (ctx.clone(), trace::next_span_id(), prof::now_ns()));
+    let cell_spans = run_span.as_ref().map(|(ctx, run_id, _)| {
+        let ctx = ctx.clone();
+        let run_id = *run_id;
+        CellSpanSink(std::sync::Arc::new(move |row, col, t0, t1| {
+            ctx.record_span(&format!("run(cell={row},{col})"), run_id, t0, t1, Vec::new());
+        }))
+    });
+    let result = spec.run_traced(telemetry, token, cell_spans);
+    if let Some((ctx, run_id, t0)) = run_span {
+        ctx.record_span_with_id(run_id, "run", ctx.parent, t0, prof::now_ns(), Vec::new());
+    }
     match result {
         // A fired token always reports Cancelled, even if the sweep
         // happened to finish first — the client asked for it to stop.
@@ -209,7 +243,12 @@ fn execute(spec: &JobSpec, log: &Arc<EventLog>, token: &CancelToken) -> Result<S
     }
 }
 
-/// One request per connection.
+/// One request per connection. Every request gets a [`TraceCtx`] —
+/// continuing the caller's trace when a W3C `traceparent` header came in,
+/// fresh otherwise — whose root span covers the whole exchange. The
+/// handler finishes the trace unless a submitted job adopted it (then the
+/// trace runs until the job is terminal); either way one structured
+/// access-log line goes to stderr here.
 fn handle_connection(
     mut stream: TcpStream,
     state: &Arc<State>,
@@ -221,38 +260,70 @@ fn handle_connection(
     }
     state.count("http_requests_total");
     let t0 = Instant::now();
+    let t0_ns = prof::now_ns();
     let req = match http::read_request(&mut stream) {
         Ok(req) => req,
         Err(HttpError::TooLarge) => {
             let _ = respond_json(&mut stream, 413, &err_json("request body too large"));
+            finish_rejected(state, t0_ns, 413);
             return;
         }
         Err(HttpError::Malformed(m)) => {
             let _ = respond_json(&mut stream, 400, &err_json(&m));
+            finish_rejected(state, t0_ns, 400);
             return;
         }
         Err(HttpError::Io(_)) => return, // stalled or vanished client
     };
-    let _ = route(&mut stream, &req, state, shutdown, cfg);
-    state.observe_request(t0.elapsed().as_micros() as u64);
+    let inherited = req.header("traceparent").and_then(trace::parse_traceparent);
+    let name = format!("{} {}", req.method, req.path);
+    let ctx = TraceCtx::begin_at(&name, inherited, t0_ns);
+    // The socket read + header/body parse happened before the context
+    // could exist; record it retroactively as the first child span.
+    ctx.record_span("parse", ctx.root_span(), t0_ns, prof::now_ns(), Vec::new());
+    let status = match route(&mut stream, &req, state, &ctx, shutdown, cfg) {
+        Ok(status) => status,
+        Err(_) => 499, // client went away mid-write
+    };
+    let dur_us = t0.elapsed().as_micros() as u64;
+    state.observe_request(dur_us);
+    if ctx.adopted() {
+        // A job owns the trace now; log the HTTP exchange itself here
+        // (the job's completion line comes later with the phase times).
+        log::access(&ctx.trace_id_hex(), &name, status, dur_us, &[]);
+    } else {
+        ctx.set_status(status);
+        state.complete_trace(&ctx);
+    }
 }
 
-/// Dispatch one parsed request. Socket errors mean the client went away —
+/// Complete a trace for a request rejected before it had a parseable
+/// request line (oversized or malformed): pinned, named by the failure.
+fn finish_rejected(state: &Arc<State>, t0_ns: u64, status: u16) {
+    let ctx = TraceCtx::begin_at("(unparseable request)", None, t0_ns);
+    ctx.record_span("parse", ctx.root_span(), t0_ns, prof::now_ns(), Vec::new());
+    ctx.set_status(status);
+    state.complete_trace(&ctx);
+}
+
+/// Dispatch one parsed request; returns the response status for the
+/// access log and the trace. Socket errors mean the client went away —
 /// the caller drops the connection either way.
 fn route(
     stream: &mut TcpStream,
     req: &Request,
     state: &Arc<State>,
+    ctx: &TraceCtx,
     shutdown: &Arc<AtomicBool>,
     cfg: &ServerConfig,
-) -> io::Result<()> {
+) -> io::Result<u16> {
     let segs = req.segments();
     match (req.method.as_str(), segs.as_slice()) {
         ("GET", ["healthz"]) => {
             if state.draining() {
-                http::write_response(stream, 503, "text/plain", &[], b"draining\n")
+                http::write_response(stream, 503, "text/plain", &[], b"draining\n").map(|()| 503)
             } else {
-                http::write_response(stream, 200, "text/plain", &[], b"ok\n")
+                http::write_response(stream, 200, "text/plain", &[], b"ok\n").map(|()| 200)
             }
         }
         ("GET", ["metrics"]) => {
@@ -264,18 +335,28 @@ fn route(
                 &[],
                 text.as_bytes(),
             )
+            .map(|()| 200)
         }
         ("POST", ["jobs"]) => {
+            // Admission covers spec parse + journaled submit; the
+            // journal_append span nests under it.
+            let admission = ctx.child("admission");
             let body = String::from_utf8_lossy(&req.body);
             let spec = match JobSpec::parse(&body) {
                 Ok(spec) => spec,
-                Err(e) => return respond_json(stream, 400, &err_json(&e)),
+                Err(e) => {
+                    drop(admission);
+                    return respond_json(stream, 400, &err_json(&e));
+                }
             };
-            match state.submit(spec) {
+            let submitted = state.submit(spec, Some(&admission.ctx()));
+            drop(admission);
+            match submitted {
                 Ok(id) => {
                     let doc = Json::Obj(vec![
                         ("id".into(), Json::Num(id as f64)),
                         ("state".into(), Json::Str("queued".into())),
+                        ("trace_id".into(), Json::Str(ctx.trace_id_hex())),
                     ]);
                     respond_json(stream, 201, &doc)
                 }
@@ -288,6 +369,7 @@ fn route(
                         &[("Retry-After", retry.as_str())],
                         err_json("queue full").to_string_compact().as_bytes(),
                     )
+                    .map(|()| 429)
                 }
                 Err(SubmitError::Draining) => {
                     respond_json(stream, 503, &err_json("server is draining"))
@@ -310,7 +392,7 @@ fn route(
             let Some(log) = state.event_log(id) else {
                 return respond_json(stream, 404, &err_json("no such job"));
             };
-            stream_events(stream, &log, state)
+            stream_events(stream, &log, state, ctx)
         }
         ("GET", ["jobs", id, "result"]) => {
             let Some(id) = parse_id(id) else {
@@ -320,7 +402,9 @@ fn route(
                 return respond_json(stream, 404, &err_json("no such job"));
             }
             match std::fs::read(state.result_path(id)) {
-                Ok(bytes) => http::write_response(stream, 200, "text/plain", &[], &bytes),
+                Ok(bytes) => {
+                    http::write_response(stream, 200, "text/plain", &[], &bytes).map(|()| 200)
+                }
                 Err(_) => respond_json(stream, 404, &err_json("result not available yet")),
             }
         }
@@ -337,14 +421,29 @@ fn route(
             },
             None => respond_json(stream, 400, &err_json("job id wants an integer")),
         },
+        ("GET", ["debug", "traces"]) => respond_json(stream, 200, &state.traces_json()),
+        ("GET", ["debug", "traces", id]) => match parse_trace_id(id) {
+            Some(tid) => match state.trace_json(tid, false) {
+                Some(doc) => respond_json(stream, 200, &doc),
+                None => respond_json(stream, 404, &err_json("no such trace (evicted or unknown)")),
+            },
+            None => respond_json(stream, 400, &err_json("trace id wants 32 lowercase hex digits")),
+        },
+        ("GET", ["debug", "traces", id, "chrome"]) => match parse_trace_id(id) {
+            Some(tid) => match state.trace_json(tid, true) {
+                Some(doc) => respond_json(stream, 200, &doc),
+                None => respond_json(stream, 404, &err_json("no such trace (evicted or unknown)")),
+            },
+            None => respond_json(stream, 400, &err_json("trace id wants 32 lowercase hex digits")),
+        },
         ("POST", ["drain"]) => {
+            let _drain = ctx.child("drain");
             state.begin_drain();
             shutdown.store(true, Ordering::SeqCst);
-            http::write_response(stream, 202, "text/plain", &[], b"draining\n")
+            http::write_response(stream, 202, "text/plain", &[], b"draining\n").map(|()| 202)
         }
-        (_, ["jobs", ..]) | (_, ["drain"]) | (_, ["healthz"]) | (_, ["metrics"]) => {
-            respond_json(stream, 405, &err_json("method not allowed"))
-        }
+        (_, ["jobs", ..]) | (_, ["drain"]) | (_, ["healthz"]) | (_, ["metrics"])
+        | (_, ["debug", ..]) => respond_json(stream, 405, &err_json("method not allowed")),
         _ => respond_json(stream, 404, &err_json("no such route")),
     }
 }
@@ -352,7 +451,14 @@ fn route(
 /// Stream a job's NDJSON event lines as chunks until the job is terminal.
 /// Each flush's line count lands in the backlog histogram — how far
 /// behind this reader had fallen when it was woken.
-fn stream_events(stream: &mut TcpStream, log: &EventLog, state: &Arc<State>) -> io::Result<()> {
+fn stream_events(
+    stream: &mut TcpStream,
+    log: &EventLog,
+    state: &Arc<State>,
+    ctx: &TraceCtx,
+) -> io::Result<u16> {
+    let mut span = ctx.child("stream_write");
+    let mut total_lines = 0u64;
     let mut w = ChunkedWriter::begin(stream, 200, "application/x-ndjson")?;
     let mut cursor = 0usize;
     loop {
@@ -360,15 +466,21 @@ fn stream_events(stream: &mut TcpStream, log: &EventLog, state: &Arc<State>) -> 
         cursor += lines.len();
         if !lines.is_empty() {
             state.observe_backlog(lines.len() as u64);
+            total_lines += lines.len() as u64;
             let mut payload = String::new();
             for line in &lines {
                 payload.push_str(line);
                 payload.push('\n');
             }
-            w.chunk(payload.as_bytes())?;
+            let t0 = prof::now_ns();
+            let wrote = w.chunk(payload.as_bytes());
+            state.observe_stream_write((prof::now_ns() - t0) / 1000);
+            wrote?;
         }
         if done && lines.is_empty() {
-            return w.finish();
+            span.tag("lines", &total_lines.to_string());
+            w.finish()?;
+            return Ok(200);
         }
         if done {
             // Loop once more to pick up any lines racing the close.
@@ -381,12 +493,22 @@ fn parse_id(raw: &str) -> Option<u64> {
     raw.parse().ok()
 }
 
+/// Trace ids travel as exactly 32 lowercase hex digits, the same shape
+/// the traceparent header and `/debug/traces` listing use.
+fn parse_trace_id(raw: &str) -> Option<u128> {
+    if raw.len() != 32 || !raw.bytes().all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase()) {
+        return None;
+    }
+    u128::from_str_radix(raw, 16).ok()
+}
+
 fn err_json(message: &str) -> Json {
     Json::Obj(vec![("error".into(), Json::Str(message.into()))])
 }
 
-fn respond_json(stream: &mut TcpStream, status: u16, doc: &Json) -> io::Result<()> {
+fn respond_json(stream: &mut TcpStream, status: u16, doc: &Json) -> io::Result<u16> {
     let mut body = doc.to_string_compact();
     body.push('\n');
-    http::write_response(stream, status, "application/json", &[], body.as_bytes())
+    http::write_response(stream, status, "application/json", &[], body.as_bytes())?;
+    Ok(status)
 }

@@ -6,9 +6,12 @@
 //! panicked connection thread cannot wedge the whole server.
 
 use crate::journal::{JobStatus, Journal, JournalOp, Recovered};
+use crate::log;
 use crate::metrics::{self, Histograms};
 use mlpsim_exec::CancelToken;
 use mlpsim_experiments::jobspec::JobSpec;
+use mlpsim_telemetry::prof;
+use mlpsim_telemetry::trace::{CompletedTrace, FlightRecorder, TraceCtx};
 use mlpsim_telemetry::{Event, EventSink, Json, Registry};
 use std::collections::{BTreeMap, VecDeque};
 use std::path::{Path, PathBuf};
@@ -121,8 +124,16 @@ pub struct Job {
     pub cancel: CancelToken,
     /// When the job entered the queue (recovery counts as re-admission).
     pub submitted_at: Instant,
+    /// [`prof::now_ns`] reading at admission — the `queue_wait` span's
+    /// start on the job's trace.
+    pub submitted_ns: u64,
     /// When the scheduler took it, once running.
     pub started_at: Option<Instant>,
+    /// The request trace that admitted this job, root-parented; the job's
+    /// lifecycle phases (queue wait, run, terminal journal append) land
+    /// on it and it completes when the job does. `None` for recovered
+    /// jobs (their admitting request died with the previous process).
+    pub trace: Option<TraceCtx>,
 }
 
 /// Why a submission was not admitted.
@@ -151,6 +162,7 @@ pub struct State {
     journal: Mutex<Journal>,
     metrics: Mutex<Registry>,
     hists: Mutex<Histograms>,
+    recorder: FlightRecorder,
     data_dir: PathBuf,
     queue_capacity: usize,
 }
@@ -199,7 +211,9 @@ impl State {
                     },
                     cancel: CancelToken::new(),
                     submitted_at: Instant::now(),
+                    submitted_ns: prof::now_ns(),
                     started_at: None,
+                    trace: None,
                 },
             );
             next_id = next_id.max(r.id + 1);
@@ -215,6 +229,7 @@ impl State {
             journal: Mutex::new(journal),
             metrics: Mutex::new(Registry::new()),
             hists: Mutex::new(Histograms::default()),
+            recorder: FlightRecorder::default(),
             data_dir,
             queue_capacity,
         };
@@ -227,12 +242,17 @@ impl State {
         result_path(&self.data_dir, id)
     }
 
-    /// Admit a job: journal the submit write-ahead, then enqueue.
+    /// Admit a job: journal the submit write-ahead, then enqueue. With a
+    /// `trace` (the admitting request's context, parented wherever the
+    /// caller wants the `journal_append` span), the job *adopts* the
+    /// trace: the request handler must not finish it — the trace runs
+    /// until the job reaches a terminal state, so its root span covers
+    /// accept → terminal and the `queue_wait`/`run` phases land inside.
     ///
     /// # Errors
     ///
     /// [`SubmitError`] when draining, at capacity, or unjournalable.
-    pub fn submit(&self, spec: JobSpec) -> Result<u64, SubmitError> {
+    pub fn submit(&self, spec: JobSpec, trace: Option<&TraceCtx>) -> Result<u64, SubmitError> {
         let mut inner = lock(&self.inner);
         if inner.draining {
             self.count("jobs_rejected_total");
@@ -244,13 +264,22 @@ impl State {
         }
         let id = inner.next_id;
         lock(&self.journal)
-            .append(&JournalOp::Submit {
-                id,
-                spec: spec.to_json(),
-            })
+            .append_traced(
+                &JournalOp::Submit {
+                    id,
+                    spec: spec.to_json(),
+                },
+                trace,
+            )
             .map_err(|e| SubmitError::Journal(e.to_string()))?;
         inner.next_id += 1;
         inner.queue.push_back(id);
+        let adopted = trace.map(|ctx| {
+            // Adopt before the job is visible to the scheduler, so the
+            // handler and the scheduler cannot both finish the trace.
+            ctx.adopt();
+            ctx.at_root()
+        });
         inner.jobs.insert(
             id,
             Job {
@@ -259,7 +288,9 @@ impl State {
                 log: EventLog::new(),
                 cancel: CancelToken::new(),
                 submitted_at: Instant::now(),
+                submitted_ns: prof::now_ns(),
                 started_at: None,
+                trace: adopted,
             },
         );
         drop(inner);
@@ -270,36 +301,60 @@ impl State {
     }
 
     /// Scheduler side: block for the next queued job, journal its start,
-    /// mark it running, and hand back what the executor needs. Returns
-    /// `None` once the server is draining (queued jobs stay journaled for
-    /// the next boot).
-    pub fn take_next(&self) -> Option<(u64, JobSpec, Arc<EventLog>, CancelToken)> {
+    /// mark it running, and hand back what the executor needs — including
+    /// the job's adopted trace, on which the measured `queue_wait` span is
+    /// recorded here (submit-time to now, root-parented). Returns `None`
+    /// once the server is draining (queued jobs stay journaled for the
+    /// next boot).
+    #[allow(clippy::type_complexity)]
+    pub fn take_next(
+        &self,
+    ) -> Option<(u64, JobSpec, Arc<EventLog>, CancelToken, Option<TraceCtx>)> {
         let mut inner = lock(&self.inner);
         loop {
             if inner.draining {
                 return None;
             }
             if let Some(id) = inner.queue.pop_front() {
-                let start = lock(&self.journal).append(&JournalOp::Start { id });
                 let Some(job) = inner.jobs.get_mut(&id) else {
                     continue; // cancelled-while-queued already removed it
                 };
+                let trace = job.trace.clone();
+                let start =
+                    lock(&self.journal).append_traced(&JournalOp::Start { id }, trace.as_ref());
                 if let Err(e) = start {
                     job.status = JobStatus::Failed(format!("journal start failed: {e}"));
                     job.log.close();
+                    if let Some(ctx) = job.trace.take() {
+                        ctx.set_status(500);
+                        self.complete_trace(&ctx);
+                    }
                     continue;
                 }
                 job.status = JobStatus::Running;
                 job.started_at = Some(Instant::now());
                 let waited_ms = job.submitted_at.elapsed().as_millis() as u64;
+                if let Some(ctx) = &trace {
+                    ctx.record_span(
+                        "queue_wait",
+                        ctx.parent,
+                        job.submitted_ns,
+                        prof::now_ns(),
+                        Vec::new(),
+                    );
+                }
                 let out = (
                     id,
                     job.spec.clone(),
                     Arc::clone(&job.log),
                     job.cancel.clone(),
+                    trace,
                 );
                 drop(inner);
-                lock(&self.hists).job_queue_wait_ms.record(waited_ms);
+                let mut hists = lock(&self.hists);
+                hists.job_queue_wait_ms.record(waited_ms);
+                hists.request_phase_queue_wait_ms.record(waited_ms);
+                drop(hists);
                 self.refresh_queue_gauge();
                 return Some(out);
             }
@@ -312,7 +367,10 @@ impl State {
     }
 
     /// Executor side: record a job's terminal state — journal it, persist
-    /// the result text (for `Done`), close the event log.
+    /// the result text (for `Done`), close the event log, and complete
+    /// the job's trace (status-mapped: done → 200, cancelled/deadline →
+    /// 499, failed → 500 — the non-2xx ones land pinned in the flight
+    /// recorder).
     pub fn finish(&self, id: u64, outcome: Result<String, JobStatus>) {
         let (op, status, metric) = match outcome {
             Ok(report) => {
@@ -355,21 +413,39 @@ impl State {
                 "jobs_failed_total",
             ),
         };
-        if let Err(e) = lock(&self.journal).append(&op) {
+        let http_status: u16 = match &status {
+            JobStatus::Done => 200,
+            JobStatus::Cancelled => 499,
+            _ => 500,
+        };
+        let trace = lock(&self.inner).jobs.get(&id).and_then(|j| j.trace.clone());
+        if let Err(e) = lock(&self.journal).append_traced(&op, trace.as_ref()) {
             // The in-memory state still advances; the next boot reruns it.
-            eprintln!("warning: journal append for job {id} failed: {e}");
+            log::server_event(
+                trace.as_ref().map(TraceCtx::trace_id_hex).as_deref(),
+                "journal_append_failed",
+                &format!("journal append for job {id} failed: {e}"),
+            );
         }
         let mut inner = lock(&self.inner);
+        let mut finished_trace = None;
         let ran_ms = inner.jobs.get_mut(&id).and_then(|job| {
             job.status = status;
             job.log.close();
+            finished_trace = job.trace.take();
             job.started_at.map(|t| t.elapsed().as_millis() as u64)
         });
         drop(inner);
         if let Some(ms) = ran_ms {
-            lock(&self.hists).job_wall_time_ms.record(ms);
+            let mut hists = lock(&self.hists);
+            hists.job_wall_time_ms.record(ms);
+            hists.request_phase_run_ms.record(ms);
         }
         self.count(metric);
+        if let Some(ctx) = finished_trace {
+            ctx.set_status(http_status);
+            self.complete_trace(&ctx);
+        }
     }
 
     /// Cancel a job. Queued jobs transition immediately; running jobs get
@@ -381,8 +457,15 @@ impl State {
         let job = inner.jobs.get(&id)?;
         match job.status {
             JobStatus::Queued => {
-                if let Err(e) = lock(&self.journal).append(&JournalOp::Cancelled { id }) {
-                    eprintln!("warning: journal append for job {id} failed: {e}");
+                let trace = job.trace.clone();
+                if let Err(e) =
+                    lock(&self.journal).append_traced(&JournalOp::Cancelled { id }, trace.as_ref())
+                {
+                    log::server_event(
+                        trace.as_ref().map(TraceCtx::trace_id_hex).as_deref(),
+                        "journal_append_failed",
+                        &format!("journal append for job {id} failed: {e}"),
+                    );
                 }
                 inner.queue.retain(|&q| q != id);
                 // Present: looked up above under the same lock. Treat the
@@ -393,9 +476,16 @@ impl State {
                 };
                 job.status = JobStatus::Cancelled;
                 job.log.close();
+                let cancelled_trace = job.trace.take();
                 drop(inner);
                 self.count("jobs_cancelled_total");
                 self.refresh_queue_gauge();
+                if let Some(ctx) = cancelled_trace {
+                    // A cancelled-while-queued job never runs; its trace
+                    // ends here, pinned like every other cancellation.
+                    ctx.set_status(499);
+                    self.complete_trace(&ctx);
+                }
                 Some(JobStatus::Cancelled)
             }
             JobStatus::Running => {
@@ -449,6 +539,71 @@ impl State {
     /// reader's backlog at wake-up.
     pub fn observe_backlog(&self, lines: u64) {
         lock(&self.hists).event_stream_backlog_lines.record(lines);
+    }
+
+    /// Record how long one event-stream chunk write took.
+    pub fn observe_stream_write(&self, micros: u64) {
+        lock(&self.hists).request_phase_stream_write_us.record(micros);
+    }
+
+    /// Close a trace: publish it to the flight recorder, check the
+    /// wall-time reconciliation invariant (the span tree must not
+    /// double-book the measured total — the serving-path sibling of the
+    /// stall ledger's exact reconciliation), and emit the structured
+    /// access-log line carrying the trace id and the phase durations.
+    pub fn complete_trace(&self, ctx: &TraceCtx) -> Arc<CompletedTrace> {
+        let done = ctx.finish(&self.recorder);
+        #[allow(unused_variables)]
+        let recon = done.reconcile();
+        mlpsim_exec::invariant!(
+            !recon.overrun,
+            "trace {} span tree double-books wall time: {recon:?}",
+            done.trace_id_hex()
+        );
+        let mut extra: Vec<(&str, f64)> = Vec::new();
+        if let Some(ns) = done.span_dur_ns("queue_wait") {
+            extra.push(("queue_wait_ms", ns as f64 / 1e6));
+        }
+        if let Some(ns) = done.span_dur_ns("run") {
+            extra.push(("run_ms", ns as f64 / 1e6));
+        }
+        log::access(
+            &done.trace_id_hex(),
+            &done.name,
+            done.status,
+            done.dur_ns / 1000,
+            &extra,
+        );
+        done
+    }
+
+    /// The flight recorder (`/debug/traces` reads it).
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Every retained trace as a JSON array, newest first — the
+    /// `GET /debug/traces` body (full span trees; `telemetry-report
+    /// --traces` consumes this dump directly).
+    pub fn traces_json(&self) -> Json {
+        Json::Arr(
+            self.recorder
+                .snapshot()
+                .iter()
+                .map(|t| t.to_json())
+                .collect(),
+        )
+    }
+
+    /// One retained trace by 32-hex id, as JSON or as a Chrome trace
+    /// document.
+    pub fn trace_json(&self, trace_id: u128, chrome: bool) -> Option<Json> {
+        let t = self.recorder.find(trace_id)?;
+        Some(if chrome {
+            t.to_chrome_trace()
+        } else {
+            t.to_json()
+        })
     }
 
     fn refresh_queue_gauge(&self) {
@@ -506,29 +661,29 @@ mod tests {
     #[test]
     fn queue_capacity_is_enforced() {
         let s = state(2);
-        assert_eq!(s.submit(spec()), Ok(1));
-        assert_eq!(s.submit(spec()), Ok(2));
-        assert_eq!(s.submit(spec()), Err(SubmitError::Full));
+        assert_eq!(s.submit(spec(), None), Ok(1));
+        assert_eq!(s.submit(spec(), None), Ok(2));
+        assert_eq!(s.submit(spec(), None), Err(SubmitError::Full));
         // Scheduler takes one; a slot frees up.
         let (id, ..) = s.take_next().expect("job queued");
         assert_eq!(id, 1);
-        assert_eq!(s.submit(spec()), Ok(3));
+        assert_eq!(s.submit(spec(), None), Ok(3));
     }
 
     #[test]
     fn draining_refuses_submissions_and_stops_scheduler() {
         let s = state(8);
-        s.submit(spec()).expect("admitted");
+        s.submit(spec(), None).expect("admitted");
         s.begin_drain();
-        assert_eq!(s.submit(spec()), Err(SubmitError::Draining));
+        assert_eq!(s.submit(spec(), None), Err(SubmitError::Draining));
         assert!(s.take_next().is_none(), "queued job stays journaled");
     }
 
     #[test]
     fn queued_cancel_removes_from_queue() {
         let s = state(8);
-        let a = s.submit(spec()).expect("admitted");
-        let b = s.submit(spec()).expect("admitted");
+        let a = s.submit(spec(), None).expect("admitted");
+        let b = s.submit(spec(), None).expect("admitted");
         assert_eq!(s.cancel(a), Some(JobStatus::Cancelled));
         assert_eq!(s.cancel(a), Some(JobStatus::Cancelled), "idempotent");
         let (next, ..) = s.take_next().expect("remaining job");
@@ -538,8 +693,8 @@ mod tests {
     #[test]
     fn running_cancel_fires_the_token() {
         let s = state(8);
-        let id = s.submit(spec()).expect("admitted");
-        let (_, _, _, token) = s.take_next().expect("job");
+        let id = s.submit(spec(), None).expect("admitted");
+        let (_, _, _, token, _) = s.take_next().expect("job");
         assert!(!token.is_cancelled());
         assert_eq!(s.cancel(id), Some(JobStatus::Running));
         assert!(token.is_cancelled());
@@ -562,7 +717,7 @@ mod tests {
     #[test]
     fn metrics_text_lists_counters_and_gauges() {
         let s = state(4);
-        s.submit(spec()).expect("admitted");
+        s.submit(spec(), None).expect("admitted");
         let text = s.metrics_text();
         assert!(text.contains("mlpsim_jobs_submitted_total 1"), "{text}");
         assert!(text.contains("mlpsim_queue_depth 1"), "{text}");
@@ -575,7 +730,7 @@ mod tests {
     #[test]
     fn lifecycle_populates_latency_histograms() {
         let s = state(4);
-        let id = s.submit(spec()).expect("admitted");
+        let id = s.submit(spec(), None).expect("admitted");
         let (taken, ..) = s.take_next().expect("job queued");
         assert_eq!(taken, id);
         s.finish(id, Ok("report\n".into()));

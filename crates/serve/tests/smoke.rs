@@ -229,3 +229,107 @@ fn drain_preserves_queued_jobs_and_restart_resumes_them() {
     srv.stop();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn injected_traceparent_propagates_to_the_flight_recorder() {
+    let dir = tmp_dir("traces");
+    let srv = TestServer::start(&dir, 8);
+
+    let tp = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01";
+    let (id, trace_id) = client::submit_traced(
+        &srv.url,
+        r#"{"kind":"fig5","accesses":800,"jobs":1}"#,
+        Some(tp),
+    )
+    .expect("submitted");
+    assert_eq!(
+        trace_id, "0af7651916cd43dd8448eb211c80319c",
+        "the 201 echoes the inherited trace id"
+    );
+    assert_eq!(client::wait(&srv.url, id).expect("terminal"), "done");
+
+    // The trace completes just after the job status flips; poll briefly.
+    let doc = (0..50)
+        .find_map(|_| {
+            client::trace(&srv.url, &trace_id, false).ok().or_else(|| {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                None
+            })
+        })
+        .expect("trace retained in the flight recorder");
+
+    assert_eq!(
+        doc.get("trace_id").and_then(Json::as_str),
+        Some(trace_id.as_str())
+    );
+    // An adopted trace closes at the job's terminal state (Done -> 200),
+    // not at the 201 the submission handler wrote.
+    assert_eq!(doc.get("status").and_then(Json::as_u64), Some(200));
+    let Some(Json::Arr(spans)) = doc.get("spans") else {
+        panic!("trace carries a spans array: {doc:?}");
+    };
+    let names: Vec<&str> = spans
+        .iter()
+        .filter_map(|s| s.get("name").and_then(Json::as_str))
+        .collect();
+    for want in [
+        "request",
+        "parse",
+        "admission",
+        "journal_append",
+        "queue_wait",
+        "run",
+    ] {
+        assert!(
+            names.iter().any(|n| *n == want),
+            "span {want:?} missing from {names:?}"
+        );
+    }
+    assert!(
+        names.iter().any(|n| n.starts_with("run(cell=")),
+        "per-cell run spans present: {names:?}"
+    );
+    // Reconciliation: the span tree explains the root's wall time; the
+    // residue the server computed is present and sane.
+    let residue = doc
+        .get("residue_pct")
+        .and_then(|r| r.as_f64())
+        .expect("residue_pct present");
+    assert!(
+        (0.0..=100.0).contains(&residue),
+        "residue {residue}% out of range"
+    );
+    let root_dur = doc.get("dur_us").and_then(Json::as_u64).expect("dur_us");
+    for s in spans {
+        let d = s.get("dur_us").and_then(Json::as_u64).unwrap_or(0);
+        assert!(
+            d <= root_dur + 1,
+            "span {:?} ({d} us) outlives the request ({root_dur} us)",
+            s.get("name")
+        );
+    }
+
+    // The Chrome export is a valid trace-event document for the same id.
+    let chrome = client::trace(&srv.url, &trace_id, true).expect("chrome export");
+    let Some(Json::Arr(events)) = chrome.get("traceEvents") else {
+        panic!("chrome export has traceEvents: {chrome:?}");
+    };
+    assert!(
+        events.len() > spans.len(),
+        "one X event per span plus metadata"
+    );
+
+    // The listing includes the trace; unknown ids 404.
+    let all = client::traces(&srv.url).expect("listing");
+    let Json::Arr(all) = all else {
+        panic!("listing is an array")
+    };
+    assert!(all
+        .iter()
+        .any(|t| t.get("trace_id").and_then(Json::as_str) == Some(trace_id.as_str())));
+    let missing = client::trace(&srv.url, "00000000000000000000000000000001", false);
+    assert!(missing.is_err(), "unknown trace id must 404");
+
+    srv.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}

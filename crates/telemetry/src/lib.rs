@@ -50,6 +50,7 @@ pub mod prof;
 pub mod registry;
 pub mod sink;
 pub mod span;
+pub mod trace;
 pub mod traceevent;
 
 pub use attrib::{exact_share, LedgerKey, StallLedger};
@@ -60,4 +61,7 @@ pub use prof::{Phase, PhaseReport};
 pub use registry::Registry;
 pub use sink::{read_ndjson, EventSink, FanoutSink, NdjsonSink, SinkHandle, VecSink};
 pub use span::Span;
+pub use trace::{
+    format_traceparent, parse_traceparent, CompletedTrace, FlightRecorder, SpanGuard, TraceCtx,
+};
 pub use traceevent::ChromeTraceSink;

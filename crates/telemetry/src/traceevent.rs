@@ -53,8 +53,10 @@ fn str_json(s: &str) -> Json {
     Json::Str(s.to_string())
 }
 
-/// Build one complete ("X") trace event.
-fn complete_event(
+/// Build one complete ("X") trace event. Public so other exporters
+/// (e.g. [`crate::trace`]'s per-request Chrome export) emit the exact
+/// same slice shape this sink does.
+pub fn complete_event(
     name: &str,
     ts: u64,
     dur: u64,
@@ -74,7 +76,7 @@ fn complete_event(
 }
 
 /// Build one metadata ("M") event naming a process or thread row.
-fn name_event(kind: &str, pid: u64, tid: u64, name: &str) -> Json {
+pub fn name_event(kind: &str, pid: u64, tid: u64, name: &str) -> Json {
     Json::Obj(vec![
         ("name".to_string(), str_json(kind)),
         ("ph".to_string(), str_json("M")),

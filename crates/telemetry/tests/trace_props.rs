@@ -1,0 +1,96 @@
+#![allow(clippy::unwrap_used)] // test/bench code: panics are failures, not bugs
+
+//! Property tests for the W3C traceparent codec: format→parse must
+//! round-trip every representable context, and the parser must reject
+//! the malformed shapes (wrong lengths, uppercase hex, zero ids, unknown
+//! versions) rather than guess.
+
+use mlpsim_telemetry::{format_traceparent, parse_traceparent};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any nonzero (trace, span) with any flags survives format→parse.
+    #[test]
+    fn format_parse_round_trips(
+        hi in 0u64..=u64::MAX,
+        lo in 0u64..=u64::MAX,
+        span in 1u64..=u64::MAX,
+        flags in 0u8..=u8::MAX,
+    ) {
+        let trace_id = ((u128::from(hi) << 64) | u128::from(lo)).max(1);
+        let header = format_traceparent(trace_id, span, flags);
+        prop_assert_eq!(parse_traceparent(&header), Some((trace_id, span, flags)));
+    }
+
+    /// Hex fields of the wrong width are rejected, never zero-padded or
+    /// truncated into a "nearby" context.
+    #[test]
+    fn wrong_width_hex_is_rejected(
+        t in "[0-9a-f]{1,31}",
+        s in "[0-9a-f]{1,15}",
+    ) {
+        prop_assert_eq!(parse_traceparent(&format!("00-{t}-{s}-01")), None);
+        // One field valid does not rescue the other.
+        let good_trace = "0af7651916cd43dd8448eb211c80319c";
+        let good_span = "b7ad6b7169203331";
+        prop_assert_eq!(parse_traceparent(&format!("00-{t}-{good_span}-01")), None);
+        prop_assert_eq!(parse_traceparent(&format!("00-{good_trace}-{s}-01")), None);
+    }
+
+    /// The spec mandates lowercase hex; any uppercase digit invalidates
+    /// the header.
+    #[test]
+    fn uppercase_hex_is_rejected(
+        hi in 0u64..=u64::MAX,
+        lo in 0u64..=u64::MAX,
+        span in 1u64..=u64::MAX,
+    ) {
+        let trace_id = ((u128::from(hi) << 64) | u128::from(lo)).max(1);
+        let header = format_traceparent(trace_id, span, 1);
+        let upper = header.to_ascii_uppercase();
+        // Only meaningful when some digit actually changed case.
+        if upper != header {
+            prop_assert_eq!(parse_traceparent(&upper), None);
+        }
+    }
+
+    /// All-zero trace or span ids are the spec's "invalid" sentinels.
+    #[test]
+    fn zero_ids_are_rejected(
+        span in 1u64..=u64::MAX,
+        hi in 0u64..=u64::MAX,
+        lo in 0u64..=u64::MAX,
+    ) {
+        let trace_id = ((u128::from(hi) << 64) | u128::from(lo)).max(1);
+        prop_assert_eq!(parse_traceparent(&format_traceparent(0, span, 1)), None);
+        prop_assert_eq!(parse_traceparent(&format_traceparent(trace_id, 0, 1)), None);
+    }
+
+    /// Only version 00 is understood; future versions must not be
+    /// misread as the current format.
+    #[test]
+    fn unknown_versions_are_rejected(
+        version in 1u8..=u8::MAX,
+        hi in 0u64..=u64::MAX,
+        span in 1u64..=u64::MAX,
+    ) {
+        let trace_id = u128::from(hi).max(1);
+        let header = format_traceparent(trace_id, span, 1);
+        let reversioned = format!("{:02x}{}", version, &header[2..]);
+        prop_assert_eq!(parse_traceparent(&reversioned), None);
+    }
+
+    /// Structural garbage — missing dashes, extra parts, junk separators.
+    #[test]
+    fn structural_garbage_is_rejected(junk in "[0-9a-fxz-]{0,64}") {
+        // The only strings the parser may accept have exactly the
+        // 2-32-16-2 dash layout; nothing the junk alphabet produces at
+        // random lengths should parse unless it lands on that layout
+        // with nonzero ids — in which case round-tripping it must agree.
+        if let Some((t, s, f)) = parse_traceparent(&junk) {
+            prop_assert_eq!(format_traceparent(t, s, f), junk);
+        }
+    }
+}

@@ -73,6 +73,45 @@ grep -q 'mlpsim_job_wall_time_ms_count 1' "$WORK/metrics.txt"
 grep -q 'mlpsim_job_queue_wait_ms_count 1' "$WORK/metrics.txt"
 echo "   histogram families present"
 
+# --- 2b: request tracing end-to-end ---------------------------------------
+echo "== injected traceparent propagates through spans, recorder, access log"
+TP="00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+OUT=$(client "$URL" submit --traceparent "$TP" '{"kind":"fig5","accesses":600,"jobs":1}')
+TID=$(echo "$OUT" | awk '{print $1}')
+TRACE=$(echo "$OUT" | awk '{print $2}')
+[ "$TRACE" = "4bf92f3577b34da6a3ce929d0e0e4736" ] || {
+    echo "submit did not inherit the injected trace id: $OUT"; exit 1; }
+timeout 60 "$BIN/mlpsim-client" --server "$URL" wait "$TID" | grep -q done
+sleep 0.3 # the trace publishes just after the job flips terminal
+
+# The flight recorder serves the span tree under the injected id, and the
+# tree carries the full request path.
+client "$URL" traces "$TRACE" >"$WORK/trace.json"
+for span in request parse admission journal_append queue_wait run; do
+    grep -q "\"$span\"" "$WORK/trace.json" || {
+        echo "span $span missing from trace:"; cat "$WORK/trace.json"; exit 1; }
+done
+grep -q 'run(cell=' "$WORK/trace.json"
+
+# The Chrome export of the same trace is a trace-event document.
+client "$URL" traces "$TRACE" --chrome >"$WORK/trace_chrome.json"
+grep -q 'traceEvents' "$WORK/trace_chrome.json"
+grep -q '"ph"' "$WORK/trace_chrome.json"
+
+# The structured access log on stderr carries the propagated trace id.
+grep '"kind":"access"' "$WORK/serve.log" | grep -q "$TRACE"
+
+# telemetry-report digests the full recorder dump.
+client "$URL" traces >"$WORK/traces.json"
+"$BIN/telemetry-report" --traces "$WORK/traces.json" >"$WORK/traces_report.txt"
+grep -q "Traces" "$WORK/traces_report.txt"
+
+# Per-phase request histograms appear on the scrape.
+client "$URL" metrics >"$WORK/metrics2.txt"
+grep -q 'mlpsim_request_phase_queue_wait_ms_count' "$WORK/metrics2.txt"
+grep -q 'mlpsim_request_phase_run_ms_count' "$WORK/metrics2.txt"
+echo "   trace id end-to-end: span tree, chrome export, access log, histograms"
+
 # --- 3: cancel a running job ---------------------------------------------
 echo "== cancel a running job"
 SLOW=$(client "$URL" submit '{"kind":"sweep","accesses":60000}')
