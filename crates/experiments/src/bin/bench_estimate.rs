@@ -1,0 +1,162 @@
+//! Benchmarks the analytical sweep planner (`mlpsim-model`): profiles
+//! every bundled trace once, times pure cell scoring (the planner's inner
+//! loop — the thing that must be orders of magnitude cheaper than
+//! simulation for estimate→prune→simulate to pay off), checks the LRU
+//! miss-rate model against the real simulator on every trace, and records
+//! the fig5-grid pruned fraction at the default margin. Results land in
+//! `BENCH_estimate.json` so future model changes have a trajectory to
+//! regress against.
+//!
+//! Two gates fail the binary outright rather than merely reporting:
+//! scoring throughput must clear 10,000 cells/sec, and every per-trace
+//! LRU estimate must land within its stated error band.
+
+use mlpsim_cache::addr::Geometry;
+use mlpsim_cpu::policy::PolicyKind;
+use mlpsim_experiments::cli;
+use mlpsim_experiments::runner::{jobs_from_env, run_matrix, RunOptions};
+use mlpsim_model::characterize::{profile_trace, CharacterizeConfig, TraceProfile};
+use mlpsim_model::plan::{score_cell, DEFAULT_PRUNE_MARGIN};
+use mlpsim_trace::spec::SpecBench;
+use std::fmt::Write as _;
+use std::io::Write;
+use std::process::ExitCode;
+use std::time::Instant;
+
+const ACCESSES: usize = 120_000;
+/// Repeat the grid this many times so the scoring timer integrates over
+/// thousands of cells instead of one noisy microsecond-scale pass.
+const SCORE_ROUNDS: usize = 200;
+const MIN_CELLS_PER_SEC: f64 = 10_000.0;
+
+fn main() -> ExitCode {
+    let jobs = jobs_from_env();
+    let opts = RunOptions {
+        accesses: ACCESSES,
+        jobs,
+        ..RunOptions::default()
+    };
+    let policies = [
+        PolicyKind::Lru,
+        PolicyKind::lin4(),
+        PolicyKind::sbar_default(),
+    ];
+    println!(
+        "bench_estimate — {} benches, {} accesses each, -j{jobs}",
+        SpecBench::ALL.len(),
+        ACCESSES
+    );
+
+    // Phase 1: one-pass characterization of every bundled trace.
+    let t0 = Instant::now();
+    let profiles: Vec<TraceProfile> = SpecBench::ALL
+        .iter()
+        .map(|b| {
+            let t = b.generate(ACCESSES, opts.seed);
+            profile_trace(&t, &CharacterizeConfig::baseline())
+        })
+        .collect();
+    let profile_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!("profile: {profile_ms:8.1} ms for {} traces", profiles.len());
+
+    // Phase 2: pure cell scoring — the planner's per-cell cost.
+    let geometry = Geometry::baseline_l2();
+    let t1 = Instant::now();
+    let mut scored = 0u64;
+    let mut checksum = 0.0f64;
+    for _ in 0..SCORE_ROUNDS {
+        for p in &profiles {
+            for policy in &policies {
+                let s = score_cell(p, geometry, &policy.label(), DEFAULT_PRUNE_MARGIN);
+                checksum += s.estimate.miss_rate;
+                scored += 1;
+            }
+        }
+    }
+    let score_s = t1.elapsed().as_secs_f64();
+    let cells_per_sec = scored as f64 / score_s;
+    println!(
+        "score:   {:8.1} ms for {scored} cells = {cells_per_sec:.0} cells/sec \
+         (checksum {checksum:.3})",
+        score_s * 1e3
+    );
+    assert!(
+        cells_per_sec >= MIN_CELLS_PER_SEC,
+        "planner scoring too slow: {cells_per_sec:.0} cells/sec < {MIN_CELLS_PER_SEC} \
+         — estimate-then-prune no longer pays for itself"
+    );
+
+    // Phase 3: model error — the LRU estimate vs the real simulator.
+    let t2 = Instant::now();
+    let matrix = run_matrix(&SpecBench::ALL, &[PolicyKind::Lru], &opts);
+    let simulate_ms = t2.elapsed().as_secs_f64() * 1e3;
+    let mut per_trace = String::new();
+    let mut max_abs_err = 0.0f64;
+    for ((bench, profile), row) in SpecBench::ALL.iter().zip(&profiles).zip(&matrix) {
+        let s = score_cell(profile, geometry, "lru", DEFAULT_PRUNE_MARGIN);
+        let sim = row[0].l2.miss_ratio();
+        let err = (s.estimate.miss_rate - sim).abs();
+        max_abs_err = max_abs_err.max(err);
+        println!(
+            "model-check bench={} est_miss_rate={:.4} sim_miss_rate={sim:.4} \
+             abs_err={err:.4} band={:.4}",
+            bench.name(),
+            s.estimate.miss_rate,
+            s.estimate.band,
+        );
+        assert!(
+            err <= s.estimate.band,
+            "LRU model error {err:.4} exceeds its stated band {:.4} on {}",
+            s.estimate.band,
+            bench.name()
+        );
+        let _ = write!(
+            per_trace,
+            "{}    {{\"bench\": \"{}\", \"est\": {:.4}, \"sim\": {sim:.4}, \
+             \"abs_err\": {err:.4}, \"band\": {:.4}}}",
+            if per_trace.is_empty() { "" } else { ",\n" },
+            bench.name(),
+            s.estimate.miss_rate,
+            s.estimate.band,
+        );
+    }
+
+    // Phase 4: the fig5 grid's pruned fraction at the default margin.
+    let fig5_policies = [PolicyKind::Lru, PolicyKind::lin4()];
+    let mut pruned = 0usize;
+    let mut total = 0usize;
+    for p in &profiles {
+        for policy in &fig5_policies {
+            total += 1;
+            pruned +=
+                usize::from(score_cell(p, geometry, &policy.label(), DEFAULT_PRUNE_MARGIN).pruned);
+        }
+    }
+    let pruned_fraction = pruned as f64 / total as f64;
+    println!(
+        "fig5 grid at margin {DEFAULT_PRUNE_MARGIN}: pruned {pruned}/{total} \
+         ({:.1}%); simulating the LRU column took {simulate_ms:.1} ms",
+        100.0 * pruned_fraction
+    );
+
+    let json = format!(
+        "{{\n  \"accesses\": {ACCESSES},\n  \"benches\": {},\n  \"jobs\": {jobs},\n  \
+         \"profile_ms\": {profile_ms:.1},\n  \"score_cells\": {scored},\n  \
+         \"score_ms\": {:.1},\n  \"cells_per_sec\": {cells_per_sec:.0},\n  \
+         \"min_cells_per_sec\": {MIN_CELLS_PER_SEC},\n  \
+         \"simulate_lru_ms\": {simulate_ms:.1},\n  \
+         \"max_abs_err_lru\": {max_abs_err:.4},\n  \
+         \"fig5_pruned_fraction\": {pruned_fraction:.3},\n  \
+         \"prune_margin\": {DEFAULT_PRUNE_MARGIN},\n  \
+         \"per_trace\": [\n{per_trace}\n  ]\n}}\n",
+        SpecBench::ALL.len(),
+        score_s * 1e3,
+    );
+    let path = "BENCH_estimate.json";
+    let write = std::fs::File::create(path).and_then(|mut f| f.write_all(json.as_bytes()));
+    if let Err(e) = write {
+        return cli::io_error(&format!("cannot write {path}: {e}"));
+    }
+    println!("wrote {path}");
+    ExitCode::SUCCESS
+}

@@ -8,11 +8,26 @@
 use mlpsim_analysis::table::Table;
 use mlpsim_analysis::util::percent_improvement;
 use mlpsim_cpu::policy::PolicyKind;
+use mlpsim_experiments::figures::planned_sweep_report;
 use mlpsim_experiments::paper::paper_row;
-use mlpsim_experiments::runner::{run_matrix, RunOptions};
+use mlpsim_experiments::runner::{plan_from_env, run_matrix, RunOptions};
 use mlpsim_trace::spec::SpecBench;
 
 fn main() {
+    if let Some(plan) = plan_from_env() {
+        let policies = [
+            PolicyKind::Lru,
+            PolicyKind::Lin { lambda: 1 },
+            PolicyKind::Lin { lambda: 2 },
+            PolicyKind::Lin { lambda: 3 },
+            PolicyKind::Lin { lambda: 4 },
+        ];
+        print!(
+            "{}",
+            planned_sweep_report(&SpecBench::ALL, &policies, &RunOptions::from_env(), &plan)
+        );
+        return;
+    }
     println!("Figure 4 — IPC improvement (%) over LRU for LIN(lambda), lambda = 1..4\n");
     let mut t = Table::with_headers(&[
         "bench",

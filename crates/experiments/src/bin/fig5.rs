@@ -12,9 +12,28 @@
 //! for the same spec — this binary is a thin shell around that one shared
 //! run path.
 
-use mlpsim_experiments::figures::fig5_report;
-use mlpsim_experiments::runner::RunOptions;
+//! `--plan estimate [--prune-margin F]` swaps the full sweep for the
+//! estimate→prune→simulate planner over the same grid; survivors still
+//! run through the unchanged cell path, so their lines are byte-identical
+//! to an unpruned run.
+
+use mlpsim_cpu::policy::PolicyKind;
+use mlpsim_experiments::figures::{fig5_report, planned_sweep_report};
+use mlpsim_experiments::runner::{plan_from_env, RunOptions};
+use mlpsim_trace::spec::SpecBench;
 
 fn main() {
-    print!("{}", fig5_report(&RunOptions::from_env()));
+    let opts = RunOptions::from_env();
+    match plan_from_env() {
+        Some(plan) => print!(
+            "{}",
+            planned_sweep_report(
+                &SpecBench::ALL,
+                &[PolicyKind::Lru, PolicyKind::lin4()],
+                &opts,
+                &plan,
+            )
+        ),
+        None => print!("{}", fig5_report(&opts)),
+    }
 }

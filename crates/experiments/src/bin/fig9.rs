@@ -8,21 +8,29 @@
 use mlpsim_analysis::table::Table;
 use mlpsim_analysis::util::percent_improvement;
 use mlpsim_cpu::policy::PolicyKind;
+use mlpsim_experiments::figures::planned_sweep_report;
 use mlpsim_experiments::paper::paper_row;
-use mlpsim_experiments::runner::{run_matrix, RunOptions};
+use mlpsim_experiments::runner::{plan_from_env, run_matrix, RunOptions};
 use mlpsim_trace::spec::SpecBench;
 
 fn main() {
-    println!("Figure 9 — IPC improvement (%) over LRU: LIN vs SBAR\n");
     // `--telemetry <path.ndjson>` streams every run's events to one file;
     // fold it into tables afterwards with `telemetry-report <path>`.
     let opts = RunOptions::from_env();
-    let mut t = Table::with_headers(&["bench", "LIN", "(paper)", "SBAR", "(paper)"]);
     let policies = [
         PolicyKind::Lru,
         PolicyKind::lin4(),
         PolicyKind::sbar_default(),
     ];
+    if let Some(plan) = plan_from_env() {
+        print!(
+            "{}",
+            planned_sweep_report(&SpecBench::ALL, &policies, &opts, &plan)
+        );
+        return;
+    }
+    println!("Figure 9 — IPC improvement (%) over LRU: LIN vs SBAR\n");
+    let mut t = Table::with_headers(&["bench", "LIN", "(paper)", "SBAR", "(paper)"]);
     let matrix = run_matrix(&SpecBench::ALL, &policies, &opts);
     for (bench, results) in SpecBench::ALL.into_iter().zip(&matrix) {
         let (lru, lin, sbar) = (&results[0], &results[1], &results[2]);

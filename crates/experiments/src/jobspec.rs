@@ -22,10 +22,15 @@
 
 use crate::figures::{try_fig5_report, try_sweep_report};
 use crate::runner::{CellSpanSink, RunOptions, DEFAULT_ACCESSES, DEFAULT_SEED};
+use mlpsim_cache::addr::Geometry;
 use mlpsim_cpu::policy::PolicyKind;
-use mlpsim_exec::{CancelToken, Cancelled};
+use mlpsim_exec::{CancelToken, Cancelled, WorkerPool};
+use mlpsim_model::characterize::{profile_trace, CharacterizeConfig};
+use mlpsim_model::plan::{score_cell, DEFAULT_PRUNE_MARGIN};
 use mlpsim_telemetry::{Json, SinkHandle};
+use mlpsim_trace::record::Trace;
 use mlpsim_trace::spec::SpecBench;
+use std::sync::Arc;
 
 /// What a job computes.
 #[derive(Clone, Debug)]
@@ -71,6 +76,25 @@ pub fn policy_from_name(name: &str, seed: u64) -> Option<PolicyKind> {
             .and_then(|rest| rest.strip_suffix(')'))
             .and_then(|n| n.parse::<u32>().ok())
             .map(|lambda| PolicyKind::Lin { lambda }),
+    }
+}
+
+/// Read the optional `"prune_margin"` field an `/estimate` submission may
+/// carry alongside the normal spec fields ([`JobSpec::from_json`] ignores
+/// unknown fields, so one body serves both endpoints). Defaults to
+/// [`DEFAULT_PRUNE_MARGIN`].
+///
+/// # Errors
+///
+/// A human-readable message when the field is present but not a finite
+/// non-negative number; the server returns it verbatim in the 400 body.
+pub fn prune_margin_from_json(v: &Json) -> Result<f64, String> {
+    match v.get("prune_margin") {
+        None => Ok(DEFAULT_PRUNE_MARGIN),
+        Some(n) => match n.as_f64() {
+            Some(m) if m.is_finite() && m >= 0.0 => Ok(m),
+            _ => Err("\"prune_margin\" wants a finite non-negative number".into()),
+        },
     }
 }
 
@@ -226,6 +250,85 @@ impl JobSpec {
         Json::Obj(pairs)
     }
 
+    /// The benches × policies grid this spec would simulate, in the
+    /// bench-major order the run path uses.
+    fn grid(&self) -> (Vec<SpecBench>, Vec<PolicyKind>) {
+        match &self.kind {
+            JobKind::Fig5 => (
+                SpecBench::ALL.to_vec(),
+                vec![PolicyKind::Lru, PolicyKind::lin4()],
+            ),
+            JobKind::Sweep { benches, policies } => (benches.clone(), policies.clone()),
+        }
+    }
+
+    /// Score every cell of the spec's grid with the analytical model —
+    /// **no simulation runs**. Returns a document whose `"model": true`
+    /// field labels it as an estimate, with per-cell predicted miss rate,
+    /// stated error band, delta vs the incumbent (the first policy), and
+    /// the prune verdict at `margin`.
+    pub fn estimate_doc(&self, margin: f64) -> Json {
+        let (benches, policies) = self.grid();
+        let pool = WorkerPool::new(self.jobs);
+        let (accesses, seed) = (self.accesses, self.seed);
+        let traces: Vec<Arc<Trace>> = pool.map_ordered(
+            benches
+                .iter()
+                .map(|&b| move || Arc::new(b.generate(accesses, seed)))
+                .collect(),
+        );
+        let profiles = pool.map_ordered(
+            traces
+                .iter()
+                .map(|t| {
+                    let t = Arc::clone(t);
+                    move || profile_trace(&t, &CharacterizeConfig::baseline())
+                })
+                .collect(),
+        );
+        let geometry = Geometry::baseline_l2();
+        let mut cells = Vec::with_capacity(benches.len() * policies.len());
+        let mut pruned = 0u64;
+        for (bench, profile) in benches.iter().zip(&profiles) {
+            for policy in &policies {
+                let s = score_cell(profile, geometry, &policy.label(), margin);
+                pruned += u64::from(s.pruned);
+                cells.push(Json::Obj(vec![
+                    ("bench".into(), Json::Str(bench.name().to_string())),
+                    ("policy".into(), Json::Str(policy.label())),
+                    ("est_miss_rate".into(), Json::Num(s.estimate.miss_rate)),
+                    ("band".into(), Json::Num(s.estimate.band)),
+                    ("delta".into(), Json::Num(s.delta)),
+                    ("pruned".into(), Json::Bool(s.pruned)),
+                    ("reason".into(), Json::Str(s.reason)),
+                ]));
+            }
+        }
+        let total = cells.len() as u64;
+        Json::Obj(vec![
+            ("model".into(), Json::Bool(true)),
+            (
+                "kind".into(),
+                Json::Str(match &self.kind {
+                    JobKind::Fig5 => "fig5".into(),
+                    JobKind::Sweep { .. } => "sweep".into(),
+                }),
+            ),
+            ("accesses".into(), Json::Num(self.accesses as f64)),
+            ("seed".into(), Json::Num(self.seed as f64)),
+            ("prune_margin".into(), Json::Num(margin)),
+            ("cells".into(), Json::Arr(cells)),
+            (
+                "summary".into(),
+                Json::Obj(vec![
+                    ("cells".into(), Json::Num(total as f64)),
+                    ("pruned".into(), Json::Num(pruned as f64)),
+                    ("surviving".into(), Json::Num((total - pruned) as f64)),
+                ]),
+            ),
+        ])
+    }
+
     /// Execute the job, streaming telemetry into `telemetry` and honoring
     /// `cancel` at matrix-cell granularity. The returned report is
     /// byte-identical to the corresponding CLI invocation.
@@ -334,6 +437,49 @@ mod tests {
         ] {
             let err = JobSpec::parse(raw).expect_err(raw);
             assert!(err.contains(needle), "{raw}: {err}");
+        }
+    }
+
+    #[test]
+    fn estimate_doc_is_labeled_and_scores_every_cell() {
+        let spec = JobSpec::parse(
+            r#"{"kind":"sweep","benches":["mcf","art"],"policies":["lru","lin(4)"],
+                "accesses":2000,"jobs":2}"#,
+        )
+        .unwrap();
+        let doc = spec.estimate_doc(DEFAULT_PRUNE_MARGIN);
+        assert_eq!(doc.get("model").and_then(Json::as_bool), Some(true));
+        let cells = match doc.get("cells") {
+            Some(Json::Arr(cells)) => cells,
+            other => panic!("expected cells array, got {other:?}"),
+        };
+        assert_eq!(cells.len(), 4);
+        for cell in cells {
+            let rate = cell.get("est_miss_rate").and_then(Json::as_f64).unwrap();
+            assert!((0.0..=1.0).contains(&rate), "{rate}");
+            assert!(cell.get("reason").and_then(Json::as_str).is_some());
+        }
+        let summary = doc.get("summary").unwrap();
+        assert_eq!(summary.get("cells").and_then(Json::as_u64), Some(4));
+        // Estimation never simulates, so it must round-trip the parser.
+        let back = Json::parse(&doc.to_string_compact()).unwrap();
+        assert_eq!(back.to_string_compact(), doc.to_string_compact());
+    }
+
+    #[test]
+    fn prune_margin_field_validates() {
+        let default = prune_margin_from_json(&Json::parse(r#"{"kind":"fig5"}"#).unwrap()).unwrap();
+        assert!((default - DEFAULT_PRUNE_MARGIN).abs() < 1e-12);
+        let explicit =
+            prune_margin_from_json(&Json::parse(r#"{"prune_margin":0.02}"#).unwrap()).unwrap();
+        assert!((explicit - 0.02).abs() < 1e-12);
+        for raw in [
+            r#"{"prune_margin":-0.1}"#,
+            r#"{"prune_margin":"lots"}"#,
+            r#"{"prune_margin":1e999}"#,
+        ] {
+            let err = prune_margin_from_json(&Json::parse(raw).unwrap()).expect_err(raw);
+            assert!(err.contains("prune_margin"), "{raw}: {err}");
         }
     }
 

@@ -275,6 +275,84 @@ pub fn jobs_from_env() -> usize {
     })
 }
 
+/// Sweep-planner options (`--plan estimate`); `None` means a full sweep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PlanOptions {
+    /// Prune a cell when its predicted miss-rate delta vs the incumbent
+    /// is strictly below this margin (`--prune-margin`; 0 keeps every
+    /// cell).
+    pub margin: f64,
+}
+
+impl Default for PlanOptions {
+    fn default() -> Self {
+        PlanOptions {
+            margin: mlpsim_model::plan::DEFAULT_PRUNE_MARGIN,
+        }
+    }
+}
+
+/// Scans `args` for `--plan <mode>` (or `--plan=<mode>`) and
+/// `--prune-margin <F>` (or `--prune-margin=<F>`). Mode `estimate`
+/// enables the analytical planner; `full` (the default) runs the whole
+/// sweep. The margin must be a finite non-negative number and only makes
+/// sense with `--plan estimate` — a margin without a plan is rejected
+/// rather than silently ignored.
+pub fn plan_from_args(args: &[String]) -> Result<Option<PlanOptions>, String> {
+    let mut mode: Option<String> = None;
+    let mut margin: Option<f64> = None;
+    let parse_mode = |raw: &str| -> Result<String, String> {
+        match raw {
+            "estimate" | "full" => Ok(raw.to_string()),
+            _ => Err(format!(
+                "--plan wants \"estimate\" or \"full\", got {raw:?}"
+            )),
+        }
+    };
+    let parse_margin = |raw: &str| -> Result<f64, String> {
+        match raw.parse::<f64>() {
+            Ok(m) if m.is_finite() && m >= 0.0 => Ok(m),
+            _ => Err(format!(
+                "--prune-margin wants a finite non-negative number, got {raw:?}"
+            )),
+        }
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--plan" {
+            match it.next() {
+                Some(m) => mode = Some(parse_mode(m)?),
+                None => return Err("--plan requires a mode argument".into()),
+            }
+        } else if let Some(m) = a.strip_prefix("--plan=") {
+            mode = Some(parse_mode(m)?);
+        } else if a == "--prune-margin" {
+            match it.next() {
+                Some(m) => margin = Some(parse_margin(m)?),
+                None => return Err("--prune-margin requires a number argument".into()),
+            }
+        } else if let Some(m) = a.strip_prefix("--prune-margin=") {
+            margin = Some(parse_margin(m)?);
+        }
+    }
+    match (mode.as_deref(), margin) {
+        (Some("estimate"), m) => Ok(Some(PlanOptions {
+            margin: m.unwrap_or(mlpsim_model::plan::DEFAULT_PRUNE_MARGIN),
+        })),
+        (_, Some(_)) => Err("--prune-margin requires --plan estimate".into()),
+        _ => Ok(None),
+    }
+}
+
+/// [`plan_from_args`] over the process's own command line; exits with the
+/// parse error on a malformed flag.
+pub fn plan_from_env() -> Option<PlanOptions> {
+    plan_from_args(&env_args()).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    })
+}
+
 fn env_args() -> Vec<String> {
     std::env::args().skip(1).collect()
 }
@@ -386,6 +464,50 @@ pub fn try_run_matrix(
         rows.push(row);
     }
     Ok(rows)
+}
+
+/// Runs a ragged list of cells — `(trace index, policy)` pairs over
+/// pre-generated shared traces — on [`RunOptions::jobs`] workers. This is
+/// the sweep planner's survivor path: unlike [`try_run_matrix`] the cell
+/// list need not be a full cross product, but each cell goes through the
+/// *same* per-cell simulation and telemetry buffering, with buffered
+/// events replayed into [`RunOptions::telemetry`] in submission order —
+/// so a surviving cell's results and event bytes are identical to the
+/// ones the full matrix would have produced.
+///
+/// # Panics
+///
+/// Panics if a cell's trace index is out of range for `traces`.
+///
+/// # Errors
+///
+/// [`Cancelled`] when the token fired before every cell completed.
+pub fn try_run_cells(
+    traces: &[Arc<Trace>],
+    cells: &[(usize, PolicyKind)],
+    opts: &RunOptions,
+    cancel: &CancelToken,
+) -> Result<Vec<SimResult>, Cancelled> {
+    let pool = WorkerPool::new(opts.jobs);
+    let cell = CellOptions::of(opts);
+    let jobs: Vec<_> = cells
+        .iter()
+        .map(|&(ti, policy)| {
+            assert!(ti < traces.len(), "cell trace index {ti} out of range");
+            let trace = Arc::clone(&traces[ti]);
+            move || cell.run(&trace, policy)
+        })
+        .collect();
+    let results = pool.try_map_ordered(jobs, cancel)?;
+    Ok(results
+        .into_iter()
+        .map(|(result, events)| {
+            for ev in events {
+                opts.telemetry.emit(ev);
+            }
+            result
+        })
+        .collect())
 }
 
 /// The `Send + Copy` slice of [`RunOptions`] a worker needs to simulate
@@ -553,6 +675,58 @@ mod tests {
         assert!(parse(&["--jobs", "many"]).is_err());
         assert!(parse(&["-jx"]).is_err());
         assert!(parse(&[]).unwrap() >= 1);
+    }
+
+    #[test]
+    fn plan_flag_parsing() {
+        let parse =
+            |args: &[&str]| plan_from_args(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+        assert_eq!(parse(&[]).unwrap(), None);
+        assert_eq!(parse(&["--plan", "full"]).unwrap(), None);
+        let defaulted = parse(&["--plan", "estimate"]).unwrap().unwrap();
+        assert_eq!(defaulted.margin, mlpsim_model::plan::DEFAULT_PRUNE_MARGIN);
+        let explicit = parse(&["--plan=estimate", "--prune-margin", "0.02"])
+            .unwrap()
+            .unwrap();
+        assert_eq!(explicit.margin, 0.02);
+        assert_eq!(
+            parse(&["--plan", "estimate", "--prune-margin=0"])
+                .unwrap()
+                .unwrap()
+                .margin,
+            0.0
+        );
+        // Garbage values exit through Err (the *_from_env twin exits 2).
+        assert!(parse(&["--plan", "maybe"]).is_err());
+        assert!(parse(&["--plan"]).is_err());
+        assert!(parse(&["--plan", "estimate", "--prune-margin", "lots"]).is_err());
+        assert!(parse(&["--plan", "estimate", "--prune-margin", "-0.1"]).is_err());
+        assert!(parse(&["--plan", "estimate", "--prune-margin", "NaN"]).is_err());
+        assert!(parse(&["--plan", "estimate", "--prune-margin"]).is_err());
+        // A margin without the planner is a contradiction, not a no-op.
+        assert!(parse(&["--prune-margin", "0.01"]).is_err());
+        assert!(parse(&["--plan", "full", "--prune-margin", "0.01"]).is_err());
+    }
+
+    #[test]
+    fn run_cells_matches_matrix_cells() {
+        let opts = RunOptions {
+            accesses: 2_000,
+            jobs: 2,
+            ..RunOptions::default()
+        };
+        let benches = [SpecBench::Mcf, SpecBench::Art];
+        let policies = [PolicyKind::Lru, PolicyKind::lin4()];
+        let matrix = run_matrix(&benches, &policies, &opts);
+        let traces: Vec<Arc<Trace>> = benches
+            .iter()
+            .map(|b| Arc::new(b.generate(opts.accesses, opts.seed)))
+            .collect();
+        // A ragged subset: (mcf, lin4) and (art, lru).
+        let cells = [(0usize, PolicyKind::lin4()), (1usize, PolicyKind::Lru)];
+        let results = try_run_cells(&traces, &cells, &opts, &CancelToken::new()).unwrap();
+        assert_eq!(results[0], matrix[0][1]);
+        assert_eq!(results[1], matrix[1][0]);
     }
 
     #[test]

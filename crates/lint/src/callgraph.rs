@@ -18,6 +18,18 @@
 //! (the json module defines its own `expect`, which is a call edge, not a
 //! panic), and slice/array indexing. Rule D8 walks reachability from the
 //! serve request handlers over these.
+//!
+//! **Panic isolation** — a closure handed to `thread::spawn` runs on its
+//! own thread: a panic inside it unwinds that thread and surfaces as
+//! `Err` from `join()` in the caller, so it cannot kill the calling
+//! thread. Edges and sinks collected inside such a closure are marked
+//! [`Edge::isolated`]/[`Sink::isolated`]; [`CallGraph::reach`] does not
+//! traverse isolated edges and D8 skips isolated sinks. The boundary is
+//! deliberately narrow (literal `thread::spawn(|…| …)` /
+//! `std::thread::spawn(move || …)` call syntax): a closure built
+//! elsewhere and passed by name gets no isolation credit, and anything
+//! the caller does with the `join()` result — say `.unwrap()` — is
+//! ordinary non-isolated code that D8 still sees.
 
 use crate::ast::{Block, Expr, ExprKind, Pat, Stmt, Ty};
 use crate::symbols::{FnId, Workspace};
@@ -29,6 +41,10 @@ pub struct Edge {
     pub callee: FnId,
     /// Call-site line in the *caller*'s file.
     pub line: u32,
+    /// True when the call site sits inside a closure handed to
+    /// `thread::spawn`: a panic past this edge unwinds the spawned
+    /// thread, not the caller, so panic reachability stops here.
+    pub isolated: bool,
 }
 
 /// A potential panic site inside one function.
@@ -37,6 +53,9 @@ pub struct Sink {
     pub line: u32,
     /// What panics: `panic!`, `unwrap()`, `expect()`, `slice index`.
     pub what: &'static str,
+    /// True when the sink sits inside a closure handed to
+    /// `thread::spawn` (see [`Edge::isolated`]).
+    pub isolated: bool,
 }
 
 /// The graph: `edges[f]` and `sinks[f]` are indexed by [`FnId`].
@@ -57,15 +76,87 @@ const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
 /// into D8 reachability), and `.expect(…)` on an `Option` must stay a
 /// panic sink even when a workspace type defines its own `expect`.
 const STD_METHODS: &[&str] = &[
-    "unwrap", "expect", "unwrap_or", "unwrap_or_else", "unwrap_or_default", "ok", "err", "map",
-    "map_err", "and_then", "or_else", "is_some", "is_none", "is_ok", "is_err", "get", "get_mut",
-    "insert", "remove", "push", "pop", "len", "is_empty", "iter", "iter_mut", "into_iter", "next",
-    "clone", "lock", "send", "recv", "join", "read", "write", "flush", "drain", "contains",
-    "contains_key", "entry", "extend", "sort", "sort_by", "sort_by_key", "min", "max", "take",
-    "replace", "to_string", "parse", "as_str", "as_bytes", "split", "trim", "starts_with",
-    "ends_with", "store", "load", "fetch_add", "swap", "spawn", "accept", "shutdown", "write_all",
-    "read_exact", "clear", "last", "first", "position", "find", "filter", "collect", "count",
-    "rev", "clamp", "abs", "from", "into", "try_into", "try_from", "default", "new",
+    "unwrap",
+    "expect",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "ok",
+    "err",
+    "map",
+    "map_err",
+    "and_then",
+    "or_else",
+    "is_some",
+    "is_none",
+    "is_ok",
+    "is_err",
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "push",
+    "pop",
+    "len",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "clone",
+    "lock",
+    "send",
+    "recv",
+    "join",
+    "read",
+    "write",
+    "flush",
+    "drain",
+    "contains",
+    "contains_key",
+    "entry",
+    "extend",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "min",
+    "max",
+    "take",
+    "replace",
+    "to_string",
+    "parse",
+    "as_str",
+    "as_bytes",
+    "split",
+    "trim",
+    "starts_with",
+    "ends_with",
+    "store",
+    "load",
+    "fetch_add",
+    "swap",
+    "spawn",
+    "accept",
+    "shutdown",
+    "write_all",
+    "read_exact",
+    "clear",
+    "last",
+    "first",
+    "position",
+    "find",
+    "filter",
+    "collect",
+    "count",
+    "rev",
+    "clamp",
+    "abs",
+    "from",
+    "into",
+    "try_into",
+    "try_from",
+    "default",
+    "new",
 ];
 
 impl CallGraph {
@@ -85,6 +176,7 @@ impl CallGraph {
                     caller: f.id,
                     self_ty: f.self_ty.as_deref(),
                     crate_key: &f.crate_key,
+                    isolated: false,
                     edges: &mut g.edges[f.id],
                     sinks: &mut g.sinks[f.id],
                 };
@@ -92,9 +184,12 @@ impl CallGraph {
             }
         }
         for (edges, sinks) in g.edges.iter_mut().zip(&mut g.sinks) {
-            edges.sort_by_key(|e| (e.line, e.callee));
+            // `false < true`, so when the same call site is seen both
+            // isolated and not, the non-isolated (conservative) record
+            // survives the dedup.
+            edges.sort_by_key(|e| (e.line, e.callee, e.isolated));
             edges.dedup_by_key(|e| (e.line, e.callee));
-            sinks.sort_by_key(|s| (s.line, s.what));
+            sinks.sort_by_key(|s| (s.line, s.what, s.isolated));
             sinks.dedup_by_key(|s| (s.line, s.what));
         }
         g
@@ -102,6 +197,9 @@ impl CallGraph {
 
     /// BFS from `roots`; returns, for each reached fn, the predecessor
     /// `(caller, line)` that first discovered it (roots map to `None`).
+    /// Isolated edges — calls inside a closure handed to `thread::spawn`
+    /// — are not traversed: a panic past them unwinds the spawned thread
+    /// and comes back as `Err` at `join()`, never up the caller's stack.
     pub fn reach(&self, roots: &[FnId]) -> BTreeMap<FnId, Option<(FnId, u32)>> {
         let mut seen: BTreeMap<FnId, Option<(FnId, u32)>> = BTreeMap::new();
         let mut queue: std::collections::VecDeque<FnId> = roots.iter().copied().collect();
@@ -110,6 +208,9 @@ impl CallGraph {
         }
         while let Some(f) = queue.pop_front() {
             for e in &self.edges[f] {
+                if e.isolated {
+                    continue;
+                }
                 seen.entry(e.callee).or_insert_with(|| {
                     queue.push_back(e.callee);
                     Some((f, e.line))
@@ -146,6 +247,8 @@ struct Cx<'a> {
     caller: FnId,
     self_ty: Option<&'a str>,
     crate_key: &'a str,
+    /// True while walking a closure handed to `thread::spawn`.
+    isolated: bool,
     edges: &'a mut Vec<Edge>,
     sinks: &'a mut Vec<Sink>,
 }
@@ -185,7 +288,9 @@ fn walk_body(block: &Block, env: &mut Env, cx: &mut Cx<'_>) {
     let mut scope = env.clone();
     for stmt in &block.stmts {
         match stmt {
-            Stmt::Let { pat, ty, init, els, .. } => {
+            Stmt::Let {
+                pat, ty, init, els, ..
+            } => {
                 if let Some(e) = init {
                     walk(e, &mut scope, cx);
                 }
@@ -219,13 +324,25 @@ fn walk_body(block: &Block, env: &mut Env, cx: &mut Cx<'_>) {
 fn walk(expr: &Expr, env: &mut Env, cx: &mut Cx<'_>) {
     match &expr.kind {
         ExprKind::Call { callee, args } => {
+            let mut spawn_boundary = false;
             if let Some(path) = callee.as_path() {
                 resolve_path_call(path, expr.line, cx);
+                spawn_boundary = is_thread_spawn(path);
             } else {
                 walk(callee, env, cx);
             }
             for a in args {
-                walk(a, env, cx);
+                // Only the closure literal itself is isolated: its body
+                // runs on the spawned thread. Any other argument — and
+                // the expressions a closure is *built from* elsewhere —
+                // still evaluates on the caller's thread.
+                if spawn_boundary && matches!(a.kind, ExprKind::Closure { .. }) {
+                    let was = std::mem::replace(&mut cx.isolated, true);
+                    walk(a, env, cx);
+                    cx.isolated = was;
+                } else {
+                    walk(a, env, cx);
+                }
             }
         }
         ExprKind::MethodCall { recv, name, args } => {
@@ -239,13 +356,19 @@ fn walk(expr: &Expr, env: &mut Env, cx: &mut Cx<'_>) {
                 Some(callee) => cx.edges.push(Edge {
                     callee,
                     line: expr.line,
+                    isolated: cx.isolated,
                 }),
                 None => {
                     if PANIC_METHODS.contains(&name.as_str()) {
-                        let what = if name == "unwrap" { "unwrap()" } else { "expect()" };
+                        let what = if name == "unwrap" {
+                            "unwrap()"
+                        } else {
+                            "expect()"
+                        };
                         cx.sinks.push(Sink {
                             line: expr.line,
                             what,
+                            isolated: cx.isolated,
                         });
                     }
                 }
@@ -261,6 +384,7 @@ fn walk(expr: &Expr, env: &mut Env, cx: &mut Cx<'_>) {
                     cx.sinks.push(Sink {
                         line: expr.line,
                         what: "panic!",
+                        isolated: cx.isolated,
                     });
                 }
             }
@@ -277,6 +401,7 @@ fn walk(expr: &Expr, env: &mut Env, cx: &mut Cx<'_>) {
             cx.sinks.push(Sink {
                 line: expr.line,
                 what: "slice index",
+                isolated: cx.isolated,
             });
         }
         ExprKind::If { cond, then, els } => {
@@ -414,8 +539,19 @@ fn resolve_path_call(path: &[String], line: u32, cx: &mut Cx<'_>) {
             .collect()
     };
     if let Some(callee) = pick(candidates, cx) {
-        cx.edges.push(Edge { callee, line });
+        cx.edges.push(Edge {
+            callee,
+            line,
+            isolated: cx.isolated,
+        });
     }
+}
+
+/// Is this call path literally `thread::spawn` / `std::thread::spawn`?
+/// The workspace defines no free fn named `spawn`, so the syntactic test
+/// cannot shadow a real edge.
+fn is_thread_spawn(path: &[String]) -> bool {
+    matches!(path, [.., qual, name] if qual == "thread" && name == "spawn")
 }
 
 /// Resolves `.name(…)` with an optional inferred receiver type.
@@ -437,7 +573,11 @@ fn resolve_method(recv_ty: Option<&str>, name: &str, cx: &Cx<'_>) -> Option<FnId
         .into_iter()
         .filter(|id| {
             let f = &cx.ws.fns[*id];
-            f.self_ty.is_some() && f.def.params.first().is_some_and(|p| matches!(p.ty, Ty::SelfTy))
+            f.self_ty.is_some()
+                && f.def
+                    .params
+                    .first()
+                    .is_some_and(|p| matches!(p.ty, Ty::SelfTy))
         })
         .collect();
     if methods.len() == 1 {
@@ -479,7 +619,10 @@ fn infer_ty(expr: &Expr, env: &Env, cx: &Cx<'_>) -> Option<String> {
             let path = callee.as_path()?;
             let name = path.last()?;
             let candidates: Vec<FnId> = if path.len() >= 2
-                && path[path.len() - 2].chars().next().is_some_and(char::is_uppercase)
+                && path[path.len() - 2]
+                    .chars()
+                    .next()
+                    .is_some_and(char::is_uppercase)
             {
                 cx.ws.methods_of(&path[path.len() - 2], name)
             } else {
@@ -587,7 +730,9 @@ mod tests {
         let g = CallGraph::build(&w);
         let parse = fid(&w, "parse");
         assert!(g.sinks[parse].is_empty(), "{:?}", g.sinks[parse]);
-        assert!(g.edges[parse].iter().any(|e| w.fns[e.callee].name == "expect"));
+        assert!(g.edges[parse]
+            .iter()
+            .any(|e| w.fns[e.callee].name == "expect"));
         let boom = fid(&w, "boom");
         assert_eq!(g.sinks[boom].len(), 1);
         assert_eq!(g.sinks[boom][0].what, "expect()");

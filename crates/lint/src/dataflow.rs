@@ -246,7 +246,9 @@ fn d7_hazard(e: &Expr, env: &D7Env, cx: &D7Cx<'_>) -> bool {
 /// Whether an unambiguous workspace fn behind `path` returns a
 /// hazard-typed value.
 fn d7_ret_hazard(path: &[String], cx: &D7Cx<'_>) -> bool {
-    let Some(name) = path.last() else { return false };
+    let Some(name) = path.last() else {
+        return false;
+    };
     let candidates: Vec<FnId> = if path.len() >= 2
         && path[path.len() - 2]
             .chars()
@@ -534,6 +536,12 @@ fn check_d8(ws: &Workspace, graph: &CallGraph, out: &mut Vec<Finding>) {
             continue;
         }
         for s in &graph.sinks[id] {
+            // Sinks inside a `thread::spawn` closure unwind the spawned
+            // thread and surface as `Err` at `join()`; the handler
+            // thread itself survives, which is all D8 guards.
+            if s.isolated {
+                continue;
+            }
             out.push(Finding {
                 rel_path: f.rel_path.clone(),
                 diag: Diagnostic {
@@ -870,7 +878,9 @@ impl D9Scan<'_, '_> {
     /// Return-taint of a workspace fn behind a call path (any matching
     /// candidate tainting is enough — conservative on name collisions).
     fn call_ret_taint(&self, path: &[String]) -> bool {
-        let Some(name) = path.last() else { return false };
+        let Some(name) = path.last() else {
+            return false;
+        };
         let candidates: Vec<FnId> = if path.len() >= 2
             && path[path.len() - 2]
                 .chars()
@@ -1132,7 +1142,7 @@ fn d10b_block(b: &Block, live: &mut Vec<LockGuard>, cx: &mut D10bCx<'_>) {
                 }
                 live.truncate(stmt_mark); // init temporaries die at the `;`
                 if let Pat::Bind { name, sub: None } = pat {
-                    if let Some(key) = init.as_ref().and_then(|e| acquire_key(e)) {
+                    if let Some(key) = init.as_ref().and_then(acquire_key) {
                         live.push(LockGuard {
                             var: Some(name.clone()),
                             key,
@@ -1494,6 +1504,84 @@ fn frame_len(spec: Option<usize>) -> usize {
 "#,
         )]);
         assert_eq!(lines_for(&r, RuleId::D8), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn d8_spawned_closure_is_a_panic_isolation_boundary() {
+        // The panicking work runs inside `thread::spawn(move || …)` and
+        // the handler handles the `join()` Err: a panic unwinds the
+        // spawned thread and becomes an error response, which is exactly
+        // what D8 demands — no finding.
+        let r = run(vec![file(
+            "serve",
+            "handler.rs",
+            r#"use std::net::TcpStream;
+use std::thread;
+
+pub fn handle(stream: TcpStream) -> usize {
+    let _ = stream;
+    let joined = thread::spawn(move || score(None)).join();
+    match joined {
+        Ok(v) => v,
+        Err(_) => 0,
+    }
+}
+
+fn score(spec: Option<usize>) -> usize {
+    spec.expect("present")
+}
+"#,
+        )]);
+        assert_eq!(lines_for(&r, RuleId::D8), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn d8_unwrapped_join_is_still_a_finding() {
+        // Spawning buys nothing if the handler then unwraps the join
+        // result: the panic is re-raised on the handler thread. The
+        // `.unwrap()` is ordinary handler code and stays a D8 sink
+        // (while `score`'s own `expect` stays isolated — one finding).
+        let r = run(vec![file(
+            "serve",
+            "handler.rs",
+            r#"use std::net::TcpStream;
+use std::thread;
+
+pub fn handle(stream: TcpStream) -> usize {
+    let _ = stream;
+    thread::spawn(move || score(None)).join().unwrap()
+}
+
+fn score(spec: Option<usize>) -> usize {
+    spec.expect("present")
+}
+"#,
+        )]);
+        assert_eq!(lines_for(&r, RuleId::D8), vec![6]);
+    }
+
+    #[test]
+    fn d8_closure_without_spawn_gets_no_isolation_credit() {
+        // The same closure body run on the handler thread (an iterator
+        // adapter here) is NOT isolated — the boundary is the literal
+        // `thread::spawn(<closure>)` syntax, nothing looser.
+        let r = run(vec![file(
+            "serve",
+            "handler.rs",
+            r#"use std::net::TcpStream;
+
+pub fn handle(stream: TcpStream) -> usize {
+    let _ = stream;
+    let sizes = vec![1usize];
+    sizes.iter().map(|n| score(Some(*n))).count()
+}
+
+fn score(spec: Option<usize>) -> usize {
+    spec.expect("present")
+}
+"#,
+        )]);
+        assert_eq!(lines_for(&r, RuleId::D8), vec![10]);
     }
 
     // ---- D9 ---------------------------------------------------------------

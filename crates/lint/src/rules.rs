@@ -139,8 +139,19 @@ const D1_CRATES: &[&str] = &["cache", "core", "mem", "exec"];
 /// Crates that constitute simulation logic (D2). `telemetry` is included
 /// so wall-clock reads in core crates go only through the audited
 /// `telemetry::prof` clock shim, whose own `Instant` uses carry allow
-/// pragmas.
-const D2_CRATES: &[&str] = &["cache", "core", "mem", "cpu", "exec", "trace", "telemetry"];
+/// pragmas. `model` is included because the analytical estimators must be
+/// as deterministic as the simulator they stand in for — a planner that
+/// prunes different cells on different hosts is a reproducibility bug.
+const D2_CRATES: &[&str] = &[
+    "cache",
+    "core",
+    "mem",
+    "cpu",
+    "exec",
+    "trace",
+    "telemetry",
+    "model",
+];
 /// Crates holding the paper's cost/quantization model (D3).
 const D3_CRATES: &[&str] = &["core"];
 
@@ -681,9 +692,7 @@ fn rule_d6(tokens: &[Token], in_test: &[bool], diags: &mut Vec<Diagnostic>) {
 /// is the sanctioned `eprintln!` site, the `bin/` CLIs and the client
 /// library write user-facing output, not server request-path logs.
 fn d11_exempt(rel_path: &str) -> bool {
-    rel_path.contains("/bin/")
-        || rel_path.ends_with("/client.rs")
-        || rel_path.ends_with("/log.rs")
+    rel_path.contains("/bin/") || rel_path.ends_with("/client.rs") || rel_path.ends_with("/log.rs")
 }
 
 /// D11 — bare `eprintln!` in serve request-path code outside tests:
@@ -824,6 +833,21 @@ mod tests {
         }
         // Experiments may time things.
         assert!(check("experiments", "fn f() { let t = Instant::now(); }").is_empty());
+    }
+
+    #[test]
+    fn d2_covers_the_model_crate() {
+        // The analytical estimators stand in for the simulator; a wall
+        // clock or ambient RNG there makes planner decisions irreproducible.
+        for planted in [
+            "use std::time::Instant; fn f() { let t = Instant::now(); }",
+            "fn f() { let r = rand::thread_rng(); }",
+        ] {
+            assert!(
+                rules(&check("model", planted)).contains(&RuleId::D2),
+                "{planted}"
+            );
+        }
     }
 
     #[test]

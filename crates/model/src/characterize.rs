@@ -1,0 +1,431 @@
+//! One-pass trace characterization: everything the estimators need,
+//! extracted in a single streamed walk with O(distinct lines) memory.
+//!
+//! For each (optionally L1-filtered) access the characterizer updates:
+//!
+//! - an **exact global reuse-distance histogram** (Mattson stack via
+//!   [`StackDist`]) — the fully-associative view;
+//! - **per-set stack-distance profiles** at one or more reference set
+//!   counts, distances capped at [`SET_WAY_CAP`] — these make LRU miss
+//!   counts *exact* (not modeled) for any geometry whose set count
+//!   matches a reference and whose associativity is below the cap;
+//! - **per-line popularity counts** feeding the Zipf fit
+//!   ([`crate::zipf`]).
+//!
+//! The optional L1 filter matters because the simulator's L2 only sees
+//! L1 misses: running the same baseline L1 LRU model in front of the
+//! characterizer reproduces the reference stream the simulated L2
+//! receives, which is what lets the set-profile path predict the
+//! simulator's L2 miss counts exactly at the baseline (DESIGN.md §17).
+//!
+//! Determinism: the walk is a pure fold over the access sequence; all
+//! maps are ordered (`BTreeMap`), all state is seeded by the trace alone.
+
+use crate::stackdist::StackDist;
+use crate::zipf::{self, ZipfFit};
+use mlpsim_cache::addr::{Geometry, LineAddr};
+use mlpsim_cache::lru::LruEngine;
+use mlpsim_cache::model::CacheModel;
+use mlpsim_trace::record::{Access, AccessKind, Trace};
+use std::collections::BTreeMap;
+
+/// Per-set stack distances are tracked exactly up to this many ways; an
+/// associativity at or above the cap falls back to the analytical
+/// estimators. 64 covers every geometry the sweeps use (the baseline L2
+/// is 16-way).
+pub const SET_WAY_CAP: usize = 64;
+
+/// How to characterize a trace.
+#[derive(Clone, Debug)]
+pub struct CharacterizeConfig {
+    /// Run this LRU cache in front of the characterizer and only
+    /// characterize its misses — the stream a downstream L2 would see.
+    pub l1_filter: Option<Geometry>,
+    /// Reference set counts for exact per-set LRU profiles. Empty
+    /// disables set profiling (the estimators then always use the
+    /// fully-associative histogram plus the associativity correction).
+    pub set_profile_sets: Vec<u32>,
+}
+
+impl Default for CharacterizeConfig {
+    fn default() -> Self {
+        CharacterizeConfig::baseline()
+    }
+}
+
+impl CharacterizeConfig {
+    /// The planner's configuration: baseline L1D filter, set profile at
+    /// the baseline L2's 1024 sets.
+    pub fn baseline() -> Self {
+        CharacterizeConfig {
+            l1_filter: Some(Geometry::baseline_l1d()),
+            set_profile_sets: vec![Geometry::baseline_l2().sets()],
+        }
+    }
+
+    /// No filter, no set profiles: the raw reference stream's histogram
+    /// and popularity only (what the characterizer proptests pin down).
+    pub fn unfiltered() -> Self {
+        CharacterizeConfig {
+            l1_filter: None,
+            set_profile_sets: Vec::new(),
+        }
+    }
+
+    /// Replace the reference set counts.
+    #[must_use]
+    pub fn with_set_profiles(mut self, sets: &[u32]) -> Self {
+        self.set_profile_sets = sets.to_vec();
+        self
+    }
+}
+
+/// One log2 bucket of the reuse-distance histogram: the exact mean
+/// distance of the accesses that landed in the bucket, and how many did.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HistBucket {
+    /// Mean stack distance within the bucket.
+    pub mean: f64,
+    /// Accesses in the bucket.
+    pub count: u64,
+}
+
+/// Exact reuse-distance histogram over distinct-line stack distances.
+#[derive(Clone, Debug, Default)]
+pub struct ReuseHistogram {
+    counts: BTreeMap<u64, u64>,
+    total: u64,
+}
+
+impl ReuseHistogram {
+    /// Record one reuse at stack distance `d`.
+    pub fn record(&mut self, d: u64) {
+        *self.counts.entry(d).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Total recorded reuses (excludes cold accesses, which have no
+    /// distance).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact `(distance, count)` pairs in ascending distance order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter().map(|(&d, &c)| (d, c))
+    }
+
+    /// Reuses with distance in `[lo, hi)`.
+    pub fn mass_in(&self, lo: u64, hi: u64) -> u64 {
+        self.counts.range(lo..hi).map(|(_, &c)| c).sum()
+    }
+
+    /// Collapse into ~64 log2 buckets (distance 0 alone in bucket 0),
+    /// each carrying its exact within-bucket mean — the summary the
+    /// estimators iterate so scoring a cell is O(buckets), not
+    /// O(distinct distances).
+    pub fn buckets(&self) -> Vec<HistBucket> {
+        let mut sums = [0.0f64; 66];
+        let mut counts = [0u64; 66];
+        for (&d, &c) in &self.counts {
+            let b = if d == 0 {
+                0
+            } else {
+                64 - (d.leading_zeros() as usize)
+            };
+            sums[b] += d as f64 * c as f64;
+            counts[b] += c;
+        }
+        let mut out = Vec::new();
+        for b in 0..66 {
+            if counts[b] > 0 {
+                out.push(HistBucket {
+                    mean: sums[b] / counts[b] as f64,
+                    count: counts[b],
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Exact capped per-set stack-distance profile at one reference set
+/// count: predicts LRU hit/miss counts exactly for `sets()` sets and any
+/// associativity `< SET_WAY_CAP`.
+#[derive(Clone, Debug)]
+pub struct SetLruProfile {
+    sets: u32,
+    /// `dist[set * (SET_WAY_CAP + 1) + min(d, SET_WAY_CAP)]`.
+    dist: Vec<u64>,
+    cold: u64,
+    accesses: u64,
+}
+
+impl SetLruProfile {
+    fn new(sets: u32) -> Self {
+        SetLruProfile {
+            sets,
+            dist: vec![0; (sets as usize) * (SET_WAY_CAP + 1)],
+            cold: 0,
+            accesses: 0,
+        }
+    }
+
+    fn record(&mut self, set: usize, d: Option<u64>) {
+        self.accesses += 1;
+        match d {
+            Some(d) => {
+                let b = usize::try_from(d).unwrap_or(SET_WAY_CAP).min(SET_WAY_CAP);
+                self.dist[set * (SET_WAY_CAP + 1) + b] += 1;
+            }
+            None => self.cold += 1,
+        }
+    }
+
+    /// The reference set count this profile was collected at.
+    pub fn sets(&self) -> u32 {
+        self.sets
+    }
+
+    /// Accesses the profile covers (post-filter).
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Exact LRU miss count for a `sets() × ways` cache, or `None` when
+    /// `ways` reaches the tracked cap (the capped bucket can no longer
+    /// split hits from misses).
+    pub fn lru_misses(&self, ways: u16) -> Option<u64> {
+        let w = usize::from(ways);
+        if w >= SET_WAY_CAP {
+            return None;
+        }
+        let mut hits = 0u64;
+        for set in 0..self.sets as usize {
+            let row = &self.dist[set * (SET_WAY_CAP + 1)..(set + 1) * (SET_WAY_CAP + 1)];
+            hits += row[..w].iter().sum::<u64>();
+        }
+        Some(self.accesses - hits)
+    }
+}
+
+/// Everything one pass extracted from a trace.
+#[derive(Clone, Debug)]
+pub struct TraceProfile {
+    /// Accesses in the raw trace.
+    pub raw_accesses: u64,
+    /// Accesses the characterizer saw (equals `raw_accesses` without a
+    /// filter; the L1-miss stream with one).
+    pub accesses: u64,
+    /// Cold (first-touch) accesses among `accesses`.
+    pub cold: u64,
+    /// Distinct lines among `accesses`.
+    pub distinct_lines: u64,
+    /// Exact fully-associative reuse-distance histogram.
+    pub hist: ReuseHistogram,
+    /// Exact per-set LRU profiles, one per configured reference set
+    /// count.
+    pub set_profiles: Vec<SetLruProfile>,
+    /// Fitted power-law popularity curve.
+    pub zipf: ZipfFit,
+    /// Whether an L1 filter ran in front of the characterizer.
+    pub l1_filtered: bool,
+    buckets: Vec<HistBucket>,
+}
+
+impl TraceProfile {
+    /// The precomputed log2 summary of [`TraceProfile::hist`].
+    pub fn buckets(&self) -> &[HistBucket] {
+        &self.buckets
+    }
+
+    /// The exact per-set profile collected at `sets`, if configured.
+    pub fn set_profile(&self, sets: u32) -> Option<&SetLruProfile> {
+        self.set_profiles.iter().find(|p| p.sets() == sets)
+    }
+
+    /// Fraction of accesses whose stack distance falls in the *transition
+    /// band* `[capacity/2, 8·capacity)` of a cache holding
+    /// `capacity_lines` lines — the reuses whose hit/miss outcome is
+    /// actually in play at that size. Cold misses are excluded: they miss
+    /// under every policy equally. This is the planner's per-cell
+    /// improvement potential (DESIGN.md §17).
+    pub fn transition_mass(&self, capacity_lines: u64) -> f64 {
+        if self.accesses == 0 {
+            return 0.0;
+        }
+        let lo = capacity_lines / 2;
+        let hi = capacity_lines.saturating_mul(8);
+        self.hist.mass_in(lo, hi) as f64 / self.accesses as f64
+    }
+}
+
+/// The streaming characterizer: feed accesses, then [`finish`].
+///
+/// [`finish`]: Characterizer::finish
+#[derive(Debug)]
+pub struct Characterizer {
+    l1: Option<CacheModel>,
+    ref_sets: Vec<u32>,
+    global: StackDist,
+    per_set: Vec<Vec<StackDist>>,
+    profiles: Vec<SetLruProfile>,
+    hist: ReuseHistogram,
+    popularity: BTreeMap<u64, u64>,
+    raw_accesses: u64,
+    accesses: u64,
+    cold: u64,
+    seq: u64,
+}
+
+impl Characterizer {
+    /// A fresh characterizer under `cfg`.
+    pub fn new(cfg: &CharacterizeConfig) -> Self {
+        let l1 = cfg
+            .l1_filter
+            .map(|g| CacheModel::new(g, Box::new(LruEngine::new())));
+        let per_set = cfg
+            .set_profile_sets
+            .iter()
+            .map(|&s| vec![StackDist::new(); s as usize])
+            .collect();
+        let profiles = cfg
+            .set_profile_sets
+            .iter()
+            .map(|&s| SetLruProfile::new(s))
+            .collect();
+        Characterizer {
+            l1,
+            ref_sets: cfg.set_profile_sets.clone(),
+            global: StackDist::new(),
+            per_set,
+            profiles,
+            hist: ReuseHistogram::default(),
+            popularity: BTreeMap::new(),
+            raw_accesses: 0,
+            accesses: 0,
+            cold: 0,
+            seq: 0,
+        }
+    }
+
+    /// Observe one access.
+    pub fn observe(&mut self, access: &Access) {
+        self.raw_accesses += 1;
+        self.seq += 1;
+        if let Some(l1) = &mut self.l1 {
+            let write = matches!(access.kind, AccessKind::Store);
+            if l1.access(LineAddr(access.line), write, self.seq).hit {
+                return;
+            }
+        }
+        self.accesses += 1;
+        *self.popularity.entry(access.line).or_insert(0) += 1;
+        match self.global.record(access.line) {
+            Some(d) => self.hist.record(d),
+            None => self.cold += 1,
+        }
+        for (i, &sets) in self.ref_sets.iter().enumerate() {
+            let set = usize::try_from(access.line % u64::from(sets))
+                .expect("set index below a u32 set count");
+            let d = self.per_set[i][set].record(access.line);
+            self.profiles[i].record(set, d);
+        }
+    }
+
+    /// Close the pass and assemble the profile.
+    pub fn finish(self) -> TraceProfile {
+        let counts: Vec<u64> = self.popularity.values().copied().collect();
+        let buckets = self.hist.buckets();
+        TraceProfile {
+            raw_accesses: self.raw_accesses,
+            accesses: self.accesses,
+            cold: self.cold,
+            distinct_lines: self.global.distinct(),
+            hist: self.hist,
+            set_profiles: self.profiles,
+            zipf: zipf::fit(&counts),
+            l1_filtered: self.l1.is_some(),
+            buckets,
+        }
+    }
+}
+
+/// Characterize a whole trace in one call.
+pub fn profile_trace(trace: &Trace, cfg: &CharacterizeConfig) -> TraceProfile {
+    let mut c = Characterizer::new(cfg);
+    for access in trace.iter() {
+        c.observe(access);
+    }
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlpsim_cache::lru::LruEngine;
+
+    fn toy_trace() -> Trace {
+        // Cyclic scan over 40 lines, 50 rounds.
+        let mut v = Vec::new();
+        for _ in 0..50 {
+            for line in 0..40u64 {
+                v.push(Access::load(line, 0));
+            }
+        }
+        Trace::from_accesses(v)
+    }
+
+    #[test]
+    fn unfiltered_totals_add_up() {
+        let p = profile_trace(&toy_trace(), &CharacterizeConfig::unfiltered());
+        assert_eq!(p.raw_accesses, 2000);
+        assert_eq!(p.accesses, 2000);
+        assert_eq!(p.cold, 40);
+        assert_eq!(p.distinct_lines, 40);
+        assert_eq!(p.hist.total() + p.cold, p.accesses);
+        // Every reuse in a 40-line cycle has distance 39.
+        assert_eq!(p.hist.mass_in(39, 40), 1960);
+        assert_eq!(p.zipf.total, 2000);
+    }
+
+    #[test]
+    fn set_profile_matches_a_real_lru_cache() {
+        let cfg = CharacterizeConfig::unfiltered().with_set_profiles(&[4]);
+        let p = profile_trace(&toy_trace(), &cfg);
+        for ways in [1u16, 2, 8, 16] {
+            let g = Geometry::from_sets(4, ways, 64);
+            let mut cache = CacheModel::new(g, Box::new(LruEngine::new()));
+            for (seq, a) in toy_trace().iter().enumerate() {
+                cache.access(LineAddr(a.line), false, seq as u64);
+            }
+            let predicted = p.set_profile(4).and_then(|sp| sp.lru_misses(ways));
+            assert_eq!(predicted, Some(cache.stats().misses), "ways {ways}");
+        }
+    }
+
+    #[test]
+    fn l1_filter_shrinks_the_characterized_stream() {
+        let raw = profile_trace(&toy_trace(), &CharacterizeConfig::unfiltered());
+        let filtered = profile_trace(
+            &toy_trace(),
+            &CharacterizeConfig {
+                l1_filter: Some(Geometry::baseline_l1d()),
+                set_profile_sets: Vec::new(),
+            },
+        );
+        assert!(filtered.l1_filtered);
+        assert_eq!(filtered.raw_accesses, raw.raw_accesses);
+        // 40 lines fit in the 256-line L1, so after the cold pass
+        // everything hits the filter.
+        assert_eq!(filtered.accesses, 40);
+        assert_eq!(filtered.cold, 40);
+    }
+
+    #[test]
+    fn bucket_summary_conserves_mass() {
+        let p = profile_trace(&toy_trace(), &CharacterizeConfig::unfiltered());
+        let sum: u64 = p.buckets().iter().map(|b| b.count).sum();
+        assert_eq!(sum, p.hist.total());
+    }
+}

@@ -1,0 +1,143 @@
+//! Closed-form Zipf/power-law fit of a popularity distribution.
+//!
+//! The Fagin/Berthet working-set estimator ([`crate::estimate`]) models
+//! line popularity as `p(rank) ∝ rank^(-α)`. The exponent is fitted here
+//! by ordinary least squares on the log-log rank/count curve — a closed
+//! form, not an iterative optimizer, so the fit is deterministic (lint
+//! rule D2) and *scale-invariant*: multiplying every count by a constant
+//! shifts the log-log intercept but leaves the slope (and hence `α`)
+//! unchanged.
+
+/// A fitted power-law popularity curve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ZipfFit {
+    /// Fitted exponent `α ≥ 0` of `p(rank) ∝ rank^(-α)`.
+    pub alpha: f64,
+    /// Number of distinct keys the fit covered.
+    pub distinct: u64,
+    /// Total references across all keys.
+    pub total: u64,
+    /// Coefficient of determination of the log-log regression in `[0, 1]`
+    /// — how power-law-like the distribution actually is. Feeds the
+    /// working-set estimator's error band.
+    pub r2: f64,
+}
+
+impl ZipfFit {
+    /// The fit of an empty population: `α = 0`, `r2 = 0`.
+    pub fn empty() -> Self {
+        ZipfFit {
+            alpha: 0.0,
+            distinct: 0,
+            total: 0,
+            r2: 0.0,
+        }
+    }
+}
+
+/// Fit `p(rank) ∝ rank^(-α)` to per-key reference counts by least squares
+/// on `(ln rank, ln count)`. The counts are sorted descending internally,
+/// so caller-side ordering (and any permutation of keys) cannot change
+/// the result. Zero counts are ignored; fewer than two distinct positive
+/// counts yield [`ZipfFit::empty`] with `distinct`/`total` still filled
+/// in. A fitted positive slope (anti-Zipf, possible on tiny inputs) is
+/// clamped to `α = 0`.
+pub fn fit(counts: &[u64]) -> ZipfFit {
+    let mut sorted: Vec<u64> = counts.iter().copied().filter(|&c| c > 0).collect();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let total: u64 = sorted.iter().sum();
+    let distinct = sorted.len() as u64;
+    if sorted.len() < 2 {
+        return ZipfFit {
+            distinct,
+            total,
+            ..ZipfFit::empty()
+        };
+    }
+    let n = sorted.len() as f64;
+    let mut sx = 0.0;
+    let mut sy = 0.0;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (i, &c) in sorted.iter().enumerate() {
+        let x = ((i + 1) as f64).ln();
+        let y = (c as f64).ln();
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+        syy += y * y;
+    }
+    let var_x = sxx - sx * sx / n;
+    let var_y = syy - sy * sy / n;
+    if var_x <= 0.0 {
+        // Cannot happen with ≥ 2 ranks, but guard the division anyway.
+        return ZipfFit {
+            distinct,
+            total,
+            ..ZipfFit::empty()
+        };
+    }
+    let cov = sxy - sx * sy / n;
+    let slope = cov / var_x;
+    let r2 = if var_y > 0.0 {
+        ((cov * cov) / (var_x * var_y)).clamp(0.0, 1.0)
+    } else {
+        // All counts equal: a perfect (degenerate) α = 0 power law.
+        1.0
+    };
+    ZipfFit {
+        alpha: (-slope).max(0.0),
+        distinct,
+        total,
+        r2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zipf_counts(alpha: f64, keys: usize, scale: f64) -> Vec<u64> {
+        (1..=keys)
+            .map(|r| (scale * (r as f64).powf(-alpha)).round().max(1.0) as u64)
+            .collect()
+    }
+
+    #[test]
+    fn recovers_a_planted_exponent() {
+        for alpha in [0.5, 0.8, 1.0, 1.3] {
+            let f = fit(&zipf_counts(alpha, 500, 1e6));
+            assert!(
+                (f.alpha - alpha).abs() < 0.05,
+                "planted {alpha}, fitted {}",
+                f.alpha
+            );
+            assert!(f.r2 > 0.95, "{}", f.r2);
+        }
+    }
+
+    #[test]
+    fn scale_invariant_and_order_invariant() {
+        let base = zipf_counts(0.9, 300, 1e7);
+        let scaled: Vec<u64> = base.iter().map(|&c| c * 13).collect();
+        let mut shuffled = base.clone();
+        shuffled.reverse();
+        let a = fit(&base);
+        assert!((a.alpha - fit(&scaled).alpha).abs() < 1e-9);
+        assert_eq!(a.alpha.to_bits(), fit(&shuffled).alpha.to_bits());
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(fit(&[]), ZipfFit::empty());
+        let one = fit(&[42]);
+        assert_eq!((one.alpha, one.distinct, one.total), (0.0, 1, 42));
+        let flat = fit(&[5, 5, 5, 5]);
+        assert_eq!(flat.alpha, 0.0);
+        assert_eq!(flat.r2, 1.0);
+        // Zero counts are ignored, not ranked.
+        assert_eq!(fit(&[9, 0, 3, 0]).distinct, 2);
+    }
+}

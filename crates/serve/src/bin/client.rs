@@ -5,6 +5,9 @@
 //!
 //!   submit [--traceparent TP] <spec-json | @file | ->
 //!                                    admit a job, print "id trace_id"
+//!   estimate <spec-json | @file | -> score the spec's grid with the
+//!                                    analytical model (no simulation;
+//!                                    the document says "model":true)
 //!   status <id>                      print the job's status document
 //!   list                             print every job's status document
 //!   watch <id>                       stream live NDJSON events to stdout
@@ -30,8 +33,8 @@ use std::process::ExitCode;
 fn usage() {
     eprintln!(
         "usage: mlpsim-client --server http://HOST:PORT \
-         <submit [--traceparent TP] SPEC | status ID | list | watch ID | result ID | wait ID | \
-         cancel ID | traces [ID] [--chrome] | metrics | drain>"
+         <submit [--traceparent TP] SPEC | estimate SPEC | status ID | list | watch ID | \
+         result ID | wait ID | cancel ID | traces [ID] [--chrome] | metrics | drain>"
     );
 }
 
@@ -82,6 +85,13 @@ fn run(server: &str, command: &str, rest: &[String]) -> Result<String, String> {
             } else {
                 Ok(format!("{id}"))
             }
+        }
+        "estimate" => {
+            let raw = rest
+                .first()
+                .ok_or("estimate wants a spec (json, @file, or -)")?;
+            let spec = load_spec(raw)?;
+            Ok(client::estimate(server, &spec)?.to_string_compact())
         }
         "status" => Ok(client::status(server, parse_id(rest.first())?)?.to_string_compact()),
         "list" => {

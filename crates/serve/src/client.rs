@@ -239,6 +239,30 @@ pub fn submit_traced(
     Ok((id, trace_id))
 }
 
+/// `POST /estimate` with a raw spec document → the model's scoring of the
+/// spec's grid (a `"model": true` document; nothing is simulated).
+///
+/// # Errors
+///
+/// Transport errors and non-200 responses (the server's message).
+pub fn estimate(server: &str, spec_json: &str) -> Result<Json, String> {
+    let resp = request(
+        server,
+        "POST",
+        "/estimate",
+        Some(spec_json.as_bytes()),
+        None,
+    )?;
+    if resp.status != 200 {
+        return Err(format!(
+            "estimate rejected ({}): {}",
+            resp.status,
+            resp.text().trim()
+        ));
+    }
+    resp.json()
+}
+
 /// `GET /debug/traces` → the flight-recorder dump (array of traces,
 /// newest first).
 ///

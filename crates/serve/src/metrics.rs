@@ -61,12 +61,16 @@ pub struct Histograms {
     /// Per-chunk `stream_write` flush latency on `/jobs/:id/events`,
     /// microseconds.
     pub request_phase_stream_write_us: EpisodeHistogram,
+    /// End-to-end latency of each `/estimate` model evaluation (trace
+    /// profiling + cell scoring, no simulation), microseconds.
+    pub estimate_duration_us: EpisodeHistogram,
 }
 
 impl Histograms {
     /// Iterate `(name, histogram)` for rendering, name order fixed.
-    fn families(&self) -> [(&'static str, &EpisodeHistogram); 7] {
+    fn families(&self) -> [(&'static str, &EpisodeHistogram); 8] {
         [
+            ("mlpsim_estimate_duration_us", &self.estimate_duration_us),
             (
                 "mlpsim_event_stream_backlog_lines",
                 &self.event_stream_backlog_lines,
@@ -183,6 +187,7 @@ mod tests {
     fn every_family_renders_even_when_empty() {
         let text = render(&Registry::new(), &Histograms::default());
         for family in [
+            "mlpsim_estimate_duration_us",
             "mlpsim_job_wall_time_ms",
             "mlpsim_job_queue_wait_ms",
             "mlpsim_http_request_duration_us",

@@ -17,6 +17,7 @@
 //! | `GET /jobs/:id/events` | chunked NDJSON live telemetry (ends when the job is terminal) |
 //! | `GET /jobs/:id/result` | the report text (`404` until done) |
 //! | `POST /jobs/:id/cancel` | cancel queued/running job (idempotent) |
+//! | `POST /estimate` | score a spec's grid with the analytical model (no simulation; `"model":true` in the body) |
 //! | `POST /drain` | stop admitting; finish the running job; exit |
 //! | `GET /healthz` | `200 ok` (`503` when draining) |
 //! | `GET /metrics` | Prometheus text exposition 0.0.4: counters, gauges, latency histograms |
@@ -26,7 +27,7 @@ use crate::journal::{JobStatus, Journal};
 use crate::log;
 use crate::state::{EventLog, LogSink, State, SubmitError};
 use mlpsim_exec::CancelToken;
-use mlpsim_experiments::jobspec::JobSpec;
+use mlpsim_experiments::jobspec::{prune_margin_from_json, JobSpec};
 use mlpsim_experiments::CellSpanSink;
 use mlpsim_telemetry::prof;
 use mlpsim_telemetry::trace::{self, TraceCtx};
@@ -227,7 +228,13 @@ fn execute(
         let ctx = ctx.clone();
         let run_id = *run_id;
         CellSpanSink(std::sync::Arc::new(move |row, col, t0, t1| {
-            ctx.record_span(&format!("run(cell={row},{col})"), run_id, t0, t1, Vec::new());
+            ctx.record_span(
+                &format!("run(cell={row},{col})"),
+                run_id,
+                t0,
+                t1,
+                Vec::new(),
+            );
         }))
     });
     let result = spec.run_traced(telemetry, token, cell_spans);
@@ -281,10 +288,8 @@ fn handle_connection(
     // The socket read + header/body parse happened before the context
     // could exist; record it retroactively as the first child span.
     ctx.record_span("parse", ctx.root_span(), t0_ns, prof::now_ns(), Vec::new());
-    let status = match route(&mut stream, &req, state, &ctx, shutdown, cfg) {
-        Ok(status) => status,
-        Err(_) => 499, // client went away mid-write
-    };
+    // A write error means the client went away mid-response: 499.
+    let status = route(&mut stream, &req, state, &ctx, shutdown, cfg).unwrap_or(499);
     let dur_us = t0.elapsed().as_micros() as u64;
     state.observe_request(dur_us);
     if ctx.adopted() {
@@ -377,6 +382,54 @@ fn route(
                 Err(SubmitError::Journal(e)) => respond_json(stream, 500, &err_json(&e)),
             }
         }
+        ("POST", ["estimate"]) => {
+            // Analytical model only — nothing is enqueued and nothing
+            // simulates; the response carries `"model": true` so a caller
+            // can never mistake an estimate for a measured result. The
+            // body is the same spec `/jobs` accepts, plus an optional
+            // `prune_margin` field.
+            let est = ctx.child("estimate");
+            let body = String::from_utf8_lossy(&req.body);
+            let parsed = Json::parse(&body).map_err(|e| e.to_string()).and_then(|v| {
+                let margin = prune_margin_from_json(&v)?;
+                JobSpec::from_json(&v).map(|spec| (spec, margin))
+            });
+            let (spec, margin) = match parsed {
+                Ok(x) => x,
+                Err(e) => {
+                    drop(est);
+                    return respond_json(stream, 400, &err_json(&e));
+                }
+            };
+            let t0 = Instant::now();
+            // The scoring runs on its own thread so a model bug panics
+            // that thread, not this handler: the `Err` from `join()`
+            // becomes a 500 instead of a dead connection (lint rule D8
+            // treats the spawned closure as a panic-isolation boundary
+            // for the same reason).
+            let doc = match thread::spawn(move || spec.estimate_doc(margin)).join() {
+                Ok(doc) => doc,
+                Err(_) => {
+                    drop(est);
+                    return respond_json(
+                        stream,
+                        500,
+                        &err_json("estimate failed: the model panicked scoring this spec"),
+                    );
+                }
+            };
+            state.observe_estimate(t0.elapsed().as_micros() as u64);
+            state.count("estimates_total");
+            let summary = doc.get("summary");
+            if let Some(cells) = summary.and_then(|s| s.get("cells")).and_then(Json::as_u64) {
+                state.count_n("planner_cells_scored_total", cells);
+            }
+            if let Some(pruned) = summary.and_then(|s| s.get("pruned")).and_then(Json::as_u64) {
+                state.count_n("planner_cells_pruned_total", pruned);
+            }
+            drop(est);
+            respond_json(stream, 200, &doc)
+        }
         ("GET", ["jobs"]) => respond_json(stream, 200, &state.list_json()),
         ("GET", ["jobs", id]) => match parse_id(id) {
             Some(id) => match state.status_json(id) {
@@ -427,14 +480,22 @@ fn route(
                 Some(doc) => respond_json(stream, 200, &doc),
                 None => respond_json(stream, 404, &err_json("no such trace (evicted or unknown)")),
             },
-            None => respond_json(stream, 400, &err_json("trace id wants 32 lowercase hex digits")),
+            None => respond_json(
+                stream,
+                400,
+                &err_json("trace id wants 32 lowercase hex digits"),
+            ),
         },
         ("GET", ["debug", "traces", id, "chrome"]) => match parse_trace_id(id) {
             Some(tid) => match state.trace_json(tid, true) {
                 Some(doc) => respond_json(stream, 200, &doc),
                 None => respond_json(stream, 404, &err_json("no such trace (evicted or unknown)")),
             },
-            None => respond_json(stream, 400, &err_json("trace id wants 32 lowercase hex digits")),
+            None => respond_json(
+                stream,
+                400,
+                &err_json("trace id wants 32 lowercase hex digits"),
+            ),
         },
         ("POST", ["drain"]) => {
             let _drain = ctx.child("drain");
@@ -442,7 +503,11 @@ fn route(
             shutdown.store(true, Ordering::SeqCst);
             http::write_response(stream, 202, "text/plain", &[], b"draining\n").map(|()| 202)
         }
-        (_, ["jobs", ..]) | (_, ["drain"]) | (_, ["healthz"]) | (_, ["metrics"])
+        (_, ["jobs", ..])
+        | (_, ["estimate"])
+        | (_, ["drain"])
+        | (_, ["healthz"])
+        | (_, ["metrics"])
         | (_, ["debug", ..]) => respond_json(stream, 405, &err_json("method not allowed")),
         _ => respond_json(stream, 404, &err_json("no such route")),
     }
@@ -478,7 +543,7 @@ fn stream_events(
             wrote?;
         }
         if done && lines.is_empty() {
-            span.tag("lines", &total_lines.to_string());
+            span.tag("lines", total_lines.to_string());
             w.finish()?;
             return Ok(200);
         }
@@ -496,7 +561,11 @@ fn parse_id(raw: &str) -> Option<u64> {
 /// Trace ids travel as exactly 32 lowercase hex digits, the same shape
 /// the traceparent header and `/debug/traces` listing use.
 fn parse_trace_id(raw: &str) -> Option<u128> {
-    if raw.len() != 32 || !raw.bytes().all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase()) {
+    if raw.len() != 32
+        || !raw
+            .bytes()
+            .all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase())
+    {
         return None;
     }
     u128::from_str_radix(raw, 16).ok()

@@ -418,7 +418,10 @@ impl State {
             JobStatus::Cancelled => 499,
             _ => 500,
         };
-        let trace = lock(&self.inner).jobs.get(&id).and_then(|j| j.trace.clone());
+        let trace = lock(&self.inner)
+            .jobs
+            .get(&id)
+            .and_then(|j| j.trace.clone());
         if let Err(e) = lock(&self.journal).append_traced(&op, trace.as_ref()) {
             // The in-memory state still advances; the next boot reruns it.
             log::server_event(
@@ -471,9 +474,7 @@ impl State {
                 // Present: looked up above under the same lock. Treat the
                 // impossible miss as an unknown id rather than panicking a
                 // handler thread.
-                let Some(job) = inner.jobs.get_mut(&id) else {
-                    return None;
-                };
+                let job = inner.jobs.get_mut(&id)?;
                 job.status = JobStatus::Cancelled;
                 job.log.close();
                 let cancelled_trace = job.trace.take();
@@ -530,6 +531,16 @@ impl State {
         lock(&self.metrics).incr(name, 1);
     }
 
+    /// Bump a counter by `n` (planner cell totals arrive in batches).
+    pub fn count_n(&self, name: &str, n: u64) {
+        lock(&self.metrics).incr(name, n);
+    }
+
+    /// Record one `/estimate` model evaluation's latency.
+    pub fn observe_estimate(&self, micros: u64) {
+        lock(&self.hists).estimate_duration_us.record(micros);
+    }
+
     /// Record one handled HTTP request's end-to-end latency.
     pub fn observe_request(&self, micros: u64) {
         lock(&self.hists).http_request_duration_us.record(micros);
@@ -543,7 +554,9 @@ impl State {
 
     /// Record how long one event-stream chunk write took.
     pub fn observe_stream_write(&self, micros: u64) {
-        lock(&self.hists).request_phase_stream_write_us.record(micros);
+        lock(&self.hists)
+            .request_phase_stream_write_us
+            .record(micros);
     }
 
     /// Close a trace: publish it to the flight recorder, check the

@@ -108,6 +108,66 @@ fn submitted_fig5_is_byte_identical_to_the_cli_run_path() {
 }
 
 #[test]
+fn estimate_endpoint_scores_without_simulating() {
+    let dir = tmp_dir("estimate");
+    let srv = TestServer::start(&dir, 8);
+
+    let doc = client::estimate(
+        &srv.url,
+        r#"{"kind":"sweep","benches":["mcf","art"],"policies":["lru","lin(4)"],
+            "accesses":2000,"jobs":2,"prune_margin":0.01}"#,
+    )
+    .expect("estimated");
+    assert_eq!(
+        doc.get("model").and_then(Json::as_bool),
+        Some(true),
+        "an estimate must label itself as a model, not a measurement"
+    );
+    let cells = match doc.get("cells") {
+        Some(Json::Arr(cells)) => cells,
+        other => panic!("expected cells array, got {other:?}"),
+    };
+    assert_eq!(cells.len(), 4);
+    let summary = doc.get("summary").expect("summary");
+    assert_eq!(summary.get("cells").and_then(Json::as_u64), Some(4));
+
+    // No job was admitted; the planner counters and latency histogram moved.
+    let text = client::metrics(&srv.url).expect("metrics");
+    assert!(!text.contains("mlpsim_jobs_submitted_total"), "{text}");
+    assert!(text.contains("mlpsim_estimates_total 1"), "{text}");
+    assert!(
+        text.contains("mlpsim_planner_cells_scored_total 4"),
+        "{text}"
+    );
+    assert!(text.contains("mlpsim_planner_cells_pruned_total"), "{text}");
+    assert!(
+        text.contains("mlpsim_estimate_duration_us_count 1"),
+        "{text}"
+    );
+
+    // Garbage margins and bad specs report 400 with the field named.
+    let bad = client::request(
+        &srv.url,
+        "POST",
+        "/estimate",
+        Some(br#"{"kind":"fig5","prune_margin":-1}"#),
+        None,
+    )
+    .expect("responded");
+    assert_eq!(bad.status, 400);
+    assert!(bad.text().contains("prune_margin"), "{}", bad.text());
+    let err = client::estimate(&srv.url, r#"{"kind":"fig6"}"#).expect_err("bad kind");
+    assert!(err.contains("unknown job kind"), "{err}");
+
+    // Wrong method on the route is 405, not 404.
+    let wrong = client::request(&srv.url, "GET", "/estimate", None, None).expect("responded");
+    assert_eq!(wrong.status, 405);
+
+    srv.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn deadline_cancels_a_long_job() {
     let dir = tmp_dir("deadline");
     let srv = TestServer::start(&dir, 8);
@@ -281,7 +341,7 @@ fn injected_traceparent_propagates_to_the_flight_recorder() {
         "run",
     ] {
         assert!(
-            names.iter().any(|n| *n == want),
+            names.contains(&want),
             "span {want:?} missing from {names:?}"
         );
     }
